@@ -1,0 +1,106 @@
+// Command orchbench regenerates the paper's evaluation (§5): the
+// Figure 6 processor sweep for Psirrfan, the in-text climate-model
+// measurements (Table 1), the processor-doubling claim (Table 2), and
+// the design-choice ablations DESIGN.md lists.
+//
+// Usage:
+//
+//	orchbench [-exp fig6|table1|table2|ablations|all] [-n size] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orchestra/internal/experiment"
+	"orchestra/internal/trace"
+	"orchestra/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, or all")
+	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	flag.Parse()
+
+	run := map[string]bool{}
+	switch *exp {
+	case "all":
+		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
+			run[e] = true
+		}
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies":
+		run[*exp] = true
+	default:
+		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	size := func(def int) int {
+		if *n > 0 {
+			return *n
+		}
+		return def
+	}
+
+	if run["fig6"] {
+		fmt.Println("=== Figure 6: Psirrfan performance (speedup vs processors) ===")
+		fmt.Println("paper: static flattens, TAPER sags past 512, TAPER+split sustains")
+		fmt.Println(">80% efficiency through 1024 processors")
+		fmt.Println()
+		series := experiment.Figure6(size(4096), *seed,
+			[]int{128, 256, 384, 512, 640, 768, 896, 1024, 1152, 1280})
+		fmt.Print(trace.Table("Psirrfan", "procs", series, trace.Result.Speedup, "speedup"))
+		fmt.Println()
+		fmt.Print(trace.Table("Psirrfan", "procs", series,
+			func(r trace.Result) float64 { return 100 * r.Efficiency() }, "efficiency %"))
+		fmt.Println()
+	}
+
+	if run["table1"] {
+		fmt.Println("=== Table 1: UCLA climate model, ~3200 grid cells ===")
+		fmt.Print(experiment.FormatTable1(experiment.Table1(size(3200), *seed)))
+		fmt.Println()
+	}
+
+	if run["table2"] {
+		fmt.Println("=== Table 2: doubling processors with split (paper: 5-15% loss) ===")
+		fmt.Print(experiment.FormatTable2(experiment.Table2(size(3200), *seed, 512)))
+		fmt.Println()
+	}
+
+	if run["policies"] {
+		fmt.Println("=== Loop schedulers on one irregular operation (psirrfan update, cold, p=512) ===")
+		fmt.Print(experiment.FormatPolicies(experiment.Policies(size(4096), 512, *seed)))
+		fmt.Println()
+	}
+
+	if run["iterated"] {
+		fmt.Println("=== Extension: K-timestep unrolled dataflow (climate, K=8, p=1024) ===")
+		app := workload.Climate(workload.Config{N: size(3200), Seed: *seed})
+		taperSteps, splitSteps, unrolled := experiment.Iterated(app, 8, 1024)
+		fmt.Printf("  per-step TAPER (barriers):  makespan %8.1f  eff %5.1f%%\n", taperSteps.Makespan, 100*taperSteps.Efficiency())
+		fmt.Printf("  per-step split (barriers):  makespan %8.1f  eff %5.1f%%\n", splitSteps.Makespan, 100*splitSteps.Efficiency())
+		fmt.Printf("  unrolled dataflow:          makespan %8.1f  eff %5.1f%%\n", unrolled.Makespan, 100*unrolled.Efficiency())
+		fmt.Println()
+	}
+
+	if run["ablations"] {
+		fmt.Println("=== Ablations ===")
+		w, wo := experiment.AblationCostFunction(size(4096), 256, *seed)
+		fmt.Printf("cost function (vortex velocity, p=256): with=%.1f without=%.1f (%.1f%% better)\n",
+			w.Makespan, wo.Makespan, 100*(wo.Makespan-w.Makespan)/wo.Makespan)
+		it, na := experiment.AblationAllocation(size(3200), 512, *seed)
+		fmt.Printf("allocation (climate cloud+radI, p=512): iterative=%.1f naive-half=%.1f (%.1f%% better)\n",
+			it.Makespan, na.Makespan, 100*(na.Makespan-it.Makespan)/na.Makespan)
+		d, c := experiment.AblationDistributed(size(4096), 512, *seed)
+		fmt.Printf("distributed vs central (psirrfan update, p=512): distributed=%.1f central=%.1f; messages %d vs %d\n",
+			d.Makespan, c.Makespan, d.Messages, c.Messages)
+		fmt.Println("allocation max_count sweep (climate cloud+radI, p=512):")
+		for _, r := range experiment.AblationMaxCount(size(3200), 512, *seed, []int{0, 1, 2, 4, 8}) {
+			fmt.Printf("  %-12s makespan=%.1f\n", r.Name, r.Makespan)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,147 @@
+// Command orchrun executes a Delirium dataflow graph (as produced by
+// orchc) on the simulated distributed-memory machine under one of the
+// three runtime configurations of the paper's evaluation: static,
+// TAPER, or TAPER with the split-exposed concurrency.
+//
+// Graph nodes are bound to synthetic parallel operations. A node's
+// task count comes from its tasks= annotation (a symbolic trip count
+// such as "n", resolved with the -n flag) when present, else from
+// -tasks; task times are drawn from a log-normal with coefficient of
+// variation -cv.
+//
+// Usage:
+//
+//	orchrun [-p procs] [-mode static|taper|split] [-tasks n] [-cv x] [-seed s] file.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/interp"
+	"orchestra/internal/machine"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+	"orchestra/internal/source"
+	"orchestra/internal/stats"
+)
+
+func main() {
+	p := flag.Int("p", 64, "number of processors")
+	mode := flag.String("mode", "split", "execution mode: static, taper, split, or all")
+	tasks := flag.Int("tasks", 2048, "tasks per operator without a tasks= annotation")
+	nParam := flag.Int("n", 2048, "value of the symbolic problem size n in tasks= annotations")
+	cv := flag.Float64("cv", 1.0, "coefficient of variation of task times")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: orchrun [flags] file.graph")
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	g, err := delirium.Decode(string(text))
+	if err != nil {
+		fatal(err)
+	}
+
+	var modes []rts.Mode
+	switch strings.ToLower(*mode) {
+	case "static":
+		modes = []rts.Mode{rts.ModeStatic}
+	case "taper":
+		modes = []rts.Mode{rts.ModeTaper}
+	case "split":
+		modes = []rts.Mode{rts.ModeSplit}
+	case "all":
+		modes = []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	// Bind every node to a synthetic operation. A log-normal with the
+	// requested cv: sigma^2 = ln(1+cv^2).
+	sigma := math.Sqrt(math.Log(1 + *cv**cv))
+	mu := -sigma * sigma / 2 // unit mean
+	specs := map[string]rts.OpSpec{}
+	for _, n := range g.Nodes {
+		count := *tasks
+		if n.Tasks != "" {
+			if c, ok := resolveTasks(n.Tasks, *nParam); ok {
+				count = c
+			}
+		}
+		if count < 1 {
+			count = 1
+		}
+		rng := stats.NewRNG(*seed ^ hash(n.Name))
+		times := make([]float64, count)
+		for i := range times {
+			times[i] = rng.LogNormal(mu, sigma)
+		}
+		t := times
+		spec := rts.OpSpec{Op: sched.Op{
+			Name:  n.Name,
+			N:     len(t),
+			Time:  func(i int) float64 { return t[i] },
+			Bytes: 64,
+			Hint:  func(i int) float64 { return t[i] },
+		}}
+		spec.SampleStats(128)
+		specs[n.Name] = spec
+	}
+	bind := func(name string) rts.OpSpec { return specs[name] }
+
+	cfg := machine.DefaultConfig(*p)
+	if st, err := g.Summarize(); err == nil {
+		fmt.Println("graph:", st)
+	}
+	for _, m := range modes {
+		r, err := rts.RunGraph(cfg, g, bind, *p, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s makespan %10.1f  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
+			m, r.Makespan, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
+	}
+}
+
+// resolveTasks evaluates a symbolic trip-count annotation with every
+// identifier bound to n.
+func resolveTasks(expr string, n int) (int, bool) {
+	scratch, err := source.Parse("program s\n integer v\n v = " + expr + "\nend\n")
+	if err != nil {
+		return 0, false
+	}
+	st := interp.NewState()
+	rhs := scratch.Body[0].(*source.Assign).RHS
+	source.WalkExpr(rhs, func(e source.Expr) {
+		if id, ok := e.(*source.Ident); ok {
+			st.Scalars[id.Name] = float64(n)
+		}
+	})
+	if err := interp.Run(scratch, st); err != nil {
+		return 0, false
+	}
+	return int(st.Scalars["v"]), true
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orchrun:", err)
+	os.Exit(1)
+}

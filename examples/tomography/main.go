@@ -1,0 +1,51 @@
+// Tomography: the Psirrfan x-ray image-reconstruction workload of the
+// paper's Figure 6, swept over processor counts under the three
+// runtime configurations. "Psirrfan with just the TAPER algorithm and
+// cost functions is highly efficient on 512 processors but does not
+// sustain this efficiency through 1024 processors. However, by
+// exposing additional coarse-grained parallelism and two opportunities
+// for pipelining, we transformed Psirrfan to achieve sustained
+// efficiency of over 80% using up to 1024 processors."
+//
+//	go run ./examples/tomography [-n size] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"orchestra/internal/experiment"
+	"orchestra/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "projection columns")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	flag.Parse()
+
+	procs := []int{128, 256, 512, 768, 1024, 1280}
+	series := experiment.Figure6(*n, *seed, procs)
+
+	fmt.Print(trace.Table("Psirrfan reconstruction (Figure 6)", "procs",
+		series, trace.Result.Speedup, "speedup"))
+	fmt.Println()
+	fmt.Print(trace.Table("Psirrfan reconstruction (Figure 6)", "procs",
+		series, func(r trace.Result) float64 { return 100 * r.Efficiency() }, "efficiency %"))
+
+	// Summarize the paper's headline comparison at 1024 processors.
+	var taper, split float64
+	for _, s := range series {
+		for i, x := range s.X {
+			if x == 1024 {
+				switch s.Label {
+				case "TAPER":
+					taper = s.Points[i].Efficiency()
+				case "TAPER+split":
+					split = s.Points[i].Efficiency()
+				}
+			}
+		}
+	}
+	fmt.Printf("\nat 1024 processors: TAPER %.1f%%, TAPER+split %.1f%% (paper: split sustains >80%%)\n",
+		100*taper, 100*split)
+}

@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/descriptor"
+	"orchestra/internal/source"
+	"orchestra/internal/symbolic"
+)
+
+const figure1 = `
+program sample
+  integer n
+  integer mask(n)
+  real result(n), q(n, n), output(n, n)
+
+  do col = 1, n where (mask(col) != 0)
+    do i = 1, n
+      result(i) = f(q(i, col))
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = g(q(j, i))
+    end do
+  end do
+end
+`
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(p)
+}
+
+func TestFigure1LoopADescriptor(t *testing.T) {
+	r := analyze(t, figure1)
+	loopA := r.Program.Body[0].(*source.Do)
+	d := r.DescribeLoop(loopA)
+
+	// A writes q with a mask on the column dimension.
+	var qWrite *descriptor.Triple
+	for i := range d.Writes {
+		if d.Writes[i].Block == "q" {
+			qWrite = &d.Writes[i]
+		}
+	}
+	if qWrite == nil {
+		t.Fatalf("no write to q:\n%s", d)
+	}
+	if len(qWrite.Dims) != 2 {
+		t.Fatalf("write dims = %d", len(qWrite.Dims))
+	}
+	if qWrite.Dims[1].Mask == nil {
+		t.Fatalf("column dimension missing mask: %s", qWrite)
+	}
+	if !strings.Contains(qWrite.Dims[1].Mask.String(), "mask[*] != 0") {
+		t.Fatalf("mask = %s", qWrite.Dims[1].Mask)
+	}
+	// A reads mask and q.
+	blocks := d.Blocks()
+	if !blocks["mask"] || !blocks["q"] {
+		t.Fatalf("blocks = %v", blocks)
+	}
+}
+
+func TestFigure1InterferenceAB(t *testing.T) {
+	r := analyze(t, figure1)
+	loopA := r.Program.Body[0].(*source.Do)
+	loopB := r.Program.Body[1].(*source.Do)
+	dA := r.DescribeLoop(loopA)
+	dB := r.DescribeLoop(loopB)
+	// B reads all of q, which A writes: flow dependence.
+	if !descriptor.Interferes(dA, dB, nil) {
+		t.Fatalf("A and B must interfere\nA:\n%s\nB:\n%s", dA, dB)
+	}
+	if !descriptor.FlowInterferes(dA, dB, nil) {
+		t.Fatal("B must be flow dependent on A")
+	}
+	if descriptor.FlowInterferes(dB, dA, nil) {
+		t.Fatal("A must not be flow dependent on B")
+	}
+}
+
+func TestIterationIndependenceTest(t *testing.T) {
+	// The paper's independence check: rename the induction variable in
+	// a second copy of the iteration descriptor and check that the two
+	// intersect only in their read sets.
+	r := analyze(t, `
+program p
+  integer n
+  integer miss(n)
+  real q(n, n), x(n)
+  do i = 1, n where (miss(i) != 1)
+    do j = 1, n
+      q(i, j) = q(i, j) + x(j)
+    end do
+  end do
+end
+`)
+	loop := r.Program.Body[0].(*source.Do)
+	iter, iv := r.DescribeIteration(loop)
+	ivP := symbolic.Name(string(iv) + "'")
+	other := iter.Subst(iv, symbolic.Var(ivP))
+	ctx := symbolic.Conj{symbolic.CmpExpr(symbolic.Var(iv), symbolic.NE, symbolic.Var(ivP))}
+	if descriptor.Interferes(iter, other, ctx) {
+		t.Fatalf("iterations should be independent\niter:\n%s", iter)
+	}
+}
+
+func TestPaperExampleDescriptorShape(t *testing.T) {
+	// §3.2's example: do i=1,10 / if miss(i) != 1 / do j=1,10 /
+	// q(i,j) = q(i,j) + x(j). The whole-loop write descriptor is
+	// q[1..10/(miss[*] != 1), 1..10].
+	r := analyze(t, `
+program p
+  integer miss(10)
+  real q(10, 10), x(10)
+  do i = 1, 10 where (miss(i) != 1)
+    do j = 1, 10
+      q(i, j) = q(i, j) + x(j)
+    end do
+  end do
+end
+`)
+	loop := r.Program.Body[0].(*source.Do)
+	d := r.DescribeLoop(loop)
+	var qw *descriptor.Triple
+	for i := range d.Writes {
+		if d.Writes[i].Block == "q" {
+			qw = &d.Writes[i]
+		}
+	}
+	if qw == nil {
+		t.Fatalf("no q write:\n%s", d)
+	}
+	if qw.Dims[0].Mask == nil || !strings.Contains(qw.Dims[0].Mask.String(), "miss[*] != 1") {
+		t.Fatalf("first dim mask = %v", qw.Dims[0].Mask)
+	}
+	lo, hi, ok := qw.Dims[0].Ranges[0].IsConst()
+	if !ok || lo != 1 || hi != 10 {
+		t.Fatalf("first dim range = %v", qw.Dims[0].Ranges[0])
+	}
+	// x must be read, unmasked is fine.
+	if !d.Blocks()["x"] {
+		t.Fatal("x not in read set")
+	}
+}
+
+func TestCoveredReadEliminated(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n
+  real tmp(n), q(n)
+  do i = 1, n
+    tmp(i) = q(i) * 2
+  end do
+  do i = 1, n
+    q(i) = tmp(i)
+  end do
+end
+`)
+	d := r.DescribeStmts(r.Program.Body)
+	// tmp is written whole by the first loop before the second reads
+	// it, so tmp must not appear in the read set.
+	for _, rd := range d.Reads {
+		if rd.Block == "tmp" {
+			t.Fatalf("covered read of tmp survived:\n%s", d)
+		}
+	}
+	// q is both read (first loop) and written (second).
+	foundQRead := false
+	for _, rd := range d.Reads {
+		if rd.Block == "q" {
+			foundQRead = true
+		}
+	}
+	if !foundQRead {
+		t.Fatal("q read missing")
+	}
+}
+
+func TestPartialWriteDoesNotCover(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n
+  real tmp(n), q(n)
+  do i = 2, n
+    tmp(i) = q(i)
+  end do
+  do i = 1, n
+    q(i) = tmp(i)
+  end do
+end
+`)
+	d := r.DescribeStmts(r.Program.Body)
+	// The first loop writes only tmp[2..n]; the second reads tmp[1..n],
+	// which is NOT covered.
+	foundTmpRead := false
+	for _, rd := range d.Reads {
+		if rd.Block == "tmp" {
+			foundTmpRead = true
+		}
+	}
+	if !foundTmpRead {
+		t.Fatal("uncovered read of tmp was wrongly eliminated")
+	}
+}
+
+func TestIfDescriptorGuards(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n, k
+  real a(n), b(n)
+  if (k > 0) then
+    a(1) = 1
+  else
+    b(1) = 2
+  end if
+end
+`)
+	st := r.Program.Body[0].(*source.If)
+	d := r.DescribeStmt(st)
+	var aw, bw *descriptor.Triple
+	for i := range d.Writes {
+		switch d.Writes[i].Block {
+		case "a":
+			aw = &d.Writes[i]
+		case "b":
+			bw = &d.Writes[i]
+		}
+	}
+	if aw == nil || bw == nil {
+		t.Fatalf("missing writes:\n%s", d)
+	}
+	if len(aw.Guard) == 0 || len(bw.Guard) == 0 {
+		t.Fatalf("branch writes unguarded: a=%v b=%v", aw.Guard, bw.Guard)
+	}
+	// The guards must be contradictory (then vs else).
+	if !aw.Guard.Merge(bw.Guard).ProvesFalse() {
+		t.Fatalf("then/else guards not complementary: %v vs %v", aw.Guard, bw.Guard)
+	}
+}
+
+func TestCallDescriptorConservative(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n
+  real x(n), y(n)
+  call solve(x, n)
+  do i = 1, n
+    y(i) = x(i)
+  end do
+end
+`)
+	call := r.Program.Body[0].(*source.CallStmt)
+	d := r.DescribeStmt(call)
+	wroteX := false
+	for _, w := range d.Writes {
+		if w.Block == "x" && w.Whole() {
+			wroteX = true
+		}
+	}
+	if !wroteX {
+		t.Fatalf("call does not write x whole:\n%s", d)
+	}
+	// The call must interfere with the loop reading x.
+	loop := r.Program.Body[1].(*source.Do)
+	if !descriptor.Interferes(d, r.DescribeLoop(loop), nil) {
+		t.Fatal("call and consumer loop must interfere")
+	}
+}
+
+func TestUntranslatableSubscriptWidens(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n
+  integer idx(n)
+  real x(n)
+  do i = 1, n
+    x(idx(i)) = 0
+  end do
+end
+`)
+	loop := r.Program.Body[0].(*source.Do)
+	d := r.DescribeLoop(loop)
+	// x's subscript is indirect: the write must widen to the whole
+	// block.
+	for _, w := range d.Writes {
+		if w.Block == "x" && !w.Whole() {
+			t.Fatalf("indirect write not widened: %s", w)
+		}
+	}
+}
+
+func TestWrittenBeforeRead(t *testing.T) {
+	r := analyze(t, figure1)
+	loopA := r.Program.Body[0].(*source.Do)
+	iter, _ := r.DescribeIteration(loopA)
+	// Within one iteration of A, result is written (whole) by the first
+	// inner loop before being read by the second: privatizable.
+	privatizable := WrittenBeforeRead(iter)
+	found := false
+	for _, b := range privatizable {
+		if b == "result" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("result not privatizable: %v\niter:\n%s", privatizable, iter)
+	}
+}
+
+func TestCallSiteGrouping(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n
+  real x(n), y(n), s
+  s = f(x, 1)
+  do i = 1, n
+    do j = 1, n
+      x(j) = g(x, y, 2)
+      y(j) = g(x, x, 2)
+      s = g(x, y, 3)
+    end do
+  end do
+end
+`)
+	if len(r.Calls) != 4 {
+		t.Fatalf("call sites = %d, want 4", len(r.Calls))
+	}
+	groups := Groups(r.Calls)
+	// The two g(x,y,...) calls differ in constant arg (2 vs 3), and
+	// g(x,x,2) has a different aliasing pattern: three distinct hot
+	// groups plus the cold f group.
+	if len(groups) != 4 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// Hot calls are those at depth >= 2.
+	hot := 0
+	for _, c := range r.Calls {
+		if c.Hot {
+			hot++
+		}
+	}
+	if hot != 3 {
+		t.Fatalf("hot sites = %d, want 3", hot)
+	}
+}
+
+func TestCallSiteColdGroupsByArity(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer a, b
+  a = f(1)
+  b = f(2)
+end
+`)
+	groups := Groups(r.Calls)
+	if len(groups) != 1 || groups["f/1"] != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestDescriptorDeduplication(t *testing.T) {
+	r := analyze(t, `
+program p
+  integer n, s
+  real x(n)
+  do i = 1, n
+    s = s + x(i) + x(i) + x(i)
+  end do
+end
+`)
+	loop := r.Program.Body[0].(*source.Do)
+	d := r.DescribeLoop(loop)
+	count := 0
+	for _, rd := range d.Reads {
+		if rd.Block == "x" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("x read triples = %d, want 1 (deduplicated)", count)
+	}
+}

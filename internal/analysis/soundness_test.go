@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"orchestra/internal/interp"
+	"orchestra/internal/source"
+	"orchestra/internal/stats"
+	"orchestra/internal/symbolic"
+)
+
+// Descriptor soundness against ground truth: execute a loop with the
+// reference interpreter, record every array access, and verify the
+// statically computed (promoted) descriptor covers each one. Writes
+// must all be covered by the write set; reads must be covered by the
+// read set whenever the element's first dynamic access is a load (the
+// descriptor's read set holds only locations live on entry).
+
+// stateEvaluator adapts an interpreter state (captured BEFORE the loop
+// runs) to the descriptor evaluator.
+type stateEvaluator struct {
+	scalars map[string]float64
+	arrays  map[string][]float64
+	dims    map[string][]int
+}
+
+func snapshot(st *interp.State) *stateEvaluator {
+	ev := &stateEvaluator{
+		scalars: map[string]float64{},
+		arrays:  map[string][]float64{},
+		dims:    map[string][]int{},
+	}
+	for k, v := range st.Scalars {
+		ev.scalars[k] = v
+	}
+	for k, v := range st.Arrays {
+		ev.arrays[k] = append([]float64{}, v...)
+		ev.dims[k] = append([]int{}, st.Dims[k]...)
+	}
+	return ev
+}
+
+func (ev *stateEvaluator) NameValue(n symbolic.Name) (int64, bool) {
+	name := string(n)
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	v, ok := ev.scalars[name]
+	return int64(v), ok
+}
+
+func (ev *stateEvaluator) Element(array symbolic.Name, idx []int64) (float64, bool) {
+	arr, ok := ev.arrays[string(array)]
+	if !ok {
+		return 0, false
+	}
+	dims := ev.dims[string(array)]
+	if len(idx) != len(dims) {
+		return 0, false
+	}
+	off := 0
+	stride := 1
+	for k, i := range idx {
+		if i < 1 || i > int64(dims[k]) {
+			return 0, false
+		}
+		off += int(i-1) * stride
+		stride *= dims[k]
+	}
+	return arr[off], true
+}
+
+type access struct {
+	array string
+	key   string
+	idx   []int64
+	load  bool
+}
+
+// checkLoopSoundness runs the FIRST top-level loop of src on a random
+// state and checks its promoted descriptor against the recorded
+// accesses.
+func checkLoopSoundness(t *testing.T, src string, n int, seed uint64) {
+	t.Helper()
+	p, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := Analyze(p)
+	loop := p.Body[0].(*source.Do)
+	d := r.DescribeLoop(loop)
+
+	st := interp.NewState()
+	st.Scalars["n"] = float64(n)
+	rng := stats.NewRNG(seed)
+	for _, decl := range p.Decls {
+		if !decl.IsArray() {
+			if decl.Name != "n" {
+				st.Scalars[decl.Name] = float64(1 + rng.Intn(n))
+			}
+			continue
+		}
+		dims := make([]int, len(decl.Dims))
+		for i := range decl.Dims {
+			dims[i] = n
+		}
+		st.Alloc(decl.Name, dims...)
+		arr := st.Arrays[decl.Name]
+		for i := range arr {
+			if decl.Type == source.Integer {
+				if rng.Bernoulli(0.5) {
+					arr[i] = 1
+				}
+			} else {
+				arr[i] = rng.Uniform(-2, 2)
+			}
+		}
+	}
+	ev := snapshot(st)
+
+	var accesses []access
+	firstTouch := map[string]bool{} // key -> first access was a load
+	st.OnLoad = func(array string, idx []int64) {
+		key := fmt.Sprintf("%s%v", array, idx)
+		if _, seen := firstTouch[key]; !seen {
+			firstTouch[key] = true
+		}
+		accesses = append(accesses, access{array, key, append([]int64{}, idx...), true})
+	}
+	st.OnStore = func(array string, idx []int64) {
+		key := fmt.Sprintf("%s%v", array, idx)
+		if _, seen := firstTouch[key]; !seen {
+			firstTouch[key] = false
+		}
+		accesses = append(accesses, access{array, key, append([]int64{}, idx...), false})
+	}
+
+	onlyLoop := &source.Program{Name: p.Name, Decls: p.Decls, Body: p.Body[:1]}
+	if err := interp.Run(onlyLoop, st); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(accesses) == 0 {
+		t.Fatal("no accesses recorded; vacuous test")
+	}
+
+	for _, a := range accesses {
+		if a.load {
+			if firstTouch[a.key] && !d.CoversRead(ev, symbolic.Name(a.array), a.idx) {
+				t.Fatalf("live-on-entry load %s%v not covered (seed %d)\ndescriptor:\n%s",
+					a.array, a.idx, seed, d)
+			}
+			continue
+		}
+		if !d.CoversWrite(ev, symbolic.Name(a.array), a.idx) {
+			t.Fatalf("write %s%v not covered (seed %d)\ndescriptor:\n%s",
+				a.array, a.idx, seed, d)
+		}
+	}
+}
+
+func TestSoundnessMaskedLoop(t *testing.T) {
+	src := `
+program s
+  integer n
+  integer mask(n)
+  real q(n, n), result(n), w(n)
+  do col = 1, n where (mask(col) != 0)
+    do i = 1, n
+      result(i) = 0
+      do j = 1, n
+        result(i) = result(i) + q(j, i) * w(j)
+      end do
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+end
+`
+	for seed := uint64(1); seed <= 6; seed++ {
+		checkLoopSoundness(t, src, 9, seed)
+	}
+}
+
+func TestSoundnessAffineSubscripts(t *testing.T) {
+	src := `
+program s
+  integer n
+  real x(n), y(n)
+  do i = 2, n - 1
+    x(i) = y(i - 1) + y(i + 1)
+  end do
+end
+`
+	for seed := uint64(1); seed <= 4; seed++ {
+		checkLoopSoundness(t, src, 12, seed)
+	}
+}
+
+func TestSoundnessStridedLoop(t *testing.T) {
+	src := `
+program s
+  integer n
+  real x(n)
+  do i = 2, n, 2
+    x(i) = x(i) * 2
+  end do
+end
+`
+	checkLoopSoundness(t, src, 10, 3)
+}
+
+func TestSoundnessDiscontinuousLoop(t *testing.T) {
+	src := `
+program s
+  integer n, a
+  real x(n)
+  do i = 1, a - 1 and a + 1, n
+    x(i) = 7
+  end do
+end
+`
+	for seed := uint64(1); seed <= 5; seed++ {
+		checkLoopSoundness(t, src, 11, seed)
+	}
+}
+
+func TestSoundnessConditionalBody(t *testing.T) {
+	src := `
+program s
+  integer n, k
+  real x(n), y(n)
+  do i = 1, n
+    if (i <= k) then
+      x(i) = 1
+    else
+      y(i) = 2
+    end if
+  end do
+end
+`
+	for seed := uint64(1); seed <= 5; seed++ {
+		checkLoopSoundness(t, src, 10, seed)
+	}
+}
+
+func TestSoundnessTriangular(t *testing.T) {
+	src := `
+program s
+  integer n
+  real x(n, n)
+  do i = 1, n
+    do j = i, n
+      x(j, i) = 1
+    end do
+  end do
+end
+`
+	checkLoopSoundness(t, src, 8, 2)
+}

@@ -1,0 +1,332 @@
+package cfg
+
+import (
+	"testing"
+
+	"orchestra/internal/source"
+)
+
+func parseBody(t *testing.T, src string) []source.Stmt {
+	t.Helper()
+	p, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p.Body
+}
+
+func TestStraightLine(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer a, b
+  a = 1
+  b = 2
+  a = a + b
+end
+`))
+	// entry -> one block (coalesced) -> exit
+	var blocks []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBlock {
+			blocks = append(blocks, n)
+		}
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 (coalesced)", len(blocks))
+	}
+	if len(blocks[0].Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(blocks[0].Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != blocks[0] {
+		t.Fatal("entry not wired to block")
+	}
+	if len(blocks[0].Succs) != 1 || blocks[0].Succs[0] != g.Exit {
+		t.Fatal("block not wired to exit")
+	}
+}
+
+func TestLoopShape(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer n
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+end
+`))
+	var head *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindLoop {
+			head = n
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop header")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop header successors = %d, want 2", len(head.Succs))
+	}
+	be, ok := g.BodyEntry[head]
+	if !ok || head.Succs[0] != be {
+		t.Fatal("body entry not the first successor")
+	}
+	bx := g.BodyExit[head]
+	found := false
+	for _, s := range bx.Succs {
+		if s == head {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no back edge from body exit to header")
+	}
+	// The header must have two predecessors: before-loop and back edge.
+	if len(head.Preds) != 2 {
+		t.Fatalf("loop header preds = %d, want 2", len(head.Preds))
+	}
+}
+
+func TestBranchShape(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer a, b
+  if (a > 0) then
+    b = 1
+  else
+    b = 2
+  end if
+  a = b
+end
+`))
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			br = n
+		}
+	}
+	if br == nil || len(br.Succs) != 2 {
+		t.Fatalf("branch = %v", br)
+	}
+	// Both arms must reconverge at a join dominating the final block.
+	idom := g.Dominators()
+	if !Dominates(idom, br, g.Exit) {
+		t.Fatal("branch should dominate exit")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer a, b
+  if (a > 0) then
+    b = 1
+  end if
+end
+`))
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			br = n
+		}
+	}
+	if len(br.Succs) != 2 {
+		t.Fatalf("branch succs = %d, want 2 (then + fall-through)", len(br.Succs))
+	}
+}
+
+func TestReversePostOrderProperty(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer n, a
+  real x(n)
+  do i = 1, n
+    if (a > 0) then
+      x(i) = 1
+    else
+      x(i) = 2
+    end if
+  end do
+  a = 0
+end
+`))
+	rpo := g.ReversePostOrder()
+	pos := map[*Node]int{}
+	for i, n := range rpo {
+		pos[n] = i
+	}
+	if rpo[0] != g.Entry {
+		t.Fatal("RPO must start at entry")
+	}
+	// Every edge that is not a back edge goes forward in RPO.
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			if s.Kind == KindLoop && pos[s] < pos[n] {
+				continue // back edge
+			}
+			if pos[s] <= pos[n] {
+				t.Fatalf("edge %v -> %v not forward in RPO", n, s)
+			}
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer n, a
+  real x(n)
+  do i = 1, n
+    x(i) = 0
+  end do
+  if (a > 0) then
+    a = 1
+  end if
+end
+`))
+	idom := g.Dominators()
+	if idom[g.Entry] != nil {
+		t.Fatal("entry idom must be nil")
+	}
+	// Entry dominates everything reachable.
+	for _, n := range g.Nodes {
+		if !Dominates(idom, g.Entry, n) {
+			t.Fatalf("entry does not dominate %v", n)
+		}
+	}
+	// The loop header dominates its body.
+	for head, be := range g.BodyEntry {
+		if !Dominates(idom, head, be) {
+			t.Fatalf("loop header %v does not dominate body entry", head)
+		}
+		if !Dominates(idom, head, g.BodyExit[head]) {
+			t.Fatalf("loop header %v does not dominate body exit", head)
+		}
+	}
+}
+
+func TestDominanceFrontiers(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer a, b
+  if (a > 0) then
+    b = 1
+  else
+    b = 2
+  end if
+  a = b
+end
+`))
+	idom := g.Dominators()
+	df := g.DominanceFrontiers(idom)
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			br = n
+		}
+	}
+	// The reconvergence join is the two-predecessor join node.
+	var join *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindJoin && len(n.Preds) == 2 {
+			join = n
+		}
+	}
+	if join == nil {
+		t.Fatal("no reconvergence join found")
+	}
+	// Each arm's entry has the join in its dominance frontier.
+	for _, arm := range br.Succs {
+		foundJoin := false
+		for _, w := range df[arm] {
+			if w == join {
+				foundJoin = true
+			}
+		}
+		if !foundJoin {
+			t.Fatalf("DF(arm %v) = %v, missing join %v", arm, df[arm], join)
+		}
+	}
+	// Frontier of the branch node itself must not contain the join (it
+	// dominates it).
+	for _, w := range df[br] {
+		if w == join {
+			t.Fatal("branch's DF contains its dominated join")
+		}
+	}
+}
+
+func TestLoopHeaderInOwnFrontier(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer n, s
+  do i = 1, n
+    s = s + 1
+  end do
+end
+`))
+	idom := g.Dominators()
+	df := g.DominanceFrontiers(idom)
+	var head *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindLoop {
+			head = n
+		}
+	}
+	// A loop header with a back edge is in the frontier of nodes in the
+	// body (phi placement for loop-carried values) — and of itself.
+	found := false
+	for _, w := range df[head] {
+		if w == head {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DF(header) = %v, header missing", df[head])
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := Build(parseBody(t, `
+program p
+  integer n
+  real x(n, n)
+  do i = 1, n
+    do j = 1, n
+      x(j, i) = 0
+    end do
+  end do
+end
+`))
+	var heads []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindLoop {
+			heads = append(heads, n)
+		}
+	}
+	if len(heads) != 2 {
+		t.Fatalf("loop headers = %d", len(heads))
+	}
+	idom := g.Dominators()
+	outer, inner := heads[0], heads[1]
+	if outer.Loop.Var != "i" {
+		outer, inner = inner, outer
+	}
+	if !Dominates(idom, outer, inner) {
+		t.Fatal("outer loop does not dominate inner")
+	}
+}
+
+func TestDumpStable(t *testing.T) {
+	body := parseBody(t, `
+program p
+  integer a
+  a = 1
+end
+`)
+	d1 := Build(body).Dump()
+	d2 := Build(body).Dump()
+	if d1 != d2 || d1 == "" {
+		t.Fatalf("dump unstable:\n%s\n%s", d1, d2)
+	}
+}

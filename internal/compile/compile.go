@@ -1,0 +1,390 @@
+// Package compile is the top of the compiler half of the system: it
+// takes a parsed mini-Fortran program through the analysis pipeline,
+// applies the split transformation between interfering top-level
+// computations and the pipelining transformation to loops, and emits
+// the two outputs the paper's compiler produces (§3.4): a transformed
+// program (the FORTRAN-with-library-calls output) and a coarse-grained
+// dataflow graph in the Delirium coordination language.
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/analysis"
+	"orchestra/internal/delirium"
+	"orchestra/internal/descriptor"
+	"orchestra/internal/source"
+	"orchestra/internal/split"
+	"orchestra/internal/symbolic"
+	"orchestra/internal/xform"
+)
+
+// Options controls the transformations.
+type Options struct {
+	// EnableFusion fuses legally fusable adjacent top-level loops
+	// before splitting (the paper combines split with loop fusion and
+	// interchange). Off by default: fusion can merge computations that
+	// split would otherwise overlap.
+	EnableFusion bool
+	// EnableSplit applies split between interfering top-level
+	// computations.
+	EnableSplit bool
+	// EnablePipeline applies the pipelining form of split to top-level
+	// loops whose iterations are serialized by a carried dependence.
+	EnablePipeline bool
+	// PipelineDepth is the pipelining depth (default 1).
+	PipelineDepth int
+	// Split tunes the split transformation itself.
+	Split split.Options
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options {
+	return Options{
+		EnableSplit:    true,
+		EnablePipeline: true,
+		PipelineDepth:  1,
+		Split:          split.DefaultOptions(),
+	}
+}
+
+// Unit is one schedulable computation of the output program.
+type Unit struct {
+	Name  string
+	Stmts []source.Stmt
+	Desc  descriptor.Descriptor
+	// Role records provenance: "", "CI", "CD", "CM", "AI", "AD", "AM".
+	Role string
+	// Pipelined is set on the AD part of a pipelined loop: it carries
+	// a dependence on its own previous activation.
+	Pipelined bool
+	// pipelineFrom names the computation this CD unit was split
+	// against: its iterations correspond pointwise to that producer's,
+	// so the dataflow edge between them may be pipelined (the paper's
+	// third transformation: "pipeline iterations of A with
+	// corresponding iterations of BD").
+	pipelineFrom string
+	// Tasks is the unit's symbolic trip count when it is (or derives
+	// from) a loop, e.g. "n" or "n - 2"; empty when unknown.
+	Tasks string
+	// emit, when non-nil, is what the unit contributes to the
+	// transformed source program instead of Stmts (the AI/AD/AM parts
+	// of a pipelined loop are per-iteration operators in the graph but
+	// must be re-wrapped into their loop in the source output).
+	emit []source.Stmt
+}
+
+// Output is the compilation result.
+type Output struct {
+	Program *source.Program
+	Units   []Unit
+	Graph   *delirium.Graph
+	// Report logs the transformations applied, for humans.
+	Report []string
+}
+
+// Compile runs the full pipeline over a program.
+func Compile(p *source.Program, opts Options) (*Output, error) {
+	if opts.PipelineDepth < 1 {
+		opts.PipelineDepth = 1
+	}
+	out := &Output{}
+	r := analysis.Analyze(p)
+	if opts.EnableFusion {
+		fused, n := xform.FuseAdjacent(r, p.Body)
+		if n > 0 {
+			out.Report = append(out.Report, fmt.Sprintf("fused %d adjacent loop pair(s)", n))
+			// The fused program needs fresh analysis records.
+			reparsed, err := source.Parse(source.Format(&source.Program{
+				Name: p.Name, Decls: p.Decls, Body: fused}))
+			if err != nil {
+				return nil, fmt.Errorf("compile: refused to reparse after fusion: %v", err)
+			}
+			p = reparsed
+			r = analysis.Analyze(p)
+		}
+	}
+	prims := split.Decompose(r, p.Body)
+	var newDecls []*source.Decl
+
+	// Name the primitive computations C1..Cn (loops get their
+	// induction variable in the name for readability) and annotate
+	// loops with their symbolic trip counts — the §3.4 size annotations
+	// the Delirium compiler turns into communication-cost code.
+	units := make([]Unit, len(prims))
+	for i, pr := range prims {
+		name := fmt.Sprintf("c%d", i+1)
+		tasks := ""
+		if pr.IsLoop {
+			name = fmt.Sprintf("c%d_%s", i+1, pr.Loop().Var)
+			tasks = tripCount(r, pr.Loop())
+		}
+		units[i] = Unit{Name: name, Stmts: pr.Stmts, Desc: pr.Desc, Tasks: tasks}
+	}
+
+	// Split each computation against its interfering predecessor.
+	if opts.EnableSplit {
+		var result []Unit
+		for i := 0; i < len(units); i++ {
+			u := units[i]
+			if len(result) == 0 {
+				result = append(result, u)
+				continue
+			}
+			prev := result[len(result)-1]
+			if prev.Role == "CM" && len(result) >= 3 {
+				// Compare against the dependent part of the previous
+				// split rather than its merge.
+				prev = result[len(result)-2]
+			}
+			if !descriptor.Interferes(prev.Desc, u.Desc, nil) {
+				result = append(result, u)
+				continue
+			}
+			res := split.Split(r, u.Stmts, prev.Desc, r.SSA.Ctx[u.Stmts[0]], opts.Split)
+			if !res.Applied() {
+				result = append(result, u)
+				continue
+			}
+			newDecls = append(newDecls, res.NewDecls...)
+			out.Report = append(out.Report, fmt.Sprintf(
+				"split %s against %s: %d loop split(s), categories %v",
+				u.Name, prev.Name, res.LoopSplits, res.Categories))
+			result = append(result,
+				Unit{Name: u.Name + "_i", Stmts: res.Independent, Desc: res.IndependentDesc,
+					Role: "CI", Tasks: u.Tasks},
+				Unit{Name: u.Name + "_d", Stmts: res.Dependent, Desc: res.DependentDesc,
+					Role: "CD", Tasks: u.Tasks, pipelineFrom: baseName(prev.Name)})
+			if len(res.Merge) > 0 {
+				result = append(result, Unit{Name: u.Name + "_m", Stmts: res.Merge,
+					Desc: mergeDesc(r, res.Merge), Role: "CM"})
+			}
+		}
+		units = result
+	}
+
+	// Pipeline the loops that remain whole.
+	if opts.EnablePipeline {
+		var result []Unit
+		for _, u := range units {
+			loop, ok := singleLoop(u)
+			if !ok || u.Role != "" {
+				result = append(result, u)
+				continue
+			}
+			pres, ok := split.Pipeline(r, loop, opts.PipelineDepth, opts.Split)
+			if !ok {
+				result = append(result, u)
+				continue
+			}
+			newDecls = append(newDecls, pres.NewDecls...)
+			out.Report = append(out.Report, fmt.Sprintf(
+				"pipeline %s at depth %d: privatized %v, %d inner loop split(s)",
+				u.Name, pres.Depth, pres.Privatized, pres.LoopSplits))
+			// The pipelined loop is re-emitted with its body divided
+			// into AI / AD / AM, wrapped back into the loop for the
+			// transformed source; the graph records the carried
+			// dependence on AD. The loop statement itself is attached
+			// to the AI unit's source contribution.
+			body := append(append(append([]source.Stmt{}, pres.AI...), pres.AD...), pres.AM...)
+			newLoop := source.CloneStmt(loop).(*source.Do)
+			newLoop.Body = body
+			result = append(result,
+				Unit{Name: u.Name + "_ai", Stmts: pres.AI, Desc: u.Desc, Role: "AI",
+					Tasks: u.Tasks, emit: []source.Stmt{newLoop}},
+				Unit{Name: u.Name + "_ad", Stmts: pres.AD, Desc: u.Desc, Role: "AD",
+					Tasks: u.Tasks, Pipelined: true, emit: []source.Stmt{}},
+				Unit{Name: u.Name + "_am", Stmts: append([]source.Stmt{}, pres.AM...),
+					Desc: u.Desc, Role: "AM", Tasks: u.Tasks, emit: []source.Stmt{}})
+		}
+		units = result
+	}
+	out.Units = units
+
+	// Transformed program: units in order, plus the declarations the
+	// transformations introduced.
+	tp := &source.Program{Name: p.Name}
+	tp.Decls = append(tp.Decls, p.Decls...)
+	tp.Decls = append(tp.Decls, newDecls...)
+	for _, u := range units {
+		if u.emit != nil {
+			tp.Body = append(tp.Body, u.emit...)
+			continue
+		}
+		tp.Body = append(tp.Body, u.Stmts...)
+	}
+	out.Program = tp
+
+	// Dataflow graph: one node per unit; an edge wherever an earlier
+	// unit's writes may reach a later unit (flow interference), which
+	// both orders them and annotates the communication.
+	g := delirium.NewGraph(p.Name)
+	for _, u := range units {
+		node := &delirium.Node{Name: u.Name, Kind: delirium.Par, Tasks: u.Tasks, Comment: u.Role}
+		if err := g.AddNode(node); err != nil {
+			return nil, err
+		}
+	}
+	for i := range units {
+		for j := i + 1; j < len(units); j++ {
+			if sameSplitGroup(units[i], units[j]) &&
+				((units[i].Role == "CI" && units[j].Role == "CD") ||
+					(units[i].Role == "AI" && units[j].Role == "AD")) {
+				// The independent and dependent halves of a split run
+				// concurrently by construction; their ordering is
+				// resolved through the merge part.
+				continue
+			}
+			flow := descriptor.FlowInterferes(units[i].Desc, units[j].Desc, nil)
+			anti := !flow && descriptor.Interferes(units[i].Desc, units[j].Desc, nil)
+			if flow || anti {
+				pipelined := units[j].Pipelined && sameSplitGroup(units[i], units[j])
+				// The third transformation: a CD unit consumes its
+				// producer's per-iteration output incrementally.
+				if units[j].pipelineFrom != "" && units[j].pipelineFrom == baseName(units[i].Name) {
+					pipelined = true
+				}
+				g.AddEdge(&delirium.Edge{
+					From: units[i].Name, To: units[j].Name,
+					Bytes: int64(sharedBytes(units[i].Desc, units[j].Desc)), PerTask: true,
+					Pipelined: pipelined,
+				})
+			}
+		}
+		if units[i].Pipelined {
+			g.AddEdge(&delirium.Edge{From: units[i].Name, To: units[i].Name, Carried: true})
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: generated graph invalid: %v", err)
+	}
+	out.Graph = g
+	return out, nil
+}
+
+// singleLoop reports whether a unit is exactly one do-loop.
+func singleLoop(u Unit) (*source.Do, bool) {
+	if len(u.Stmts) != 1 {
+		return nil, false
+	}
+	d, ok := u.Stmts[0].(*source.Do)
+	return d, ok
+}
+
+// baseName strips a split-part suffix (_i/_d/_m/_ai/_ad/_am).
+func baseName(n string) string {
+	if i := strings.LastIndex(n, "_"); i > 0 {
+		switch n[i+1:] {
+		case "i", "d", "m", "ai", "ad", "am":
+			return n[:i]
+		}
+	}
+	return n
+}
+
+// sameSplitGroup reports whether two units came from splitting the same
+// original computation (cN_i / cN_d / cN_m or _ai/_ad/_am).
+func sameSplitGroup(a, b Unit) bool {
+	return baseName(a.Name) == baseName(b.Name) && baseName(a.Name) != a.Name
+}
+
+// sharedBytes estimates the per-task data volume flowing between two
+// units: 8 bytes per shared block (a coarse annotation; the Delirium
+// compiler's runtime code refines it with runtime parameters).
+func sharedBytes(a, b descriptor.Descriptor) int {
+	shared := 0
+	bBlocks := b.Blocks()
+	for _, w := range a.Writes {
+		if bBlocks[w.Block] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		shared = 1
+	}
+	return 8 * shared
+}
+
+// tripCount renders a loop's symbolic trip count in source terms, or
+// "" when it involves synthetic names or strides.
+func tripCount(r *analysis.Result, loop *source.Do) string {
+	env := r.SSA.InsideLoop[loop]
+	def := r.SSA.Defs[env[loop.Var]]
+	if def == nil || len(def.Ranges) == 0 {
+		return ""
+	}
+	total := symbolic.Const(0)
+	for _, rg := range def.Ranges {
+		if rg.Skip != 1 {
+			return ""
+		}
+		total = total.Add(rg.End.Sub(rg.Start).AddConst(1))
+	}
+	// Render over program variable names.
+	out := ""
+	for _, nm := range total.Names() {
+		d := r.SSA.Defs[nm]
+		if d == nil || strings.HasPrefix(d.Var, "$") {
+			return ""
+		}
+		coef := total.Coef(nm)
+		term := d.Var
+		if coef != 1 && coef != -1 {
+			term = fmt.Sprintf("%d*%s", abs64c(coef), d.Var)
+		}
+		// Rendered without spaces: the annotation must survive the
+		// whitespace-delimited graph encoding.
+		switch {
+		case out == "" && coef < 0:
+			out = "-" + term
+		case out == "":
+			out = term
+		case coef < 0:
+			out += "-" + term
+		default:
+			out += "+" + term
+		}
+	}
+	c := total.ConstPart()
+	switch {
+	case out == "":
+		out = fmt.Sprintf("%d", c)
+	case c > 0:
+		out += fmt.Sprintf("+%d", c)
+	case c < 0:
+		out += fmt.Sprintf("-%d", c*-1)
+	}
+	return out
+}
+
+func abs64c(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// mergeDesc conservatively describes generated merge statements.
+func mergeDesc(r *analysis.Result, stmts []source.Stmt) descriptor.Descriptor {
+	var d descriptor.Descriptor
+	source.WalkStmts(stmts, func(s source.Stmt) {
+		if as, ok := s.(*source.Assign); ok {
+			switch lhs := as.LHS.(type) {
+			case *source.Ident:
+				d.AddWrite(descriptor.ScalarTriple(symbolic.Name(lhs.Name)))
+			case *source.ArrayRef:
+				d.AddWrite(descriptor.ScalarTriple(symbolic.Name(lhs.Name)))
+			}
+			source.WalkExpr(as.RHS, func(x source.Expr) {
+				switch x := x.(type) {
+				case *source.Ident:
+					d.AddRead(descriptor.ScalarTriple(symbolic.Name(x.Name)))
+				case *source.ArrayRef:
+					d.AddRead(descriptor.ScalarTriple(symbolic.Name(x.Name)))
+				}
+			})
+		}
+	})
+	return d
+}

@@ -1,0 +1,116 @@
+// Package core is the top-level API of the reproduction: the paper's
+// primary contribution is the *combination* of compile-time split and
+// adaptive runtime orchestration, and this package exposes that
+// combination as a small facade over the internal packages.
+//
+// The typical flow mirrors the paper's toolchain:
+//
+//	out, err := core.CompileSource(text, core.DefaultOptions())  // §3: analysis + split
+//	res, err := core.Execute(out, bind, 512, core.ModeSplit)     // §4: adaptive runtime
+//
+// CompileSource runs the symbolic analysis pipeline, applies split and
+// pipelining, and returns the transformed program plus the Delirium
+// dataflow graph. Execute runs that graph on the simulated
+// distributed-memory machine under one of the three evaluation
+// configurations. BindUniform and BindIrregular provide synthetic
+// operation bindings for experimentation; real workloads construct
+// rts.OpSpec values directly (see internal/workload).
+package core
+
+import (
+	"math"
+
+	"orchestra/internal/compile"
+	"orchestra/internal/machine"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+	"orchestra/internal/source"
+	"orchestra/internal/stats"
+	"orchestra/internal/trace"
+)
+
+// Options re-exports the compiler options.
+type Options = compile.Options
+
+// Output re-exports the compilation result.
+type Output = compile.Output
+
+// Mode re-exports the runtime execution mode.
+type Mode = rts.Mode
+
+// The three runtime configurations of the paper's evaluation.
+const (
+	ModeStatic = rts.ModeStatic
+	ModeTaper  = rts.ModeTaper
+	ModeSplit  = rts.ModeSplit
+)
+
+// DefaultOptions enables split and pipelining.
+func DefaultOptions() Options { return compile.DefaultOptions() }
+
+// CompileSource parses and compiles a mini-Fortran program.
+func CompileSource(text string, opts Options) (*Output, error) {
+	prog, err := source.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(prog, opts)
+}
+
+// Execute runs a compilation's dataflow graph on a simulated machine
+// with p processors under the given mode.
+func Execute(out *Output, bind rts.Binder, p int, mode Mode) (trace.Result, error) {
+	cfg := machine.DefaultConfig(p)
+	return rts.RunGraph(cfg, out.Graph, bind, p, mode)
+}
+
+// BindUniform binds every graph node to an operation of n tasks with
+// constant task time.
+func BindUniform(n int, taskTime float64) rts.Binder {
+	return func(name string) rts.OpSpec {
+		spec := rts.OpSpec{Op: sched.Op{
+			Name:  name,
+			N:     n,
+			Time:  func(int) float64 { return taskTime },
+			Bytes: 64,
+			Hint:  func(int) float64 { return taskTime },
+		}}
+		spec.SampleStats(64)
+		return spec
+	}
+}
+
+// BindIrregular binds every graph node to an operation of n tasks with
+// log-normally distributed task times of unit mean and the given
+// coefficient of variation, seeded per node name so runs are
+// deterministic.
+func BindIrregular(n int, cv float64, seed uint64) rts.Binder {
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	mu := -sigma * sigma / 2
+	return func(name string) rts.OpSpec {
+		rng := stats.NewRNG(seed ^ hashName(name))
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = rng.LogNormal(mu, sigma)
+		}
+		t := times
+		spec := rts.OpSpec{Op: sched.Op{
+			Name:  name,
+			N:     n,
+			Time:  func(i int) float64 { return t[i] },
+			Bytes: 64,
+			Hint:  func(i int) float64 { return t[i] },
+		}}
+		spec.SampleStats(128)
+		return spec
+	}
+}
+
+// hashName is FNV-1a, keeping per-node workloads distinct.
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+)
+
+const sample = `
+program sample
+  integer n
+  integer mask(n)
+  real result(n), q(n, n), output(n, n), w(n)
+
+  do col = 1, n where (mask(col) != 0)
+    do i = 1, n
+      result(i) = 0
+      do j = 1, n
+        result(i) = result(i) + q(j, i) * w(j)
+      end do
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = f(q(j, i))
+    end do
+  end do
+end
+`
+
+func TestCompileAndExecuteAllModes(t *testing.T) {
+	out, err := CompileSource(sample, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Report) == 0 {
+		t.Fatal("no transformations applied")
+	}
+	bind := BindIrregular(1024, 1.2, 7)
+	var speedups []float64
+	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
+		r, err := Execute(out, bind, 128, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if r.Makespan <= 0 {
+			t.Fatalf("%v: empty result", mode)
+		}
+		speedups = append(speedups, r.Speedup())
+	}
+	// The adaptive modes must beat static on irregular work.
+	if speedups[1] <= speedups[0] || speedups[2] <= speedups[0] {
+		t.Fatalf("adaptive modes lost to static: %v", speedups)
+	}
+}
+
+func TestCompileSourceErrors(t *testing.T) {
+	if _, err := CompileSource("not a program", DefaultOptions()); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestBindUniformDeterministic(t *testing.T) {
+	b := BindUniform(16, 2.5)
+	spec := b("x")
+	if spec.Op.N != 16 || spec.Op.Time(3) != 2.5 || spec.Mu != 2.5 {
+		t.Fatalf("uniform bind: %+v", spec)
+	}
+}
+
+func TestBindIrregularPerNodeDistinct(t *testing.T) {
+	b := BindIrregular(256, 1.0, 3)
+	a1 := b("a")
+	a2 := b("a")
+	c := b("c")
+	if a1.Op.Time(5) != a2.Op.Time(5) {
+		t.Fatal("same node bound differently across calls")
+	}
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a1.Op.Time(i) == c.Op.Time(i) {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Fatalf("distinct nodes share %d task times", same)
+	}
+}

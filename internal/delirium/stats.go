@@ -1,0 +1,127 @@
+package delirium
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Weights assigns an execution-cost estimate to each node, used for
+// critical-path analysis. Missing nodes weigh zero.
+type Weights map[string]float64
+
+// CriticalPath returns the heaviest weighted path through the graph
+// (ignoring carried edges) and its total weight — the lower bound on
+// any schedule's makespan that no amount of processor allocation can
+// beat. The compiler driver reports it so users can see how much
+// serialization split removed.
+func (g *Graph) CriticalPath(w Weights) ([]string, float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := map[string]float64{}
+	prev := map[string]string{}
+	for _, n := range order {
+		best := 0.0
+		from := ""
+		for _, p := range g.Preds(n.Name) {
+			if dist[p] > best {
+				best = dist[p]
+				from = p
+			}
+		}
+		dist[n.Name] = best + w[n.Name]
+		prev[n.Name] = from
+	}
+	endNode, total := "", 0.0
+	for name, d := range dist {
+		if d > total {
+			total = d
+			endNode = name
+		}
+	}
+	var path []string
+	for n := endNode; n != ""; n = prev[n] {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, total, nil
+}
+
+// Stats summarizes a graph's shape.
+type Stats struct {
+	Nodes, Edges   int
+	PipelinedEdges int
+	CarriedEdges   int
+	Levels         int
+	// MaxWidth is the largest number of nodes sharing a level — the
+	// graph's exposed operator-level concurrency.
+	MaxWidth int
+}
+
+// Summarize computes the graph statistics.
+func (g *Graph) Summarize() (Stats, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Nodes: len(g.Nodes), Edges: len(g.Edges), Levels: len(levels)}
+	for _, e := range g.Edges {
+		if e.Pipelined {
+			st.PipelinedEdges++
+		}
+		if e.Carried {
+			st.CarriedEdges++
+		}
+	}
+	for _, lv := range levels {
+		if len(lv) > st.MaxWidth {
+			st.MaxWidth = len(lv)
+		}
+	}
+	return st, nil
+}
+
+// String renders the statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d nodes, %d edges (%d pipelined, %d carried), %d levels, max width %d",
+		s.Nodes, s.Edges, s.PipelinedEdges, s.CarriedEdges, s.Levels, s.MaxWidth)
+}
+
+// ToDot renders the graph in Graphviz DOT form for visualization:
+// pipelined edges are dashed, carried edges loop back dotted, and
+// split/pipeline roles (from node comments) become colors.
+func (g *Graph) ToDot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, style=filled];\n", g.Name)
+	for _, n := range g.Nodes {
+		color := "white"
+		switch n.Comment {
+		case "CI", "AI":
+			color = "palegreen"
+		case "CD", "AD":
+			color = "lightsalmon"
+		case "CM", "AM":
+			color = "lightblue"
+		}
+		label := n.Name
+		if n.Tasks != "" {
+			label += " (" + n.Tasks + " tasks)"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q, fillcolor=%q];\n", n.Name, label, color)
+	}
+	for _, e := range g.Edges {
+		attrs := ""
+		switch {
+		case e.Carried:
+			attrs = " [style=dotted, label=\"carried\"]"
+		case e.Pipelined:
+			attrs = " [style=dashed, label=\"pipelined\"]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.From, e.To, attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package descriptor
+
+import "orchestra/internal/symbolic"
+
+// Concrete evaluation of descriptors against ground truth: the test
+// suite executes programs with the reference interpreter, records every
+// actual memory access, and checks that the statically computed
+// descriptor covers it. This is the soundness obligation of the
+// summarization: a descriptor may over-approximate but never miss an
+// access.
+
+// Evaluator supplies concrete values for SSA names and array elements
+// when deciding whether a triple covers an access.
+type Evaluator interface {
+	// NameValue resolves an SSA name (or bare identifier) to its value
+	// at the summarized program point.
+	NameValue(n symbolic.Name) (int64, bool)
+	// Element resolves an array element (1-based indices).
+	Element(array symbolic.Name, idx []int64) (float64, bool)
+}
+
+// evalExpr evaluates a linear expression.
+func evalExpr(e symbolic.Expr, ev Evaluator, star int64, haveStar bool) (int64, bool) {
+	v := e.ConstPart()
+	for _, n := range e.Names() {
+		var nv int64
+		if n == symbolic.Star {
+			if !haveStar {
+				return 0, false
+			}
+			nv = star
+		} else {
+			x, ok := ev.NameValue(n)
+			if !ok {
+				return 0, false
+			}
+			nv = x
+		}
+		v += e.Coef(n) * nv
+	}
+	return v, true
+}
+
+// evalPred evaluates a predicate; undecidable predicates (unresolvable
+// names or elements) report ok=false and the caller must assume true.
+func evalPred(p symbolic.Pred, ev Evaluator, star int64, haveStar bool) (truth, ok bool) {
+	l, okL := evalAtom(p.Lhs, ev, star, haveStar)
+	r, okR := evalAtom(p.Rhs, ev, star, haveStar)
+	if !okL || !okR {
+		return false, false
+	}
+	switch p.Op {
+	case symbolic.EQ:
+		return l == r, true
+	case symbolic.NE:
+		return l != r, true
+	case symbolic.LT:
+		return l < r, true
+	case symbolic.LE:
+		return l <= r, true
+	case symbolic.GT:
+		return l > r, true
+	case symbolic.GE:
+		return l >= r, true
+	}
+	return false, false
+}
+
+func evalAtom(a symbolic.Atom, ev Evaluator, star int64, haveStar bool) (float64, bool) {
+	if !a.IsElem() {
+		v, ok := evalExpr(a.E, ev, star, haveStar)
+		return float64(v), ok
+	}
+	idx := make([]int64, len(a.Index))
+	for i, e := range a.Index {
+		v, ok := evalExpr(e, ev, star, haveStar)
+		if !ok {
+			return 0, false
+		}
+		idx[i] = v
+	}
+	return ev.Element(a.Array, idx)
+}
+
+// CoversAccess reports whether the triple covers a concrete access to
+// block[idx] under the evaluator. Undecidable guards and masks default
+// to covering (the conservative direction for a may-access summary).
+func (t Triple) CoversAccess(ev Evaluator, block symbolic.Name, idx []int64) bool {
+	if t.Block != block {
+		return false
+	}
+	// A provably false guard means the access cannot be this triple's.
+	for _, p := range t.Guard {
+		if truth, ok := evalPred(p, ev, 0, false); ok && !truth {
+			return false
+		}
+	}
+	if t.Whole() {
+		return true
+	}
+	if len(t.Dims) != len(idx) {
+		return false
+	}
+	for d, dim := range t.Dims {
+		x := idx[d]
+		inRange := false
+		for _, r := range dim.Ranges {
+			lo, okLo := evalExpr(r.Start, ev, 0, false)
+			hi, okHi := evalExpr(r.End, ev, 0, false)
+			if !okLo || !okHi {
+				inRange = true // undecidable: assume covered
+				break
+			}
+			skip := r.Skip
+			if skip < 1 {
+				skip = 1
+			}
+			if x >= lo && x <= hi && (x-lo)%skip == 0 {
+				inRange = true
+				break
+			}
+		}
+		if !inRange {
+			return false
+		}
+		if dim.Mask != nil {
+			if truth, ok := evalPred(dim.Mask.Pred, ev, x, true); ok && !truth {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CoversRead reports whether any read triple covers the access.
+func (d Descriptor) CoversRead(ev Evaluator, block symbolic.Name, idx []int64) bool {
+	for _, t := range d.Reads {
+		if t.CoversAccess(ev, block, idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversWrite reports whether any write triple covers the access.
+func (d Descriptor) CoversWrite(ev Evaluator, block symbolic.Name, idx []int64) bool {
+	for _, t := range d.Writes {
+		if t.CoversAccess(ev, block, idx) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package descriptor
+
+import (
+	"testing"
+
+	"orchestra/internal/symbolic"
+)
+
+// mapEval is a simple in-memory Evaluator for tests.
+type mapEval struct {
+	names map[symbolic.Name]int64
+	elems map[string]float64 // "arr[i,j]" keys
+}
+
+func (m *mapEval) NameValue(n symbolic.Name) (int64, bool) {
+	v, ok := m.names[n]
+	return v, ok
+}
+
+func (m *mapEval) Element(array symbolic.Name, idx []int64) (float64, bool) {
+	key := string(array) + "["
+	for k, i := range idx {
+		if k > 0 {
+			key += ","
+		}
+		key += itoa(i)
+	}
+	key += "]"
+	v, ok := m.elems[key]
+	return v, ok
+}
+
+func itoa(i int64) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [24]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+func TestCoversAccessRanges(t *testing.T) {
+	ev := &mapEval{names: map[symbolic.Name]int64{"n.1": 10}}
+	tr := Triple{Block: "q", Dims: []Dim{
+		RangeDim(symbolic.NewRange(symbolic.Const(1), n)),
+		PointDim(symbolic.Const(3)),
+	}}
+	if !tr.CoversAccess(ev, "q", []int64{5, 3}) {
+		t.Fatal("in-range access not covered")
+	}
+	if tr.CoversAccess(ev, "q", []int64{11, 3}) {
+		t.Fatal("out-of-range access covered")
+	}
+	if tr.CoversAccess(ev, "q", []int64{5, 4}) {
+		t.Fatal("wrong point covered")
+	}
+	if tr.CoversAccess(ev, "zz", []int64{5, 3}) {
+		t.Fatal("wrong block covered")
+	}
+	// Dimensionality mismatch.
+	if tr.CoversAccess(ev, "q", []int64{5}) {
+		t.Fatal("dimension mismatch covered")
+	}
+}
+
+func TestCoversAccessStride(t *testing.T) {
+	ev := &mapEval{names: map[symbolic.Name]int64{}}
+	tr := Triple{Block: "x", Dims: []Dim{
+		{Ranges: []symbolic.Range{{Start: symbolic.Const(2), End: symbolic.Const(10), Skip: 2}}},
+	}}
+	if !tr.CoversAccess(ev, "x", []int64{4}) {
+		t.Fatal("even element not covered")
+	}
+	if tr.CoversAccess(ev, "x", []int64{5}) {
+		t.Fatal("odd element covered by even stride")
+	}
+}
+
+func TestCoversAccessGuardAndMask(t *testing.T) {
+	ev := &mapEval{
+		names: map[symbolic.Name]int64{"col.1": 3, "n.1": 8},
+		elems: map[string]float64{
+			"mask[3]": 1, "mask[4]": 0, "mask[5]": 1,
+		},
+	}
+	// Guarded triple: access occurs only when mask[col] != 0.
+	guard := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("mask", col), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	tr := Triple{Guard: guard, Block: "q", Dims: []Dim{PointDim(col)}}
+	if !tr.CoversAccess(ev, "q", []int64{3}) {
+		t.Fatal("true guard should cover")
+	}
+	ev.names["col.1"] = 4
+	if tr.CoversAccess(ev, "q", []int64{4}) {
+		t.Fatal("false guard should exclude")
+	}
+
+	// Masked dimension: covered only where mask[*] != 0.
+	star := symbolic.Var(symbolic.Star)
+	mask := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("mask", star), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	tm := Triple{Block: "q", Dims: []Dim{
+		{Ranges: []symbolic.Range{symbolic.NewRange(symbolic.Const(1), n)}, Mask: &mask},
+	}}
+	if !tm.CoversAccess(ev, "q", []int64{5}) {
+		t.Fatal("masked-in element not covered")
+	}
+	if tm.CoversAccess(ev, "q", []int64{4}) {
+		t.Fatal("masked-out element covered")
+	}
+}
+
+func TestCoversAccessUndecidableDefaultsToCovered(t *testing.T) {
+	// Unresolvable names in bounds or masks must default to covering —
+	// the conservative direction for a may-access summary.
+	ev := &mapEval{names: map[symbolic.Name]int64{}}
+	tr := Triple{Block: "q", Dims: []Dim{
+		RangeDim(symbolic.NewRange(symbolic.Const(1), symbolic.Var("unknown.9"))),
+	}}
+	if !tr.CoversAccess(ev, "q", []int64{7}) {
+		t.Fatal("undecidable bound should cover")
+	}
+	star := symbolic.Var(symbolic.Star)
+	mask := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("ghost", star), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	tm := Triple{Block: "q", Dims: []Dim{
+		{Ranges: []symbolic.Range{symbolic.ConstRange(1, 10)}, Mask: &mask},
+	}}
+	if !tm.CoversAccess(ev, "q", []int64{7}) {
+		t.Fatal("undecidable mask should cover")
+	}
+}
+
+func TestCoversWholeBlock(t *testing.T) {
+	ev := &mapEval{}
+	tr := ScalarTriple("x")
+	if !tr.CoversAccess(ev, "x", []int64{99}) {
+		t.Fatal("whole-block triple should cover any index")
+	}
+}
+
+func TestDescriptorCoversReadWrite(t *testing.T) {
+	ev := &mapEval{names: map[symbolic.Name]int64{"n.1": 10}}
+	var d Descriptor
+	d.AddRead(Triple{Block: "a", Dims: []Dim{RangeDim(symbolic.NewRange(symbolic.Const(1), n))}})
+	d.AddWrite(Triple{Block: "b", Dims: []Dim{PointDim(symbolic.Const(2))}})
+	if !d.CoversRead(ev, "a", []int64{5}) || d.CoversRead(ev, "b", []int64{2}) {
+		t.Fatal("CoversRead wrong")
+	}
+	if !d.CoversWrite(ev, "b", []int64{2}) || d.CoversWrite(ev, "a", []int64{5}) {
+		t.Fatal("CoversWrite wrong")
+	}
+}
+
+func TestEvalPredOperators(t *testing.T) {
+	ev := &mapEval{names: map[symbolic.Name]int64{"i.1": 5}}
+	iv := symbolic.Var("i.1")
+	cases := []struct {
+		p    symbolic.Pred
+		want bool
+	}{
+		{symbolic.CmpExpr(iv, symbolic.EQ, symbolic.Const(5)), true},
+		{symbolic.CmpExpr(iv, symbolic.NE, symbolic.Const(5)), false},
+		{symbolic.CmpExpr(iv, symbolic.LT, symbolic.Const(6)), true},
+		{symbolic.CmpExpr(iv, symbolic.LE, symbolic.Const(5)), true},
+		{symbolic.CmpExpr(iv, symbolic.GT, symbolic.Const(5)), false},
+		{symbolic.CmpExpr(iv, symbolic.GE, symbolic.Const(6)), false},
+	}
+	for _, c := range cases {
+		got, ok := evalPred(c.p, ev, 0, false)
+		if !ok || got != c.want {
+			t.Errorf("%v: got=%v ok=%v want=%v", c.p, got, ok, c.want)
+		}
+	}
+}

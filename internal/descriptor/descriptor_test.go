@@ -1,0 +1,429 @@
+package descriptor
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/symbolic"
+)
+
+var (
+	n   = symbolic.Var("n.1")
+	i   = symbolic.Var("i.1")
+	col = symbolic.Var("col.1")
+)
+
+func fullRange() symbolic.Range { return symbolic.NewRange(symbolic.Const(1), n) }
+
+// q[1..n, col]
+func writeColumn(arr symbolic.Name, c symbolic.Expr) Triple {
+	return Triple{Block: arr, Dims: []Dim{RangeDim(fullRange()), PointDim(c)}}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := Triple{
+		Guard: symbolic.Conj{symbolic.NewPred(
+			symbolic.ElemAtom("miss", i), symbolic.NE, symbolic.ExprAtom(symbolic.Const(1)))},
+		Block: "q",
+		Dims:  []Dim{PointDim(i), RangeDim(symbolic.ConstRange(1, 10))},
+	}
+	want := "<miss[i.1] != 1> q[i.1, 1..10]"
+	if tr.String() != want {
+		t.Fatalf("String = %q, want %q", tr.String(), want)
+	}
+}
+
+func TestScalarInterference(t *testing.T) {
+	var g, h Descriptor
+	g.AddWrite(ScalarTriple("sum"))
+	h.AddRead(ScalarTriple("sum"))
+	if !Interferes(g, h, nil) {
+		t.Fatal("scalar flow dependence missed")
+	}
+	var k Descriptor
+	k.AddRead(ScalarTriple("other"))
+	if Interferes(g, k, nil) {
+		t.Fatal("different scalars interfere")
+	}
+}
+
+func TestReadReadNoInterference(t *testing.T) {
+	var a, b Descriptor
+	a.AddRead(ScalarTriple("x"))
+	b.AddRead(ScalarTriple("x"))
+	if Interferes(a, b, nil) {
+		t.Fatal("read/read must not interfere")
+	}
+}
+
+func TestColumnVsColumnDisjoint(t *testing.T) {
+	// Figure 3's pipelining core: column col vs column col-1.
+	var a, b Descriptor
+	a.AddWrite(writeColumn("q", col))
+	b.AddWrite(writeColumn("q", col.AddConst(-1)))
+	if Interferes(a, b, nil) {
+		t.Fatal("columns col and col-1 interfere")
+	}
+	var c Descriptor
+	c.AddWrite(writeColumn("q", col))
+	if !Interferes(a, c, nil) {
+		t.Fatal("same column must interfere")
+	}
+}
+
+func TestFigure4Split(t *testing.T) {
+	// G writes X[a, 1..n]; H reads X[1..n, 1..n]. They interfere; after
+	// restricting H's rows to 1..a-1 and a+1..n they do not.
+	a := symbolic.Var("a.1")
+	var g Descriptor
+	g.AddWrite(Triple{Block: "x", Dims: []Dim{PointDim(a), RangeDim(fullRange())}})
+	g.AddRead(Triple{Block: "x", Dims: []Dim{PointDim(a), RangeDim(fullRange())}})
+
+	var h Descriptor
+	h.AddRead(Triple{Block: "x", Dims: []Dim{RangeDim(fullRange()), RangeDim(fullRange())}})
+	if !Interferes(g, h, nil) {
+		t.Fatal("G and H should interfere")
+	}
+
+	var hi Descriptor
+	hi.AddRead(Triple{Block: "x", Dims: []Dim{
+		{Ranges: []symbolic.Range{
+			symbolic.NewRange(symbolic.Const(1), a.AddConst(-1)),
+			symbolic.NewRange(a.AddConst(1), n),
+		}},
+		RangeDim(fullRange()),
+	}})
+	if Interferes(g, hi, nil) {
+		t.Fatal("restricted H still interferes with G")
+	}
+}
+
+func TestGuardContradictionKillsInterference(t *testing.T) {
+	// Two accesses guarded by contradictory predicates on the same
+	// element can never both occur.
+	gPos := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("mask", col), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	gZero := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("mask", col), symbolic.EQ, symbolic.ExprAtom(symbolic.Const(0)))}
+	var a, b Descriptor
+	a.AddWrite(writeColumn("q", col).WithGuard(gPos))
+	b.AddRead(writeColumn("q", col).WithGuard(gZero))
+	if Interferes(a, b, nil) {
+		t.Fatal("contradictory guards should kill interference")
+	}
+}
+
+func TestComplementaryMasksDisjoint(t *testing.T) {
+	// Figure 2: A writes columns where mask[*] != 0; BI reads columns
+	// where mask[*] == 0.
+	star := symbolic.Var(symbolic.Star)
+	maskNZ := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("mask", star), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	maskZ := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("mask", star), symbolic.EQ, symbolic.ExprAtom(symbolic.Const(0)))}
+
+	var a, bi Descriptor
+	a.AddWrite(Triple{Block: "q", Dims: []Dim{
+		RangeDim(fullRange()),
+		{Ranges: []symbolic.Range{fullRange()}, Mask: &maskNZ},
+	}})
+	bi.AddRead(Triple{Block: "q", Dims: []Dim{
+		RangeDim(fullRange()),
+		{Ranges: []symbolic.Range{fullRange()}, Mask: &maskZ},
+	}})
+	if Interferes(a, bi, nil) {
+		t.Fatal("complementary masks should be disjoint")
+	}
+
+	// Same masks do interfere.
+	var bd Descriptor
+	bd.AddRead(Triple{Block: "q", Dims: []Dim{
+		RangeDim(fullRange()),
+		{Ranges: []symbolic.Range{fullRange()}, Mask: &maskNZ},
+	}})
+	if !Interferes(a, bd, nil) {
+		t.Fatal("same-mask accesses must interfere")
+	}
+}
+
+func TestPointVsMaskWithGuard(t *testing.T) {
+	// Iteration-level: A writes q[1..n, col] guarded mask[col] != 0.
+	// BI reads q[1..n, 1..n/(mask[*] == 0)]. Disjoint: instantiating
+	// BI's mask at col contradicts A's guard.
+	star := symbolic.Var(symbolic.Star)
+	guard := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("mask", col), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	maskZ := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("mask", star), symbolic.EQ, symbolic.ExprAtom(symbolic.Const(0)))}
+
+	var a, bi Descriptor
+	a.AddWrite(writeColumn("q", col).WithGuard(guard))
+	bi.AddRead(Triple{Block: "q", Dims: []Dim{
+		RangeDim(fullRange()),
+		{Ranges: []symbolic.Range{fullRange()}, Mask: &maskZ},
+	}})
+	if Interferes(a, bi, nil) {
+		t.Fatal("guarded point vs complementary mask should be disjoint")
+	}
+}
+
+func TestWholeBlockAccess(t *testing.T) {
+	var a, b Descriptor
+	a.AddWrite(ScalarTriple("q")) // whole array
+	b.AddRead(writeColumn("q", col))
+	if !Interferes(a, b, nil) {
+		t.Fatal("whole-block write must interfere with any access")
+	}
+}
+
+func TestFlowInterferesAsymmetry(t *testing.T) {
+	var w, r Descriptor
+	w.AddWrite(ScalarTriple("y"))
+	r.AddRead(ScalarTriple("y"))
+	if !FlowInterferes(w, r, nil) {
+		t.Fatal("flow interference missed")
+	}
+	if FlowInterferes(r, w, nil) {
+		t.Fatal("flow interference should be asymmetric")
+	}
+}
+
+func TestIterationIndependenceViaContext(t *testing.T) {
+	// The paper's independence test: iteration i vs iteration i' with
+	// i != i' in the context.
+	iP := symbolic.Var("i'.1")
+	var a, b Descriptor
+	a.AddWrite(Triple{Block: "q", Dims: []Dim{PointDim(i), RangeDim(fullRange())}})
+	b.AddWrite(Triple{Block: "q", Dims: []Dim{PointDim(iP), RangeDim(fullRange())}})
+	ctx := symbolic.Conj{symbolic.CmpExpr(i, symbolic.NE, iP)}
+	if Interferes(a, b, ctx) {
+		t.Fatal("distinct iterations interfere")
+	}
+	if !Interferes(a, b, nil) {
+		t.Fatal("without context, iterations must conservatively interfere")
+	}
+}
+
+func TestPromoteGuardToMask(t *testing.T) {
+	// <miss[i] != 1> q[i, 1..10]  promoted over i in 1..10 becomes
+	// q[1..10/(miss[*] != 1), 1..10].
+	guard := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("miss", i), symbolic.NE, symbolic.ExprAtom(symbolic.Const(1)))}
+	var d Descriptor
+	d.AddWrite(Triple{
+		Guard: guard,
+		Block: "q",
+		Dims:  []Dim{PointDim(i), RangeDim(symbolic.ConstRange(1, 10))},
+	})
+	p := Promote(d, "i.1", []symbolic.Range{symbolic.ConstRange(1, 10)})
+	if len(p.Writes) != 1 {
+		t.Fatalf("writes = %d", len(p.Writes))
+	}
+	w := p.Writes[0]
+	if len(w.Guard) != 0 {
+		t.Fatalf("guard survived promotion: %v", w.Guard)
+	}
+	if w.Dims[0].Mask == nil {
+		t.Fatal("guard not converted to mask")
+	}
+	got := w.Dims[0].Mask.Pred.String()
+	if got != "miss[*] != 1" {
+		t.Fatalf("mask = %q", got)
+	}
+	lo, hi, ok := w.Dims[0].Ranges[0].IsConst()
+	if !ok || lo != 1 || hi != 10 {
+		t.Fatalf("promoted range = %v", w.Dims[0].Ranges[0])
+	}
+	// Second dimension untouched.
+	if w.Dims[1].Mask != nil {
+		t.Fatal("mask attached to wrong dimension")
+	}
+}
+
+func TestPromoteAffineIndex(t *testing.T) {
+	// Access q[i+1] over i in 1..n widens to q[2..n+1].
+	var d Descriptor
+	d.AddRead(Triple{Block: "q", Dims: []Dim{PointDim(i.AddConst(1))}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	r := p.Reads[0].Dims[0].Ranges[0]
+	if !r.Start.Equal(symbolic.Const(2)) || !r.End.Equal(n.AddConst(1)) {
+		t.Fatalf("widened range = %v", r)
+	}
+}
+
+func TestPromoteNegativeCoefficient(t *testing.T) {
+	// Access q[n-i] over i in 1..n widens to q[0..n-1] (endpoints
+	// swapped).
+	var d Descriptor
+	d.AddRead(Triple{Block: "q", Dims: []Dim{PointDim(n.Sub(i))}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	r := p.Reads[0].Dims[0].Ranges[0]
+	if !r.Start.Equal(symbolic.Const(0)) || !r.End.Equal(n.AddConst(-1)) {
+		t.Fatalf("widened range = %v", r)
+	}
+}
+
+func TestPromoteStride(t *testing.T) {
+	// q[2i] over i in 1..n step 1 widens to a stride-2 range.
+	var d Descriptor
+	d.AddRead(Triple{Block: "q", Dims: []Dim{PointDim(i.Scale(2))}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	r := p.Reads[0].Dims[0].Ranges[0]
+	if r.Skip != 2 {
+		t.Fatalf("skip = %d", r.Skip)
+	}
+}
+
+func TestPromoteDiscontinuousSegments(t *testing.T) {
+	a := symbolic.Var("a.1")
+	segs := []symbolic.Range{
+		symbolic.NewRange(symbolic.Const(1), a.AddConst(-1)),
+		symbolic.NewRange(a.AddConst(1), n),
+	}
+	var d Descriptor
+	d.AddWrite(Triple{Block: "x", Dims: []Dim{PointDim(i)}})
+	p := Promote(d, "i.1", segs)
+	if len(p.Writes[0].Dims[0].Ranges) != 2 {
+		t.Fatalf("segments = %d", len(p.Writes[0].Dims[0].Ranges))
+	}
+	// The promoted descriptor is disjoint from column a.
+	var ga Descriptor
+	ga.AddWrite(Triple{Block: "x", Dims: []Dim{PointDim(a)}})
+	if Interferes(p, ga, nil) {
+		t.Fatal("discontinuous promotion should exclude a")
+	}
+}
+
+func TestPromoteRangeEndpoint(t *testing.T) {
+	// Read q[1..i] over i in 1..n widens to q[1..n].
+	var d Descriptor
+	d.AddRead(Triple{Block: "q", Dims: []Dim{RangeDim(symbolic.NewRange(symbolic.Const(1), i))}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	r := p.Reads[0].Dims[0].Ranges[0]
+	if !r.Start.Equal(symbolic.Const(1)) || !r.End.Equal(n) {
+		t.Fatalf("widened = %v", r)
+	}
+}
+
+func TestPromoteUnconvertibleGuardDropped(t *testing.T) {
+	// A guard over iv with no affine point dimension must be dropped
+	// (widening), not kept (which would be unsound).
+	guard := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("miss", i), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	var d Descriptor
+	d.AddWrite(Triple{Guard: guard, Block: "q",
+		Dims: []Dim{RangeDim(symbolic.NewRange(symbolic.Const(1), i))}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	if len(p.Writes[0].Guard) != 0 {
+		t.Fatalf("guard kept: %v", p.Writes[0].Guard)
+	}
+	if p.Writes[0].Dims[0].Mask != nil {
+		t.Fatal("mask attached to non-point dimension")
+	}
+}
+
+func TestShiftIteration(t *testing.T) {
+	var d Descriptor
+	d.AddWrite(writeColumn("q", col))
+	s := ShiftIteration(d, "col.1", 1)
+	pt, ok := s.Writes[0].Dims[1].IsPoint()
+	if !ok || !pt.Equal(col.AddConst(-1)) {
+		t.Fatalf("shifted point = %v", pt)
+	}
+	// Shifted iteration must not interfere with the original column.
+	if Interferes(d, s, nil) {
+		t.Fatal("iteration i and i-1 write distinct columns")
+	}
+}
+
+func TestDescriptorStringShape(t *testing.T) {
+	var d Descriptor
+	d.AddWrite(writeColumn("q", col))
+	d.AddRead(ScalarTriple("x"))
+	s := d.String()
+	if !strings.Contains(s, "write:") || !strings.Contains(s, "read:") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestMergeAndBlocks(t *testing.T) {
+	var a, b Descriptor
+	a.AddRead(ScalarTriple("x"))
+	b.AddWrite(ScalarTriple("y"))
+	a.Merge(b)
+	blocks := a.Blocks()
+	if !blocks["x"] || !blocks["y"] || len(blocks) != 2 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if a.Empty() {
+		t.Fatal("merged descriptor reported empty")
+	}
+	if !(Descriptor{}).Empty() {
+		t.Fatal("zero descriptor not empty")
+	}
+}
+
+func TestSubstDescriptor(t *testing.T) {
+	var d Descriptor
+	d.AddWrite(writeColumn("q", col))
+	s := d.Subst("col.1", symbolic.Const(7))
+	pt, _ := s.Writes[0].Dims[1].IsPoint()
+	if !pt.Equal(symbolic.Const(7)) {
+		t.Fatalf("subst = %v", pt)
+	}
+	// Original untouched.
+	pt0, _ := d.Writes[0].Dims[1].IsPoint()
+	if !pt0.Equal(col) {
+		t.Fatal("original descriptor mutated")
+	}
+}
+
+func TestPromoteGuardMasksEveryIndexedDim(t *testing.T) {
+	// Access q(i, i) under guard mask[i] != 0: after promotion BOTH
+	// dimensions carry the mask, so either dimension can prove
+	// disjointness against a complementary access. (Regression: the
+	// mask used to attach only to the first dimension.)
+	guard := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("mask", i), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	var d Descriptor
+	d.AddRead(Triple{Guard: guard, Block: "q", Dims: []Dim{PointDim(i), PointDim(i)}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	r := p.Reads[0]
+	if r.Dims[0].Mask == nil || r.Dims[1].Mask == nil {
+		t.Fatalf("both dims should carry the mask: %s", r)
+	}
+	// Disjoint from a write masked with the complement on dimension 2.
+	star := symbolic.Var(symbolic.Star)
+	maskZ := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("mask", star), symbolic.EQ, symbolic.ExprAtom(symbolic.Const(0)))}
+	var w Descriptor
+	w.AddWrite(Triple{Block: "q", Dims: []Dim{
+		RangeDim(fullRange()),
+		{Ranges: []symbolic.Range{fullRange()}, Mask: &maskZ},
+	}})
+	if Interferes(p, w, nil) {
+		t.Fatal("complementary mask on dim 2 should give disjointness")
+	}
+}
+
+func TestPromoteGuardSkipsMaskedDim(t *testing.T) {
+	// A dimension that already carries a mask keeps it.
+	star := symbolic.Var(symbolic.Star)
+	pre := Mask{Pred: symbolic.NewPred(
+		symbolic.ElemAtom("flag", star), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	guard := symbolic.Conj{symbolic.NewPred(
+		symbolic.ElemAtom("mask", i), symbolic.NE, symbolic.ExprAtom(symbolic.Const(0)))}
+	var d Descriptor
+	d.AddWrite(Triple{Guard: guard, Block: "q", Dims: []Dim{
+		{Ranges: []symbolic.Range{symbolic.Point(i)}, Mask: &pre},
+		PointDim(i),
+	}})
+	p := Promote(d, "i.1", []symbolic.Range{fullRange()})
+	w := p.Writes[0]
+	if w.Dims[0].Mask == nil || !strings.Contains(w.Dims[0].Mask.String(), "flag") {
+		t.Fatalf("pre-existing mask lost: %s", w)
+	}
+	if w.Dims[1].Mask == nil || !strings.Contains(w.Dims[1].Mask.String(), "mask") {
+		t.Fatalf("guard not attached to free dim: %s", w)
+	}
+}

@@ -1,0 +1,105 @@
+package descriptor
+
+import "orchestra/internal/symbolic"
+
+// MayIntersect conservatively reports whether two triples can reference
+// a common memory location, given a context of predicates known to
+// hold. It returns false only when disjointness is provable.
+func MayIntersect(a, b Triple, ctx symbolic.Conj) bool {
+	if a.Block != b.Block {
+		return false
+	}
+	// If either access provably cannot occur, no intersection.
+	if ctx.Merge(a.Guard).ProvesFalse() || ctx.Merge(b.Guard).ProvesFalse() {
+		return false
+	}
+	// If the two guards cannot hold in the same execution, the accesses
+	// never coexist, hence no dependence between them.
+	if ctx.Merge(a.Guard).Merge(b.Guard).ProvesFalse() {
+		return false
+	}
+	if a.Whole() || b.Whole() {
+		return true
+	}
+	if len(a.Dims) != len(b.Dims) {
+		// Mismatched dimensionality (should not happen for well-typed
+		// programs); assume intersection.
+		return true
+	}
+	// Disjoint if ANY dimension is provably disjoint.
+	for i := range a.Dims {
+		if dimsDisjoint(a.Dims[i], b.Dims[i], a.Guard, b.Guard, ctx) {
+			return false
+		}
+	}
+	return true
+}
+
+// dimsDisjoint reports whether the index sets of one dimension are
+// provably disjoint.
+func dimsDisjoint(da, db Dim, ga, gb, ctx symbolic.Conj) bool {
+	// Complementary masks: the element sets {x : Pa(x)} and {x : Pb(x)}
+	// cannot share an element when the instantiated predicates
+	// contradict for the generic element.
+	if da.Mask != nil && db.Mask != nil {
+		if da.Mask.Pred.Contradicts(db.Mask.Pred) {
+			return true
+		}
+	}
+	// Point vs mask: instantiate the mask at the point and test against
+	// the point's guard and the context.
+	if p, ok := da.IsPoint(); ok && db.Mask != nil {
+		inst := db.Mask.Instantiate(p)
+		if ctx.Merge(ga).Merge(symbolic.Conj{inst}).ProvesFalse() {
+			return true
+		}
+	}
+	if p, ok := db.IsPoint(); ok && da.Mask != nil {
+		inst := da.Mask.Instantiate(p)
+		if ctx.Merge(gb).Merge(symbolic.Conj{inst}).ProvesFalse() {
+			return true
+		}
+	}
+	// Range disjointness: every pair of ranges provably disjoint.
+	for _, ra := range da.Ranges {
+		for _, rb := range db.Ranges {
+			if !symbolic.ProvesDisjointRanges(ra, rb, ctx) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// setsIntersect reports whether any triple of as may intersect any of
+// bs.
+func setsIntersect(as, bs []Triple, ctx symbolic.Conj) bool {
+	for _, a := range as {
+		for _, b := range bs {
+			if MayIntersect(a, b, ctx) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Interferes implements the paper's interference relation:
+//
+//	A interferes with B iff (A.w ∩ B.w ≠ ∅) or (A.w ∩ B.r ≠ ∅) or
+//	(A.r ∩ B.w ≠ ∅)
+//
+// covering output-, flow-, and anti-dependencies. When two descriptors
+// do not interfere, the computations they summarize are independent.
+func Interferes(a, b Descriptor, ctx symbolic.Conj) bool {
+	return setsIntersect(a.Writes, b.Writes, ctx) ||
+		setsIntersect(a.Writes, b.Reads, ctx) ||
+		setsIntersect(a.Reads, b.Writes, ctx)
+}
+
+// FlowInterferes reports whether successor computation B has a flow
+// interference from predecessor computation A: A.writes ∩ B.reads ≠ ∅.
+// Unlike Interferes, this relation is not symmetric.
+func FlowInterferes(a, b Descriptor, ctx symbolic.Conj) bool {
+	return setsIntersect(a.Writes, b.Reads, ctx)
+}

@@ -1,0 +1,154 @@
+package descriptor
+
+import "orchestra/internal/symbolic"
+
+// Promote widens a descriptor computed for one iteration of a loop into
+// a descriptor for the entire loop (§3.2): the induction variable "is
+// promoted to be its entire range", and guards that mention the
+// induction variable are converted into masks across the dimensions it
+// indexes — the paper's example turns
+//
+//	write: <miss[i] != 1> q[i, 1..10]
+//
+// into
+//
+//	write: q[1..10/(miss[*] != 1), 1..10].
+//
+// Guards that cannot be converted are dropped, which widens the
+// descriptor and is therefore conservative. iv is the induction
+// variable's SSA name; segments its iteration ranges (more than one for
+// a discontinuous loop).
+func Promote(d Descriptor, iv symbolic.Name, segments []symbolic.Range) Descriptor {
+	out := Descriptor{}
+	for _, t := range d.Reads {
+		if t.Guard.ProvesFalse() {
+			continue // the access provably never occurs
+		}
+		out.Reads = append(out.Reads, promoteTriple(t, iv, segments))
+	}
+	for _, t := range d.Writes {
+		if t.Guard.ProvesFalse() {
+			continue
+		}
+		out.Writes = append(out.Writes, promoteTriple(t, iv, segments))
+	}
+	return out
+}
+
+func promoteTriple(t Triple, iv symbolic.Name, segments []symbolic.Range) Triple {
+	out := Triple{Block: t.Block, Dims: append([]Dim(nil), t.Dims...)}
+
+	// Split the guard: predicates free of iv survive; predicates using
+	// iv become masks when a dimension is indexed affinely (coefficient
+	// ±1) by iv, and are dropped otherwise.
+	for _, p := range t.Guard {
+		if !p.Uses(iv) {
+			out.Guard = out.Guard.And(p)
+			continue
+		}
+		// Attach the guard as a mask on EVERY dimension the induction
+		// variable indexes affinely (an access like q(i, i) under a
+		// guard on i is restricted in both dimensions); dimensions
+		// already carrying a mask keep it, and guards with no eligible
+		// dimension are dropped (widening, hence conservative).
+		for j, dim := range out.Dims {
+			if dim.Mask != nil {
+				continue // one mask per dimension
+			}
+			idx, ok := dim.IsPoint()
+			if !ok {
+				continue
+			}
+			coef := idx.Coef(iv)
+			if coef != 1 && coef != -1 {
+				continue
+			}
+			// idx = coef*iv + rest, so iv = coef*(Star - rest).
+			rest := idx.Sub(symbolic.Term(iv, coef))
+			sol := symbolic.Var(symbolic.Star).Sub(rest).Scale(coef)
+			mask := Mask{Pred: p.Subst(iv, sol)}
+			out.Dims[j].Mask = &mask
+		}
+	}
+
+	// Widen every dimension over the iteration segments.
+	for j, dim := range out.Dims {
+		out.Dims[j] = widenDim(dim, iv, segments)
+	}
+	return out
+}
+
+// widenDim replaces occurrences of iv in a dimension's ranges by the
+// loop's iteration segments, producing a superset of the accessed
+// indices.
+func widenDim(d Dim, iv symbolic.Name, segments []symbolic.Range) Dim {
+	if !d.Uses(iv) {
+		return d
+	}
+	// A mask whose predicate still references iv (not via Star) cannot
+	// be preserved soundly; drop it (superset).
+	mask := d.Mask
+	if mask != nil && mask.Pred.Uses(iv) {
+		mask = nil
+	}
+	out := Dim{Mask: mask}
+	for _, r := range d.Ranges {
+		if !r.Uses(iv) {
+			out.Ranges = append(out.Ranges, r)
+			continue
+		}
+		if p, ok := r.IsPoint(); ok {
+			coef := p.Coef(iv)
+			if coef != 0 {
+				// p = coef*iv + rest over iv in each segment.
+				for _, seg := range segments {
+					lo := p.Subst(iv, seg.Start)
+					hi := p.Subst(iv, seg.End)
+					if coef < 0 {
+						lo, hi = hi, lo
+					}
+					skip := seg.Skip * abs(coef)
+					if skip < 1 {
+						skip = 1
+					}
+					out.Ranges = append(out.Ranges, symbolic.Range{Start: lo, End: hi, Skip: skip})
+				}
+				continue
+			}
+		}
+		// General range [A(iv), B(iv)]: widen each endpoint to its
+		// extreme over the hull of the segments (conservative; stride
+		// information is lost).
+		hullLo, hullHi := segments[0].Start, segments[len(segments)-1].End
+		start := substExtreme(r.Start, iv, hullLo, hullHi, false)
+		end := substExtreme(r.End, iv, hullLo, hullHi, true)
+		out.Ranges = append(out.Ranges, symbolic.NewRange(start, end))
+	}
+	return out
+}
+
+// substExtreme substitutes iv by whichever bound extremizes the affine
+// expression: the minimum when maximize is false, the maximum otherwise.
+func substExtreme(e symbolic.Expr, iv symbolic.Name, lo, hi symbolic.Expr, maximize bool) symbolic.Expr {
+	coef := e.Coef(iv)
+	pickHi := (coef >= 0) == maximize
+	if pickHi {
+		return e.Subst(iv, hi)
+	}
+	return e.Subst(iv, lo)
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ShiftIteration returns the descriptor for iteration iv-delta given
+// the descriptor for iteration iv — the substitution the pipelining
+// transformation applies to test a loop body against its previous
+// iteration (§3.3.2).
+func ShiftIteration(d Descriptor, iv symbolic.Name, delta int64) Descriptor {
+	return d.Subst(iv, symbolic.Var(iv).AddConst(-delta))
+}

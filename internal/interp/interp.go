@@ -1,0 +1,311 @@
+// Package interp is a reference interpreter for the mini-Fortran
+// language: it executes programs directly over concrete memory. Its
+// purpose is validation — the split and pipelining transformations must
+// preserve sequential semantics, so the test suite runs original and
+// transformed programs on identical inputs and compares the final
+// memory states.
+//
+// Arrays are stored column-major with 1-based subscripts, as in
+// Fortran. External functions resolve through a registry; unregistered
+// functions default to a deterministic pure function of their
+// arguments, so transformed programs that duplicate call sites remain
+// comparable.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"orchestra/internal/source"
+)
+
+// Func is an external pure function.
+type Func func(args []float64) float64
+
+// State is the interpreter's memory.
+type State struct {
+	Scalars map[string]float64
+	Arrays  map[string][]float64
+	Dims    map[string][]int
+	Funcs   map[string]Func
+
+	// Steps counts executed statements (a safety valve against runaway
+	// loops in malformed inputs).
+	Steps    int
+	MaxSteps int
+
+	// OnLoad and OnStore, when non-nil, observe every array element
+	// access (1-based indices). The soundness tests use them to record
+	// ground-truth access sets.
+	OnLoad  func(array string, idx []int64)
+	OnStore func(array string, idx []int64)
+}
+
+// NewState prepares empty memory.
+func NewState() *State {
+	return &State{
+		Scalars:  map[string]float64{},
+		Arrays:   map[string][]float64{},
+		Dims:     map[string][]int{},
+		Funcs:    map[string]Func{},
+		MaxSteps: 50_000_000,
+	}
+}
+
+// DefaultFunc is the deterministic stand-in for unregistered external
+// functions: a smooth, argument-dependent value.
+func DefaultFunc(args []float64) float64 {
+	v := 0.5
+	for i, a := range args {
+		v += math.Sin(a+float64(i)) * 0.5
+	}
+	return v
+}
+
+// Alloc declares an array with the given extents and zero contents.
+func (st *State) Alloc(name string, dims ...int) {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	st.Arrays[name] = make([]float64, n)
+	st.Dims[name] = append([]int{}, dims...)
+}
+
+// runtimeError is raised through panic/recover inside the evaluator.
+type runtimeError struct{ err error }
+
+func fail(format string, args ...interface{}) {
+	panic(runtimeError{fmt.Errorf(format, args...)})
+}
+
+// Run executes the program. The caller must have declared scalars (via
+// Scalars) and arrays (via Alloc) for the program's declarations; Run
+// verifies array declarations match the allocated dimensionality.
+func Run(p *source.Program, st *State) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(runtimeError); ok {
+				err = re.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	for _, d := range p.Decls {
+		if d.IsArray() {
+			dims, ok := st.Dims[d.Name]
+			if !ok {
+				fail("array %s not allocated", d.Name)
+			}
+			if len(dims) != len(d.Dims) {
+				fail("array %s allocated with %d dims, declared with %d",
+					d.Name, len(dims), len(d.Dims))
+			}
+		} else if _, ok := st.Scalars[d.Name]; !ok {
+			st.Scalars[d.Name] = 0
+		}
+	}
+	st.execStmts(p.Body)
+	return nil
+}
+
+func (st *State) step() {
+	st.Steps++
+	if st.MaxSteps > 0 && st.Steps > st.MaxSteps {
+		fail("step limit exceeded (%d)", st.MaxSteps)
+	}
+}
+
+func (st *State) execStmts(body []source.Stmt) {
+	for _, s := range body {
+		st.execStmt(s)
+	}
+}
+
+func (st *State) execStmt(s source.Stmt) {
+	st.step()
+	switch s := s.(type) {
+	case *source.Assign:
+		v := st.eval(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *source.Ident:
+			st.Scalars[lhs.Name] = v
+		case *source.ArrayRef:
+			st.store(lhs, v)
+		default:
+			fail("bad assignment target %T", s.LHS)
+		}
+	case *source.Do:
+		st.execDo(s)
+	case *source.If:
+		if truthy(st.eval(s.Cond)) {
+			st.execStmts(s.Then)
+		} else {
+			st.execStmts(s.Else)
+		}
+	case *source.CallStmt:
+		// Subroutines are modelled as no-ops with argument evaluation;
+		// programs under equivalence testing avoid them.
+		for _, a := range s.Args {
+			st.eval(a)
+		}
+	default:
+		fail("unknown statement %T", s)
+	}
+}
+
+func (st *State) execDo(d *source.Do) {
+	outer, hadOuter := st.Scalars[d.Var]
+	for _, r := range d.Ranges {
+		lo := int(math.Round(st.eval(r.Lo)))
+		hi := int(math.Round(st.eval(r.Hi)))
+		stepBy := 1
+		if r.Step != nil {
+			stepBy = int(math.Round(st.eval(r.Step)))
+			if stepBy < 1 {
+				fail("non-positive do step %d", stepBy)
+			}
+		}
+		for i := lo; i <= hi; i += stepBy {
+			st.step()
+			st.Scalars[d.Var] = float64(i)
+			if d.Where != nil && !truthy(st.eval(d.Where)) {
+				continue
+			}
+			st.execStmts(d.Body)
+		}
+	}
+	// The induction variable of a completed loop is restored to avoid
+	// leaking iteration state into comparisons (the analysis likewise
+	// treats the post-loop value as opaque).
+	if hadOuter {
+		st.Scalars[d.Var] = outer
+	} else {
+		delete(st.Scalars, d.Var)
+	}
+}
+
+func truthy(v float64) bool { return v != 0 }
+
+// indices evaluates a reference's subscripts (1-based).
+func (st *State) indices(ref *source.ArrayRef) []int64 {
+	out := make([]int64, len(ref.Index))
+	for k, ix := range ref.Index {
+		out[k] = int64(math.Round(st.eval(ix)))
+	}
+	return out
+}
+
+// offset computes the column-major flat index of a reference.
+func (st *State) offset(ref *source.ArrayRef) int {
+	dims, ok := st.Dims[ref.Name]
+	if !ok {
+		fail("undeclared array %s", ref.Name)
+	}
+	if len(ref.Index) != len(dims) {
+		fail("array %s: %d subscripts for %d dims", ref.Name, len(ref.Index), len(dims))
+	}
+	off := 0
+	stride := 1
+	for k, ix := range ref.Index {
+		i := int(math.Round(st.eval(ix)))
+		if i < 1 || i > dims[k] {
+			fail("array %s: subscript %d = %d out of [1,%d]", ref.Name, k+1, i, dims[k])
+		}
+		off += (i - 1) * stride
+		stride *= dims[k]
+	}
+	return off
+}
+
+func (st *State) store(ref *source.ArrayRef, v float64) {
+	if st.OnStore != nil {
+		st.OnStore(ref.Name, st.indices(ref))
+	}
+	st.Arrays[ref.Name][st.offset(ref)] = v
+}
+
+func (st *State) load(ref *source.ArrayRef) float64 {
+	if st.OnLoad != nil {
+		st.OnLoad(ref.Name, st.indices(ref))
+	}
+	return st.Arrays[ref.Name][st.offset(ref)]
+}
+
+func (st *State) eval(e source.Expr) float64 {
+	switch e := e.(type) {
+	case *source.Num:
+		if e.IsReal {
+			var v float64
+			fmt.Sscanf(e.Text, "%g", &v)
+			return v
+		}
+		return float64(e.Int)
+	case *source.Ident:
+		v, ok := st.Scalars[e.Name]
+		if !ok {
+			fail("unbound scalar %s", e.Name)
+		}
+		return v
+	case *source.ArrayRef:
+		return st.load(e)
+	case *source.FuncCall:
+		args := make([]float64, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = st.eval(a)
+		}
+		if f, ok := st.Funcs[e.Name]; ok {
+			return f(args)
+		}
+		return DefaultFunc(args)
+	case *source.Un:
+		if e.Op == "-" {
+			return -st.eval(e.X)
+		}
+		fail("unknown unary %q", e.Op)
+	case *source.Bin:
+		switch e.Op {
+		case "&&":
+			return b2f(truthy(st.eval(e.L)) && truthy(st.eval(e.R)))
+		case "||":
+			return b2f(truthy(st.eval(e.L)) || truthy(st.eval(e.R)))
+		}
+		l, r := st.eval(e.L), st.eval(e.R)
+		switch e.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			if r == 0 {
+				fail("division by zero")
+			}
+			return l / r
+		case "==":
+			return b2f(l == r)
+		case "!=":
+			return b2f(l != r)
+		case "<":
+			return b2f(l < r)
+		case "<=":
+			return b2f(l <= r)
+		case ">":
+			return b2f(l > r)
+		case ">=":
+			return b2f(l >= r)
+		}
+		fail("unknown operator %q", e.Op)
+	}
+	fail("unknown expression %T", e)
+	return 0
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,160 @@
+// Package machine simulates a distributed-memory multiprocessor in the
+// style of the Ncube-2 the paper evaluates on: a hypercube of
+// processors with per-message software overhead, per-hop latency, and
+// per-byte transfer cost, driven by a discrete-event core.
+//
+// The simulator substitutes for the paper's hardware testbed. The
+// evaluation depends on relative scheduling behaviour — load imbalance,
+// communication and scheduling overhead as the processor count grows —
+// which the cost model reproduces; absolute times are arbitrary units
+// (one unit ≈ the cost of a small task).
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	Processors int
+	// MsgOverhead is the fixed software cost of one message
+	// (send + receive processing).
+	MsgOverhead float64
+	// HopLatency is the network latency per hypercube hop.
+	HopLatency float64
+	// ByteCost is the transfer time per byte.
+	ByteCost float64
+	// SchedOverhead is the cost of one scheduling event (dispatching a
+	// chunk from a task queue).
+	SchedOverhead float64
+}
+
+// DefaultConfig models an Ncube-2-like machine in task-time units,
+// calibrated so that a typical application task (a few units) costs an
+// order of magnitude more than a message — the regime of the paper's
+// coarse-grained applications, whose cells/columns/gates each
+// represent substantial computation.
+func DefaultConfig(p int) Config {
+	return Config{
+		Processors:    p,
+		MsgOverhead:   0.05,
+		HopLatency:    0.005,
+		ByteCost:      0.000125,
+		SchedOverhead: 0.025,
+	}
+}
+
+// Hops returns the hypercube distance between two processors.
+func Hops(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// MsgTime reports the cost of sending bytes from processor a to b.
+// Local "messages" are free.
+func (c Config) MsgTime(a, b int, bytes int64) float64 {
+	if a == b {
+		return 0
+	}
+	return c.MsgOverhead + float64(Hops(a, b))*c.HopLatency + float64(bytes)*c.ByteCost
+}
+
+// BroadcastTime reports the cost of a tree broadcast (or reduction)
+// over p processors: log2(p) sequential message steps.
+func (c Config) BroadcastTime(p int, bytes int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	depth := math.Ceil(math.Log2(float64(p)))
+	return depth * (c.MsgOverhead + c.HopLatency + float64(bytes)*c.ByteCost)
+}
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; use
+// NewSim.
+type Sim struct {
+	cfg    Config
+	events eventHeap
+	now    float64
+	seq    int64
+	ran    int64
+}
+
+// NewSim creates a simulator over the given machine.
+func NewSim(cfg Config) *Sim {
+	if cfg.Processors < 1 {
+		panic("machine: need at least one processor")
+	}
+	return &Sim{cfg: cfg}
+}
+
+// Config returns the machine description.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Now reports the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Events reports how many events have executed.
+func (s *Sim) Events() int64 { return s.ran }
+
+// At schedules fn at absolute time t (>= Now). Events at equal times
+// run in scheduling order, keeping the simulation deterministic.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("machine: scheduling into the past (%g < %g)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay units from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// Run executes events until none remain, returning the final time.
+func (s *Sim) Run() float64 {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.time
+		s.ran++
+		e.fn()
+	}
+	return s.now
+}
+
+// Step executes a single event; it reports false when none remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.time
+	s.ran++
+	e.fn()
+	return true
+}

@@ -1,0 +1,150 @@
+package machine
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHops(t *testing.T) {
+	cases := []struct {
+		a, b, want int
+	}{{0, 0, 0}, {0, 1, 1}, {0, 3, 2}, {5, 6, 2}, {0, 1023, 10}}
+	for _, c := range cases {
+		if got := Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMsgTime(t *testing.T) {
+	cfg := DefaultConfig(16)
+	if cfg.MsgTime(3, 3, 100) != 0 {
+		t.Fatal("local message should be free")
+	}
+	m := cfg.MsgTime(0, 1, 0)
+	if m != cfg.MsgOverhead+cfg.HopLatency {
+		t.Fatalf("one-hop empty message = %v", m)
+	}
+	// More bytes cost more; more hops cost more.
+	if cfg.MsgTime(0, 1, 1000) <= m {
+		t.Fatal("bytes should add cost")
+	}
+	if cfg.MsgTime(0, 7, 0) <= cfg.MsgTime(0, 1, 0) {
+		t.Fatal("hops should add cost")
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	cfg := DefaultConfig(64)
+	if cfg.BroadcastTime(1, 8) != 0 {
+		t.Fatal("broadcast to one processor is free")
+	}
+	b64 := cfg.BroadcastTime(64, 8)
+	b1024 := cfg.BroadcastTime(1024, 8)
+	if b1024 <= b64 {
+		t.Fatal("larger machine must broadcast slower")
+	}
+	// log2(64) = 6 steps exactly.
+	want := 6 * (cfg.MsgOverhead + cfg.HopLatency + 8*cfg.ByteCost)
+	if math.Abs(b64-want) > 1e-9 {
+		t.Fatalf("b64 = %v, want %v", b64, want)
+	}
+}
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim(DefaultConfig(4))
+	var order []int
+	s.At(5, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 0) })
+	s.At(3, func() { order = append(order, 1) })
+	end := s.Run()
+	if end != 5 {
+		t.Fatalf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimTieBreakDeterministic(t *testing.T) {
+	run := func() []int {
+		s := NewSim(DefaultConfig(4))
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			s.At(1.0, func() { order = append(order, i) })
+		}
+		s.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic tie-break: %v vs %v", a, b)
+		}
+	}
+	if !sort.IntsAreSorted(a) {
+		t.Fatalf("ties should run in scheduling order: %v", a)
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(DefaultConfig(4))
+	hits := 0
+	s.At(1, func() {
+		s.After(2, func() {
+			hits++
+			if s.Now() != 3 {
+				t.Errorf("nested event at %v, want 3", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if hits != 1 {
+		t.Fatal("nested event did not run")
+	}
+}
+
+func TestSimPanicsOnPast(t *testing.T) {
+	s := NewSim(DefaultConfig(2))
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestSimStep(t *testing.T) {
+	s := NewSim(DefaultConfig(2))
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if !s.Step() || s.Now() != 1 {
+		t.Fatal("first step")
+	}
+	if !s.Step() || s.Now() != 2 {
+		t.Fatal("second step")
+	}
+	if s.Step() {
+		t.Fatal("step past end")
+	}
+	if s.Events() != 2 {
+		t.Fatalf("events = %d", s.Events())
+	}
+}
+
+func TestMsgTimeSymmetry(t *testing.T) {
+	cfg := DefaultConfig(256)
+	if err := quick.Check(func(a, b uint8, bytes uint16) bool {
+		x := cfg.MsgTime(int(a), int(b), int64(bytes))
+		y := cfg.MsgTime(int(b), int(a), int64(bytes))
+		return x == y && x >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package rts
+
+import (
+	"fmt"
+
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+	"orchestra/internal/trace"
+)
+
+// ExecuteConcurrent co-schedules several parallel operations on one
+// machine. Each operation receives the processor subset the allocation
+// chose; tasks start on their owners (owner-computes, with the
+// runtime's cost-refined decomposition when hints are warm); a
+// processor whose operation has no unscheduled work left is
+// re-assigned chunks from the most loaded processor — first within its
+// own operation, then from any concurrent operation. This is the
+// runtime behaviour split enables: "a runtime scheduler can use the
+// additional parallelism of one sub-computation to compensate for
+// communication constraints or load imbalance in the other."
+func ExecuteConcurrent(cfg machine.Config, specs []OpSpec, alloc []int, factory sched.Factory) trace.Result {
+	if len(specs) != len(alloc) {
+		panic("rts: specs/alloc length mismatch")
+	}
+	totalP := 0
+	for _, a := range alloc {
+		totalP += a
+	}
+	sim := machine.NewSim(cfg)
+	res := trace.Result{Name: "concurrent", Processors: totalP, Busy: make([]float64, totalP)}
+
+	nOps := len(specs)
+	queues := make([][]sched.TaskQueue, nOps) // one queue per owning processor
+	remaining := make([]int, nOps)            // unscheduled tasks per op
+	tstats := make([]*sched.TaskStats, nOps)
+	policies := make([]sched.Policy, nOps)
+	opOfProc := make([]int, totalP) // which op a processor belongs to
+	localIdx := make([]int, totalP) // processor's index within its op
+	procBase := make([]int, nOps)   // first global proc id of each op
+
+	proc := 0
+	for o, spec := range specs {
+		res.SeqTime += spec.Op.TotalTime()
+		p := alloc[o]
+		if p < 1 && spec.Op.N > 0 {
+			panic(fmt.Sprintf("rts: op %d has %d tasks but no processors", o, spec.Op.N))
+		}
+		procBase[o] = proc
+		queues[o] = sched.Decompose(spec.Op, p)
+		remaining[o] = spec.Op.N
+		tstats[o] = sched.NewTaskStats(spec.Op.N)
+		policies[o] = factory()
+		for j := 0; j < p; j++ {
+			opOfProc[proc] = o
+			localIdx[proc] = j
+			proc++
+		}
+	}
+
+	finish := make([]float64, totalP)
+	tokenCost := 0.2 * cfg.MsgOverhead
+	// Observed per-processor progress (token information).
+	done := make([][]int, nOps)
+	spent := make([][]float64, nOps)
+	for o := range specs {
+		done[o] = make([]int, len(queues[o]))
+		spent[o] = make([]float64, len(queues[o]))
+	}
+
+	anyRemaining := func() bool {
+		for _, r := range remaining {
+			if r > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	var next func(g int)
+	execChunk := func(g, o int, tasks []int, transferCost float64) {
+		spec := specs[o]
+		total := transferCost
+		for _, i := range tasks {
+			t := spec.Op.Time(i)
+			tstats[o].Observe(i, t)
+			total += t
+		}
+		total += cfg.SchedOverhead + tokenCost
+		res.Messages++
+		res.Busy[g] += total
+		remaining[o] -= len(tasks)
+		res.Chunks++
+		k := len(tasks)
+		sim.After(total, func() {
+			if o == opOfProc[g] {
+				done[o][localIdx[g]] += k
+				spent[o][localIdx[g]] += total
+			}
+			next(g)
+		})
+	}
+	// steal finds the most loaded processor of op o (by estimated
+	// remaining time) and re-assigns a chunk to global processor g. It
+	// reports false when op o has no unscheduled work.
+	steal := func(g, o int) bool {
+		globalMean := tstats[o].Global.Mean()
+		victim := -1
+		bestTime := 0.0
+		for v := range queues[o] {
+			if queues[o][v].Remaining() == 0 {
+				continue
+			}
+			rate := globalMean
+			if done[o][v] > 0 && spent[o][v]/float64(done[o][v]) > rate {
+				rate = spent[o][v] / float64(done[o][v])
+			}
+			if est := queues[o][v].EstRemaining(rate); est > bestTime {
+				bestTime = est
+				victim = v
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		pol := policies[o]
+		k := pol.NextChunk(remaining[o], totalP, tstats[o])
+		budget := queues[o][victim].EstRemaining(globalMean) / 2
+		tasks := queues[o][victim].TakeBudget(k, budget, specs[o].Op.Hint)
+		res.Steals++
+		res.Messages += 3
+		cost := 2*cfg.MsgTime(g, procBase[o], 16) +
+			cfg.MsgTime(procBase[o]+victim, g, int64(len(tasks))*specs[o].Op.Bytes+32)
+		execChunk(g, o, tasks, cost)
+		return true
+	}
+	next = func(g int) {
+		o := opOfProc[g]
+		j := localIdx[g]
+		// Own queue first.
+		if q := &queues[o][j]; q.Remaining() > 0 {
+			pol := policies[o]
+			k := pol.NextChunk(remaining[o], len(queues[o]), tstats[o])
+			if t, ok := pol.(*sched.Taper); ok {
+				k = clampInt(t.ScaleChunk(k, q.NextTask(), tstats[o]), remaining[o])
+			}
+			execChunk(g, o, q.Take(k, specs[o].Op.Hint), 0)
+			return
+		}
+		// Own op, other processors.
+		if remaining[o] > 0 && steal(g, o) {
+			return
+		}
+		// Any concurrent op with work left.
+		for oo := range specs {
+			if oo != o && remaining[oo] > 0 && steal(g, oo) {
+				return
+			}
+		}
+		if !anyRemaining() {
+			finish[g] = sim.Now()
+			return
+		}
+		// Work exists but is all in flight; this processor is done.
+		finish[g] = sim.Now()
+	}
+
+	for g := 0; g < totalP; g++ {
+		g := g
+		sim.After(0, func() { next(g) })
+	}
+	sim.Run()
+
+	max := 0.0
+	for _, f := range finish {
+		if f > max {
+			max = f
+		}
+	}
+	res.Makespan = max + cfg.BroadcastTime(totalP, 8)
+	res.Name = fmt.Sprintf("concurrent-%d-ops", nOps)
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(k, max int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > max {
+		return max
+	}
+	return k
+}

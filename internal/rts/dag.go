@@ -1,0 +1,346 @@
+package rts
+
+import (
+	"fmt"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+	"orchestra/internal/trace"
+)
+
+// DagOpFinish, when non-nil, is invoked with each operator's
+// completion time — a debugging/tracing hook used by tests and the
+// benchmark harness.
+var DagOpFinish func(name string, t float64)
+
+// DagChunk, when non-nil, observes every chunk dispatch (op name, sim
+// time, chunk size, stolen) — a tracing hook for tests.
+var DagChunk func(name string, t float64, k int, stolen bool)
+
+// DagChunkDone, when non-nil, observes chunk completions (op name,
+// start, duration, chunk size).
+var DagChunkDone func(name string, start, dur float64, k int)
+
+// ExecuteDAG executes an entire Delirium graph adaptively on p
+// processors: every operator is decomposed onto the processor subset
+// the allocation algorithm assigned it, operators become executable as
+// their dataflow predecessors complete (incrementally, in batches of
+// the chosen communication granularity, for pipelined edges), and a
+// processor with no work left in its own operator is re-assigned
+// chunks from any executable operator. There are no barriers anywhere:
+// this is the orchestration the paper's title refers to — the runtime
+// "uses the additional parallelism of one sub-computation to
+// compensate for communication constraints or load imbalance in the
+// other".
+func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trace.Result, error) {
+	if err := g.Validate(); err != nil {
+		return trace.Result{}, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return trace.Result{}, err
+	}
+	nOps := len(order)
+	sim := machine.NewSim(cfg)
+	res := trace.Result{Name: "dag/" + g.Name, Processors: p, Busy: make([]float64, p)}
+
+	// Operator state.
+	specs := make([]OpSpec, nOps)
+	index := map[string]int{}
+	for i, n := range order {
+		specs[i] = bind(n.Name)
+		index[n.Name] = i
+		res.SeqTime += specs[i].Op.TotalTime()
+	}
+	// Incoming edges per op, with batch granularity for pipelined ones.
+	type inEdge struct {
+		from      int
+		pipelined bool
+		batch     int
+	}
+	inEdges := make([][]inEdge, nOps)
+	for _, e := range g.Edges {
+		if e.Carried {
+			continue
+		}
+		f, t := index[e.From], index[e.To]
+		ie := inEdge{from: f, pipelined: e.Pipelined}
+		if e.Pipelined {
+			ie.batch = ChoosePairGranularity(cfg, specs[f], p, specs[f].Op.Bytes)
+		}
+		inEdges[t] = append(inEdges[t], ie)
+	}
+
+	// Allocation: operators that can execute concurrently (the same
+	// dataflow level) divide the machine among themselves; operators in
+	// different levels execute at different times and therefore own
+	// overlapping processor ranges. Each operator's data is decomposed
+	// once onto its owners (owner-computes); idle processors migrate at
+	// runtime.
+	levels, err := g.Levels()
+	if err != nil {
+		return trace.Result{}, err
+	}
+	alloc := make([]int, nOps)
+	procBase := make([]int, nOps)
+	for _, level := range levels {
+		lspecs := make([]OpSpec, len(level))
+		idxs := make([]int, len(level))
+		for i, n := range level {
+			idxs[i] = index[n.Name]
+			lspecs[i] = specs[idxs[i]]
+		}
+		shares := AllocateMany(cfg, lspecs, p)
+		base := 0
+		for i, o := range idxs {
+			alloc[o] = shares[i]
+			procBase[o] = base
+			base += shares[i]
+		}
+	}
+	queues := make([][]sched.TaskQueue, nOps)
+	tstats := make([]*sched.TaskStats, nOps)
+	policies := make([]sched.Policy, nOps)
+	unsched := make([]int, nOps)   // tasks not yet dispatched
+	doneTasks := make([]int, nOps) // tasks completed
+	for o := range specs {
+		queues[o] = sched.Decompose(specs[o].Op, alloc[o])
+		tstats[o] = sched.NewTaskStats(specs[o].Op.N)
+		policies[o] = &sched.Taper{UseCostFunction: true}
+		unsched[o] = specs[o].Op.N
+	}
+	// ownQueue reports the queue index processor gp owns in op o, or -1.
+	ownQueue := func(gp, o int) int {
+		j := gp - procBase[o]
+		if j >= 0 && j < alloc[o] {
+			return j
+		}
+		return -1
+	}
+
+	// gate reports how many tasks of op o are executable given its
+	// predecessors' progress: min over incoming edges of the enabled
+	// prefix. Pipelined edges enable the consumer in proportion to the
+	// producer's completed batches; ordinary edges enable everything
+	// only once the producer is fully done.
+	gate := func(o int) int {
+		n := specs[o].Op.N
+		avail := n
+		for _, ie := range inEdges[o] {
+			pn := specs[ie.from].Op.N
+			var en int
+			if doneTasks[ie.from] >= pn {
+				en = n
+			} else if ie.pipelined && pn > 0 {
+				batches := doneTasks[ie.from] / ie.batch
+				en = int(float64(batches*ie.batch) / float64(pn) * float64(n))
+			} else {
+				en = 0
+			}
+			if en < avail {
+				avail = en
+			}
+		}
+		return avail
+	}
+	// dispatched(o) = tasks handed to processors so far.
+	dispatched := func(o int) int { return specs[o].Op.N - unsched[o] }
+	// chunkBudget is the fair per-dispatch time share of an operator's
+	// remaining work: the hint sum of its unscheduled tasks (exact in
+	// steady state) divided by the machine size. Early task samples are
+	// biased toward the expensive queue fronts, so the observed mean is
+	// only a fallback.
+	chunkBudget := func(o int) float64 {
+		rate := specs[o].Mu
+		if m := tstats[o].Global.Mean(); rate <= 0 && m > 0 {
+			rate = m
+		}
+		sum := 0.0
+		for v := range queues[o] {
+			sum += queues[o][v].EstRemaining(rate)
+		}
+		return sum / float64(p)
+	}
+
+	var idle []int
+	totalOutstanding := 0
+	for _, s := range specs {
+		totalOutstanding += s.Op.N
+	}
+
+	var next func(gproc int)
+	wake := func() {
+		w := idle
+		idle = nil
+		for _, gp := range w {
+			gp := gp
+			sim.After(0, func() { next(gp) })
+		}
+	}
+	done := make([][]int, nOps)
+	spent := make([][]float64, nOps)
+	for o := range specs {
+		done[o] = make([]int, alloc[o])
+		spent[o] = make([]float64, alloc[o])
+	}
+	tokenCost := 0.2 * cfg.MsgOverhead
+
+	execChunk := func(gp, o int, tasks []int, transferCost float64) {
+		total := transferCost
+		for _, i := range tasks {
+			t := specs[o].Op.Time(i)
+			tstats[o].Observe(i, t)
+			total += t
+		}
+		total += cfg.SchedOverhead + tokenCost
+		res.Messages++
+		res.Busy[gp] += total
+		res.Chunks++
+		k := len(tasks)
+		unsched[o] -= k
+		start := sim.Now()
+		sim.After(total, func() {
+			if DagChunkDone != nil {
+				DagChunkDone(order[o].Name, start, total, k)
+			}
+			doneTasks[o] += k
+			totalOutstanding -= k
+			if j := ownQueue(gp, o); j >= 0 {
+				done[o][j] += k
+				spent[o][j] += total
+			}
+			if doneTasks[o] == specs[o].Op.N && DagOpFinish != nil {
+				DagOpFinish(order[o].Name, sim.Now())
+			}
+			// Progress may open successors' gates.
+			wake()
+			next(gp)
+		})
+	}
+
+	// tryDispatch attempts to hand processor gp a chunk of op o,
+	// stealing from the most loaded owner when gp's own queue (if it
+	// belongs to o) is empty. Chunks respect the op's gate.
+	tryDispatch := func(gp, o int) bool {
+		open := gate(o) - dispatched(o)
+		if open <= 0 || unsched[o] <= 0 {
+			return false
+		}
+		pol := policies[o]
+		// Chunk sizes are computed against the whole machine: any
+		// processor may execute any executable operator, so the
+		// effective worker pool of a hot operator is p, not its
+		// allocation.
+		if j := ownQueue(gp, o); j >= 0 {
+			q := &queues[o][j]
+			if q.Remaining() > 0 {
+				k := pol.NextChunk(unsched[o], p, tstats[o])
+				if t, ok := pol.(*sched.Taper); ok {
+					k = clampInt(t.ScaleChunk(k, q.NextTask(), tstats[o]), unsched[o])
+				}
+				if k > open {
+					k = open
+				}
+				// The chunk is budgeted in time, not tasks — the
+				// per-task-grained form of the paper's s = μg/μc chunk
+				// scaling — so a chunk never collects several expensive
+				// tasks whose combined time exceeds a fair share.
+				tasks := q.TakeBudget(k, chunkBudget(o), specs[o].Op.Hint)
+				if DagChunk != nil {
+					DagChunk(order[o].Name, sim.Now(), len(tasks), false)
+				}
+				execChunk(gp, o, tasks, 0)
+				return true
+			}
+		}
+		// Steal from the most loaded owner of o.
+		globalMean := tstats[o].Global.Mean()
+		victim := -1
+		bestTime := 0.0
+		opRemaining := 0.0
+		for v := range queues[o] {
+			if queues[o][v].Remaining() == 0 {
+				continue
+			}
+			rate := globalMean
+			if done[o][v] > 0 && spent[o][v]/float64(done[o][v]) > rate {
+				rate = spent[o][v] / float64(done[o][v])
+			}
+			est := queues[o][v].EstRemaining(rate)
+			opRemaining += est
+			if est > bestTime {
+				bestTime = est
+				victim = v
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		k := pol.NextChunk(unsched[o], p, tstats[o])
+		if k > open {
+			k = open
+		}
+		// A thief takes at most a fair per-processor share of the
+		// operator's remaining work, and never more than half the
+		// victim's queue.
+		budget := opRemaining / float64(p)
+		if half := queues[o][victim].EstRemaining(globalMean) / 2; half < budget {
+			budget = half
+		}
+		tasks := queues[o][victim].TakeBudget(k, budget, specs[o].Op.Hint)
+		if DagChunk != nil {
+			DagChunk(order[o].Name, sim.Now(), len(tasks), true)
+		}
+		res.Steals++
+		res.Messages += 3
+		cost := 2*cfg.MsgTime(gp, procBase[o], 16) +
+			cfg.MsgTime(procBase[o]+victim, gp, int64(len(tasks))*specs[o].Op.Bytes+32)
+		execChunk(gp, o, tasks, cost)
+		return true
+	}
+
+	next = func(gp int) {
+		if totalOutstanding <= 0 {
+			return
+		}
+		// Own operators first (locality): in topological order, the
+		// first executable operator whose queue this processor owns.
+		for o := range specs {
+			if j := ownQueue(gp, o); j >= 0 && queues[o][j].Remaining() > 0 {
+				if gate(o)-dispatched(o) > 0 && tryDispatch(gp, o) {
+					return
+				}
+			}
+		}
+		bestOp, bestWork := -1, 0.0
+		for o := range specs {
+			if unsched[o] <= 0 || gate(o)-dispatched(o) <= 0 {
+				continue
+			}
+			work := float64(unsched[o]) * tstats[o].Global.Mean()
+			if tstats[o].Global.N() == 0 {
+				work = float64(unsched[o]) * specs[o].Mu
+			}
+			if work > bestWork {
+				bestWork = work
+				bestOp = o
+			}
+		}
+		if bestOp >= 0 && tryDispatch(gp, bestOp) {
+			return
+		}
+		idle = append(idle, gp)
+	}
+
+	for gp := 0; gp < p; gp++ {
+		gp := gp
+		sim.After(0, func() { next(gp) })
+	}
+	sim.Run()
+	if totalOutstanding != 0 {
+		return trace.Result{}, fmt.Errorf("rts: DAG execution stalled with %d tasks outstanding", totalOutstanding)
+	}
+	res.Makespan = sim.Now() + cfg.BroadcastTime(p, 8)
+	return res, nil
+}

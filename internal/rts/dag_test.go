@@ -1,0 +1,210 @@
+package rts
+
+import (
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+)
+
+func dagGraph(t *testing.T, edges [][2]string, pipelined map[[2]string]bool, nodes ...string) *delirium.Graph {
+	t.Helper()
+	g := delirium.NewGraph("test")
+	for _, n := range nodes {
+		if err := g.AddNode(&delirium.Node{Name: n, Kind: delirium.Par}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		g.AddEdge(&delirium.Edge{From: e[0], To: e[1], Bytes: 8, PerTask: true,
+			Pipelined: pipelined[e]})
+	}
+	return g
+}
+
+func TestExecuteDAGChain(t *testing.T) {
+	g := dagGraph(t, [][2]string{{"a", "b"}, {"b", "c"}}, nil, "a", "b", "c")
+	bind := func(string) OpSpec { return uniformSpec(512, 1) }
+	cfg := machine.DefaultConfig(32)
+	r, err := ExecuteDAG(cfg, g, bind, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := r.SeqTime / 32
+	if r.Makespan < ideal {
+		t.Fatalf("makespan %v below ideal %v", r.Makespan, ideal)
+	}
+	if r.Makespan > 1.5*ideal {
+		t.Fatalf("chain too slow: %v vs ideal %v", r.Makespan, ideal)
+	}
+	var busy float64
+	for _, b := range r.Busy {
+		busy += b
+	}
+	if busy < r.SeqTime {
+		t.Fatalf("lost work: %v < %v", busy, r.SeqTime)
+	}
+}
+
+func TestExecuteDAGDiamondOverlap(t *testing.T) {
+	// a -> {b, c} -> d: b and c run concurrently; total time is close
+	// to the total work divided by p, not the sum of phase times.
+	g := dagGraph(t, [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}},
+		nil, "a", "b", "c", "d")
+	bind := func(string) OpSpec { return uniformSpec(1024, 1) }
+	cfg := machine.DefaultConfig(64)
+	r, err := ExecuteDAG(cfg, g, bind, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := r.SeqTime / 64
+	if r.Makespan > 1.4*ideal {
+		t.Fatalf("diamond did not overlap: %v vs ideal %v", r.Makespan, ideal)
+	}
+}
+
+func TestExecuteDAGRespectsDependence(t *testing.T) {
+	// A two-node chain cannot finish faster than the critical path:
+	// half the work must wait for the first half.
+	g := dagGraph(t, [][2]string{{"a", "b"}}, nil, "a", "b")
+	bind := func(string) OpSpec { return uniformSpec(256, 1) }
+	cfg := machine.DefaultConfig(256)
+	r, err := ExecuteDAG(cfg, g, bind, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each op has 256 tasks of time 1 on 256 procs: critical path >= 2.
+	if r.Makespan < 2 {
+		t.Fatalf("dependence violated: makespan %v", r.Makespan)
+	}
+}
+
+func TestExecuteDAGPipelinedGateOverlaps(t *testing.T) {
+	// With a pipelined edge, the consumer overlaps the producer's
+	// irregular tail and the pair finishes faster than with a plain
+	// edge, which gates the consumer on the producer's last task.
+	plain := dagGraph(t, [][2]string{{"a", "b"}}, nil, "a", "b")
+	piped := dagGraph(t, [][2]string{{"a", "b"}},
+		map[[2]string]bool{{"a", "b"}: true}, "a", "b")
+	// The producer runs at ~3 tasks/processor, so its makespan is
+	// floored by task granularity; the consumer carries enough work to
+	// fill the idle tail when the gate opens incrementally.
+	prod := boundedIrregularSpec(1536, 41)
+	cons := uniformSpec(1536, 8)
+	bind := func(name string) OpSpec {
+		if name == "a" {
+			return prod
+		}
+		return cons
+	}
+	cfg := machine.DefaultConfig(512)
+
+	// Observe when the consumer first dispatches and when the producer
+	// completes: with a plain edge the consumer is gated on the whole
+	// producer; with a pipelined edge it starts on partial data.
+	run := func(g *delirium.Graph) (consStart, prodFinish, makespan float64) {
+		consStart = -1
+		DagChunk = func(name string, tm float64, k int, stolen bool) {
+			if name == "b" && consStart < 0 {
+				consStart = tm
+			}
+		}
+		DagOpFinish = func(name string, tm float64) {
+			if name == "a" {
+				prodFinish = tm
+			}
+		}
+		defer func() { DagChunk = nil; DagOpFinish = nil }()
+		r, err := ExecuteDAG(cfg, g, bind, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return consStart, prodFinish, r.Makespan
+	}
+
+	plainStart, plainProd, plainSpan := run(plain)
+	pipedStart, pipedProd, pipedSpan := run(piped)
+
+	if plainStart < plainProd {
+		t.Fatalf("plain edge let the consumer start (%v) before the producer finished (%v)",
+			plainStart, plainProd)
+	}
+	if pipedStart >= pipedProd {
+		t.Fatalf("pipelined edge did not overlap: consumer at %v, producer finished %v",
+			pipedStart, pipedProd)
+	}
+	// Overlap must not cost anything end to end.
+	if pipedSpan > 1.05*plainSpan {
+		t.Fatalf("pipelined span %v much worse than plain %v", pipedSpan, plainSpan)
+	}
+}
+
+func TestExecuteDAGIndependentSources(t *testing.T) {
+	g := dagGraph(t, nil, nil, "a", "b", "c")
+	bind := func(string) OpSpec { return uniformSpec(512, 1) }
+	cfg := machine.DefaultConfig(48)
+	r, err := ExecuteDAG(cfg, g, bind, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := r.SeqTime / 48
+	if r.Makespan > 1.3*ideal {
+		t.Fatalf("independent ops did not share the machine: %v vs %v", r.Makespan, ideal)
+	}
+}
+
+func TestExecuteDAGAbsorbsIrregularity(t *testing.T) {
+	// The headline behaviour: an irregular op co-scheduled with a
+	// regular one completes in near the combined ideal time, while the
+	// chain pays the irregular op's straggler overhang separately.
+	// The irregular op alone is granularity-floored (~3 tasks per
+	// processor, two expensive tasks on some processor); co-scheduled
+	// with a heavy regular op, the idle capacity absorbs the floor.
+	irr := boundedIrregularSpec(1536, 31)
+	reg := uniformSpec(2048, 8)
+	bindBoth := func(name string) OpSpec {
+		if name == "a" {
+			return irr
+		}
+		return reg
+	}
+	conc := dagGraph(t, nil, nil, "a", "b")
+	cfg := machine.DefaultConfig(512)
+	r, err := ExecuteDAG(cfg, conc, bindBoth, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]int, 512)
+	for i := range procs {
+		procs[i] = i
+	}
+	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
+	sep := sched.ExecuteDistributed(cfg, irr.Op, procs, factory).Makespan +
+		sched.ExecuteDistributed(cfg, reg.Op, procs, factory).Makespan
+	if r.Makespan >= sep {
+		t.Fatalf("co-scheduling (%v) should beat separate phases (%v)", r.Makespan, sep)
+	}
+}
+
+func TestExecuteDAGDeterministic(t *testing.T) {
+	g := dagGraph(t, [][2]string{{"a", "b"}}, nil, "a", "b")
+	bind := func(name string) OpSpec { return irregularSpec(512, 5) }
+	cfg := machine.DefaultConfig(64)
+	r1, _ := ExecuteDAG(cfg, g, bind, 64)
+	r2, _ := ExecuteDAG(cfg, g, bind, 64)
+	if r1.Makespan != r2.Makespan || r1.Steals != r2.Steals {
+		t.Fatal("DAG execution not deterministic")
+	}
+}
+
+func TestExecuteDAGInvalidGraph(t *testing.T) {
+	g := delirium.NewGraph("bad")
+	_ = g.AddNode(&delirium.Node{Name: "a"})
+	g.AddEdge(&delirium.Edge{From: "a", To: "ghost"})
+	if _, err := ExecuteDAG(machine.DefaultConfig(4), g, func(string) OpSpec {
+		return uniformSpec(4, 1)
+	}, 4); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}

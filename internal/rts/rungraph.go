@@ -1,0 +1,112 @@
+package rts
+
+import (
+	"fmt"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+	"orchestra/internal/trace"
+)
+
+// Mode selects the execution strategy for a Delirium graph.
+type Mode int
+
+// Execution modes: the three configurations of the paper's Figure 6.
+const (
+	// ModeStatic executes every operator on all processors with a
+	// static block decomposition and barriers between operators.
+	ModeStatic Mode = iota
+	// ModeTaper executes every operator on all processors with the
+	// distributed TAPER algorithm and cost functions, with barriers
+	// between operators.
+	ModeTaper
+	// ModeSplit uses the concurrency the split transformation exposed:
+	// operators at the same dataflow level run concurrently under the
+	// processor-allocation algorithm, and pipelined pairs overlap with
+	// a chosen communication granularity.
+	ModeSplit
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStatic:
+		return "static"
+	case ModeTaper:
+		return "TAPER"
+	case ModeSplit:
+		return "TAPER+split"
+	}
+	return "?"
+}
+
+// Binder resolves a graph node to its executable operation.
+type Binder func(name string) OpSpec
+
+// RunGraph executes a Delirium graph on p processors under the given
+// mode and returns the aggregate result. Non-pipelined edges charge a
+// data-transfer cost between operators; under ModeSplit, a level
+// consisting of one producer whose only consumer is the single node of
+// the next level and whose edge is pipelined executes as an overlapped
+// pair.
+func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, p int, mode Mode) (trace.Result, error) {
+	if err := g.Validate(); err != nil {
+		return trace.Result{}, err
+	}
+	agg := trace.Result{Name: fmt.Sprintf("%s/%s", mode, g.Name), Processors: p}
+	procs := make([]int, p)
+	for i := range procs {
+		procs[i] = i
+	}
+	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
+
+	addEdgeCost := func(e *delirium.Edge) {
+		bytes := e.Bytes
+		if e.PerTask {
+			bytes *= int64(bind(e.To).Op.N)
+		}
+		agg.Makespan += float64(bytes) * cfg.ByteCost / float64(p)
+		agg.Messages += p
+	}
+	accumulate := func(r trace.Result) {
+		agg.Makespan += r.Makespan
+		agg.SeqTime += r.SeqTime
+		agg.Chunks += r.Chunks
+		agg.Steals += r.Steals
+		agg.Messages += r.Messages
+	}
+
+	if mode != ModeSplit {
+		order, err := g.TopoOrder()
+		if err != nil {
+			return trace.Result{}, err
+		}
+		for _, n := range order {
+			spec := bind(n.Name)
+			var r trace.Result
+			if mode == ModeStatic {
+				r = sched.ExecuteStatic(cfg, spec.Op, procs)
+			} else {
+				r = sched.ExecuteDistributed(cfg, spec.Op, procs, factory)
+			}
+			accumulate(r)
+		}
+		for _, e := range g.Edges {
+			if !e.Carried {
+				addEdgeCost(e)
+			}
+		}
+		return agg, nil
+	}
+
+	// ModeSplit: fully adaptive dataflow execution of the whole graph —
+	// no barriers; operators enable as predecessors complete, pipelined
+	// edges enable consumers incrementally, and processors migrate to
+	// whatever is executable.
+	r, err := ExecuteDAG(cfg, g, bind, p)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	r.Name = agg.Name
+	return r, nil
+}

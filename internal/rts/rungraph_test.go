@@ -1,0 +1,100 @@
+package rts
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+)
+
+func chainGraph(t *testing.T, names ...string) *delirium.Graph {
+	t.Helper()
+	g := delirium.NewGraph("chain")
+	for _, n := range names {
+		if err := g.AddNode(&delirium.Node{Name: n, Kind: delirium.Par}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		g.AddEdge(&delirium.Edge{From: names[i-1], To: names[i], Bytes: 8, PerTask: true})
+	}
+	return g
+}
+
+func TestRunGraphModes(t *testing.T) {
+	g := chainGraph(t, "a", "b", "c")
+	bind := func(string) OpSpec { return irregularSpec(1024, 3) }
+	cfg := machine.DefaultConfig(64)
+	results := map[Mode]float64{}
+	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
+		r, err := RunGraph(cfg, g, bind, 64, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if r.Makespan <= 0 || r.SeqTime <= 0 {
+			t.Fatalf("%v: empty result", mode)
+		}
+		if !strings.Contains(r.Name, mode.String()) {
+			t.Fatalf("%v: name = %q", mode, r.Name)
+		}
+		results[mode] = r.Makespan
+	}
+	// Adaptive scheduling beats static on irregular work; even on a
+	// pure chain the barrier-free execution must not lose to the
+	// barrier one by more than the allocation noise.
+	if results[ModeTaper] >= results[ModeStatic] {
+		t.Fatalf("TAPER (%v) lost to static (%v)", results[ModeTaper], results[ModeStatic])
+	}
+	if results[ModeSplit] > 1.1*results[ModeTaper] {
+		t.Fatalf("split (%v) much worse than TAPER (%v) on a chain",
+			results[ModeSplit], results[ModeTaper])
+	}
+}
+
+func TestRunGraphEdgeCostsCharged(t *testing.T) {
+	// The same ops with and without a connecting edge: the barrier
+	// modes charge edge transfer costs.
+	with := chainGraph(t, "a", "b")
+	without := delirium.NewGraph("none")
+	_ = without.AddNode(&delirium.Node{Name: "a"})
+	_ = without.AddNode(&delirium.Node{Name: "b"})
+
+	bind := func(string) OpSpec { return uniformSpec(512, 1) }
+	cfg := machine.DefaultConfig(16)
+	r1, err := RunGraph(cfg, with, bind, 16, ModeTaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunGraph(cfg, without, bind, 16, ModeTaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan <= r2.Makespan {
+		t.Fatalf("edge transfer not charged: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestRunGraphInvalid(t *testing.T) {
+	g := delirium.NewGraph("bad")
+	_ = g.AddNode(&delirium.Node{Name: "a"})
+	_ = g.AddNode(&delirium.Node{Name: "b"})
+	g.AddEdge(&delirium.Edge{From: "a", To: "b"})
+	g.AddEdge(&delirium.Edge{From: "b", To: "a"})
+	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
+		if _, err := RunGraph(machine.DefaultConfig(4), g,
+			func(string) OpSpec { return uniformSpec(8, 1) }, 4, mode); err == nil {
+			t.Fatalf("%v: cyclic graph accepted", mode)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeStatic.String() != "static" || ModeTaper.String() != "TAPER" ||
+		ModeSplit.String() != "TAPER+split" {
+		t.Fatal("mode strings changed")
+	}
+	if Mode(99).String() != "?" {
+		t.Fatal("unknown mode string")
+	}
+}

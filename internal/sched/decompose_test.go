@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"orchestra/internal/machine"
+	"orchestra/internal/stats"
+)
+
+func hintedOp(n int, seed uint64) Op {
+	rng := stats.NewRNG(seed)
+	times := make([]float64, n)
+	for i := range times {
+		if rng.Bernoulli(0.3) {
+			times[i] = rng.Uniform(8, 16)
+		} else {
+			times[i] = 0.8
+		}
+	}
+	return Op{
+		Name:  "hinted",
+		N:     n,
+		Time:  func(i int) float64 { return times[i] },
+		Bytes: 64,
+		Hint:  func(i int) float64 { return times[i] },
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	n, p := 100, 7
+	covered := 0
+	prevHi := 0
+	for j := 0; j < p; j++ {
+		lo, hi := BlockBounds(j, n, p)
+		if lo != prevHi {
+			t.Fatalf("block %d not contiguous: lo=%d prev=%d", j, lo, prevHi)
+		}
+		size := hi - lo
+		if size != n/p && size != n/p+1 {
+			t.Fatalf("block %d size %d not balanced", j, size)
+		}
+		covered += size
+		prevHi = hi
+	}
+	if covered != n {
+		t.Fatalf("blocks cover %d, want %d", covered, n)
+	}
+	// Degenerate cases.
+	if lo, hi := BlockBounds(0, 5, 1); lo != 0 || hi != 5 {
+		t.Fatal("single processor block")
+	}
+	if lo, hi := BlockBounds(7, 3, 10); lo != hi {
+		t.Fatalf("empty block expected for j=7: [%d,%d)", lo, hi)
+	}
+}
+
+func TestDecomposeWithoutHints(t *testing.T) {
+	op := uniformOp(100, 1)
+	queues := Decompose(op, 7)
+	total := 0
+	for j := range queues {
+		total += queues[j].Remaining()
+	}
+	if total != 100 {
+		t.Fatalf("queues cover %d tasks", total)
+	}
+}
+
+func TestDecomposeCostBalanced(t *testing.T) {
+	op := hintedOp(4096, 5)
+	p := 256
+	queues := Decompose(op, p)
+	totalCost := 0.0
+	for i := 0; i < op.N; i++ {
+		totalCost += op.Hint(i)
+	}
+	target := totalCost / float64(p)
+	covered := 0
+	maxTask := 0.0
+	for i := 0; i < op.N; i++ {
+		if op.Hint(i) > maxTask {
+			maxTask = op.Hint(i)
+		}
+	}
+	for j := range queues {
+		covered += queues[j].Remaining()
+		cost := queues[j].EstRemaining(0)
+		// Every block within target ± one max task.
+		if cost > target+maxTask+1e-9 {
+			t.Fatalf("queue %d cost %v exceeds target %v + max %v", j, cost, target, maxTask)
+		}
+	}
+	if covered != op.N {
+		t.Fatalf("queues cover %d tasks", covered)
+	}
+}
+
+func TestDecomposeExpensiveFirstOrder(t *testing.T) {
+	op := hintedOp(1024, 6)
+	queues := Decompose(op, 16)
+	for j := range queues {
+		q := &queues[j]
+		prev := math.Inf(1)
+		for q.Remaining() > 0 {
+			i := q.Take(1, op.Hint)[0]
+			h := op.Hint(i)
+			if h > prev+1e-9 {
+				t.Fatalf("queue %d not sorted expensive-first", j)
+			}
+			prev = h
+		}
+	}
+}
+
+func TestTaskQueueTakeBudget(t *testing.T) {
+	op := hintedOp(64, 7)
+	queues := Decompose(op, 1)
+	q := &queues[0]
+	// Budget smaller than the front task still takes exactly one.
+	got := q.TakeBudget(10, 0.001, op.Hint)
+	if len(got) != 1 {
+		t.Fatalf("minimal take = %d tasks", len(got))
+	}
+	// A generous budget takes up to k.
+	got = q.TakeBudget(5, 1e9, op.Hint)
+	if len(got) != 5 {
+		t.Fatalf("generous take = %d tasks", len(got))
+	}
+	// A budget of ~2 expensive tasks stops there.
+	front := op.Hint(q.NextTask())
+	got = q.TakeBudget(50, front*2.2, op.Hint)
+	if len(got) < 1 || len(got) > 4 {
+		t.Fatalf("budgeted take = %d tasks", len(got))
+	}
+}
+
+func TestTaskQueueRemHintConsistency(t *testing.T) {
+	op := hintedOp(128, 8)
+	queues := Decompose(op, 4)
+	q := &queues[1]
+	before := q.EstRemaining(0)
+	taken := q.Take(3, op.Hint)
+	sum := 0.0
+	for _, i := range taken {
+		sum += op.Hint(i)
+	}
+	after := q.EstRemaining(0)
+	if math.Abs(before-sum-after) > 1e-9 {
+		t.Fatalf("remHint drifted: %v - %v != %v", before, sum, after)
+	}
+}
+
+func TestHintedExecutionBeatsUnhinted(t *testing.T) {
+	// With a warm cost function the runtime balances by cost and starts
+	// stragglers early; it must beat the cold execution on irregular
+	// work at high processor counts.
+	n, p := 4096, 512
+	hinted := hintedOp(n, 9)
+	cold := hinted
+	cold.Hint = nil
+	cfg := machine.DefaultConfig(p)
+	factory := func() Policy { return &Taper{UseCostFunction: true} }
+	rh := ExecuteDistributed(cfg, hinted, procList(p), factory)
+	rc := ExecuteDistributed(cfg, cold, procList(p), factory)
+	if rh.Makespan >= rc.Makespan {
+		t.Fatalf("hints did not help: %v vs %v", rh.Makespan, rc.Makespan)
+	}
+}
+
+func TestDecomposeSmallN(t *testing.T) {
+	// Fewer tasks than processors must not panic and must cover all
+	// tasks.
+	op := hintedOp(5, 10)
+	queues := Decompose(op, 16)
+	total := 0
+	for j := range queues {
+		total += queues[j].Remaining()
+	}
+	if total != 5 {
+		t.Fatalf("covered %d of 5", total)
+	}
+}

@@ -1,0 +1,418 @@
+package sched
+
+import (
+	"orchestra/internal/machine"
+	"orchestra/internal/trace"
+)
+
+// Op is one data-parallel operation: N independent tasks with known
+// (to the simulator, not the scheduler) execution times.
+type Op struct {
+	Name string
+	N    int
+	// Time gives the execution time of task i.
+	Time func(i int) float64
+	// Bytes is the data volume associated with one task; moving a task
+	// off its owner costs a message of this size.
+	Bytes int64
+	// Hint, when non-nil, is the runtime's learned per-task cost
+	// estimate — the cost function built by sampling prior executions
+	// of the same parallel operation (§4.1.1: the runtime "does
+	// additional sampling of task costs to build a cost function").
+	// Applications in steady state (climate timesteps, reconstruction
+	// sweeps) have warm hints; a first execution has none.
+	Hint func(i int) float64
+}
+
+// TotalTime sums all task times (the sequential execution time).
+func (op Op) TotalTime() float64 {
+	t := 0.0
+	for i := 0; i < op.N; i++ {
+		t += op.Time(i)
+	}
+	return t
+}
+
+// BlockBounds returns the [lo, hi) range of tasks owned by processor j
+// in a balanced block decomposition of n tasks over p processors:
+// every block has ⌊n/p⌋ or ⌈n/p⌉ tasks.
+func BlockBounds(j, n, p int) (lo, hi int) {
+	if p < 1 {
+		return 0, n
+	}
+	base := n / p
+	rem := n % p
+	lo = j*base + minInt(j, rem)
+	hi = lo + base
+	if j < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// owner returns the balanced block-decomposition owner of task i among
+// p processors (the owner-computes rule's initial data decomposition).
+func owner(i, n, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	base := n / p
+	rem := n % p
+	// The first rem blocks have base+1 tasks.
+	boundary := rem * (base + 1)
+	if i < boundary {
+		return i / (base + 1)
+	}
+	if base == 0 {
+		return p - 1
+	}
+	return rem + (i-boundary)/base
+}
+
+// ExecuteStatic runs op with a static block decomposition: processor j
+// executes its owned block with no scheduling events and no data
+// movement, then all processors synchronize.
+func ExecuteStatic(cfg machine.Config, op Op, procs []int) trace.Result {
+	p := len(procs)
+	res := trace.Result{Name: "static/" + op.Name, Processors: p, Busy: make([]float64, p)}
+	for i := 0; i < op.N; i++ {
+		t := op.Time(i)
+		res.Busy[owner(i, op.N, p)] += t
+		res.SeqTime += t
+	}
+	max := 0.0
+	for _, b := range res.Busy {
+		if b > max {
+			max = b
+		}
+	}
+	res.Makespan = max + cfg.BroadcastTime(p, 8) // completion barrier
+	res.Chunks = p
+	return res
+}
+
+// ExecuteCentral runs op with a central task queue owned by procs[0]:
+// each processor repeatedly requests a chunk (round-trip message plus
+// dispatch overhead), fetches non-local data, and executes. This is
+// the centralized degenerate case of the distributed algorithm, used
+// as an ablation baseline.
+func ExecuteCentral(cfg machine.Config, op Op, procs []int, factory Factory) trace.Result {
+	p := len(procs)
+	sim := machine.NewSim(cfg)
+	policy := factory()
+	ts := NewTaskStats(op.N)
+	res := trace.Result{
+		Name:       policy.Name() + "-central/" + op.Name,
+		Processors: p,
+		Busy:       make([]float64, p),
+	}
+	res.SeqTime = op.TotalTime()
+
+	next := 0
+	finish := make([]float64, p)
+	qOwner := procs[0]
+
+	var request func(j int)
+	execChunk := func(j, lo, k int) {
+		total := 0.0
+		for i := lo; i < lo+k; i++ {
+			t := op.Time(i)
+			ts.Observe(i, t)
+			total += t
+			if o := procs[owner(i, op.N, p)]; o != procs[j] {
+				total += cfg.MsgTime(o, procs[j], op.Bytes)
+				res.Messages++
+			}
+		}
+		res.Busy[j] += total
+		sim.After(total, func() { request(j) })
+	}
+	request = func(j int) {
+		cost := 2*cfg.MsgTime(procs[j], qOwner, 16) + cfg.SchedOverhead
+		res.Messages += 2
+		sim.After(cost, func() {
+			remaining := op.N - next
+			if remaining <= 0 {
+				finish[j] = sim.Now()
+				return
+			}
+			k := policy.NextChunk(remaining, p, ts)
+			if t, ok := policy.(*Taper); ok {
+				k = clamp(t.ScaleChunk(k, next, ts), remaining)
+			}
+			lo := next
+			next += k
+			res.Chunks++
+			execChunk(j, lo, k)
+		})
+	}
+	for j := 0; j < p; j++ {
+		request(j)
+	}
+	sim.Run()
+	max := 0.0
+	for _, f := range finish {
+		if f > max {
+			max = f
+		}
+	}
+	res.Makespan = max + cfg.BroadcastTime(p, 8)
+	return res
+}
+
+// decompose builds the per-processor task queues the owner-computes
+// rule starts from. With cost hints (a warm cost function) the
+// decomposition is the runtime's refined one: contiguous blocks of
+// approximately equal estimated cost, each processed most-expensive-
+// first so stragglers start early. Without hints it is the balanced
+// count-block decomposition in index order.
+func Decompose(op Op, p int) []TaskQueue {
+	queues := make([]TaskQueue, p)
+	if op.Hint == nil {
+		for j := 0; j < p; j++ {
+			lo, hi := BlockBounds(j, op.N, p)
+			tasks := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				tasks = append(tasks, i)
+			}
+			queues[j] = TaskQueue{tasks: tasks}
+		}
+		return queues
+	}
+	total := 0.0
+	for i := 0; i < op.N; i++ {
+		total += op.Hint(i)
+	}
+	target := total / float64(p)
+	j := 0
+	cum := 0.0
+	for i := 0; i < op.N; i++ {
+		h := op.Hint(i)
+		// Each processor's block ends at its global share boundary:
+		// task i goes to the processor whose cumulative share covers
+		// the task's midpoint, so rounding never accumulates into a
+		// pile on the last processor.
+		for j < p-1 && cum+h/2 > target*float64(j+1) {
+			j++
+		}
+		queues[j].tasks = append(queues[j].tasks, i)
+		queues[j].remHint += h
+		cum += h
+	}
+	for j := range queues {
+		sortByHintDesc(queues[j].tasks, op.Hint)
+	}
+	return queues
+}
+
+// TaskQueue is one processor's remaining work: tasks[pos:] are
+// unscheduled, and remHint tracks their total estimated cost.
+type TaskQueue struct {
+	tasks   []int
+	pos     int
+	remHint float64
+}
+
+// Remaining reports the number of unscheduled tasks.
+func (q *TaskQueue) Remaining() int { return len(q.tasks) - q.pos }
+
+// NextTask returns the next unscheduled task index; it panics on an
+// empty queue.
+func (q *TaskQueue) NextTask() int { return q.tasks[q.pos] }
+
+// Take removes up to k tasks from the front of the queue (the most
+// expensive remaining ones under a hinted decomposition).
+func (q *TaskQueue) Take(k int, hint func(int) float64) []int {
+	if k > q.Remaining() {
+		k = q.Remaining()
+	}
+	out := q.tasks[q.pos : q.pos+k]
+	q.pos += k
+	if hint != nil {
+		for _, i := range out {
+			q.remHint -= hint(i)
+		}
+	}
+	return out
+}
+
+// EstRemaining estimates the queue's remaining execution time: the
+// hint sum when available, otherwise count times the supplied rate.
+func (q *TaskQueue) EstRemaining(rate float64) float64 {
+	if q.remHint > 0 {
+		return q.remHint
+	}
+	return float64(q.Remaining()) * rate
+}
+
+// TakeBudget removes up to k tasks from the front of the queue,
+// additionally stopping once their cumulative hinted cost exceeds
+// budget (always taking at least one). Re-assignment uses it so that a
+// thief never walks away with several expensive tasks at once.
+func (q *TaskQueue) TakeBudget(k int, budget float64, hint func(int) float64) []int {
+	if hint == nil || budget <= 0 {
+		return q.Take(k, hint)
+	}
+	if k > q.Remaining() {
+		k = q.Remaining()
+	}
+	take := 0
+	cost := 0.0
+	for take < k {
+		c := hint(q.tasks[q.pos+take])
+		if take > 0 && cost+c > budget {
+			break
+		}
+		cost += c
+		take++
+	}
+	return q.Take(take, hint)
+}
+
+func sortByHintDesc(tasks []int, hint func(int) float64) {
+	// Insertion sort: queues are short (N/p tasks).
+	for i := 1; i < len(tasks); i++ {
+		for j := i; j > 0 && hint(tasks[j]) > hint(tasks[j-1]); j-- {
+			tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+		}
+	}
+}
+
+// ExecuteDistributed runs op with the paper's distributed scheme
+// (§4.1.1): tasks start on their owners (owner-computes), each
+// processor self-schedules chunks from its local queue using the
+// policy's chunk rule, completion tokens flow up a binary tree, and a
+// processor that exhausts its local work is re-assigned a chunk from
+// the most loaded processor (by estimated remaining time), paying the
+// task-transfer message cost. "If task costs are independent then we
+// expect most tasks to remain on the processor owning them; thus, the
+// algorithm reduces task transfer costs and maintains communication
+// locality."
+func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory) trace.Result {
+	p := len(procs)
+	sim := machine.NewSim(cfg)
+	policy := factory()
+	ts := NewTaskStats(op.N)
+	res := trace.Result{
+		Name:       policy.Name() + "/" + op.Name,
+		Processors: p,
+		Busy:       make([]float64, p),
+	}
+	res.SeqTime = op.TotalTime()
+
+	local := Decompose(op, p)
+	remainingGlobal := op.N
+	finish := make([]float64, p)
+	tree := NewTokenTree(p)
+	// Observed per-processor progress (the token protocol's signal).
+	done := make([]int, p)
+	spent := make([]float64, p)
+
+	// tokenCost is the CPU time a processor spends emitting its
+	// completion token toward the tree root.
+	tokenCost := 0.2 * cfg.MsgOverhead
+
+	var next func(j int)
+	execChunk := func(j int, tasks []int, transferCost float64) {
+		total := transferCost
+		for _, i := range tasks {
+			t := op.Time(i)
+			ts.Observe(i, t)
+			total += t
+		}
+		total += cfg.SchedOverhead + tokenCost
+		tree.Token(j, cfg)
+		res.Busy[j] += total
+		remainingGlobal -= len(tasks)
+		res.Chunks++
+		k := len(tasks)
+		sim.After(total, func() {
+			done[j] += k
+			spent[j] += total
+			next(j)
+		})
+	}
+	next = func(j int) {
+		if remainingGlobal <= 0 {
+			finish[j] = sim.Now()
+			return
+		}
+		q := &local[j]
+		if q.Remaining() > 0 {
+			k := policy.NextChunk(remainingGlobal, p, ts)
+			if t, ok := policy.(*Taper); ok {
+				k = clamp(t.ScaleChunk(k, q.NextTask(), ts), remainingGlobal)
+			}
+			// Budget the chunk in time — the per-task-grained form of
+			// the cost-function scaling s = μg/μc — so one chunk never
+			// collects several expensive tasks. The budget is the
+			// hint-estimated remaining work per processor.
+			budget := 0.0
+			for v := 0; v < p; v++ {
+				budget += local[v].EstRemaining(0)
+			}
+			budget /= float64(p)
+			execChunk(j, q.TakeBudget(k, budget, op.Hint), 0)
+			return
+		}
+		// Local queue empty: ask the root to re-assign a chunk from the
+		// most loaded processor (the epoch mechanism's chunk
+		// re-assignment). Load is the estimated remaining time, from
+		// hints when present, else the observed per-processor rate the
+		// token protocol reports.
+		globalMean := ts.Global.Mean()
+		victim := -1
+		bestTime := 0.0
+		for v := 0; v < p; v++ {
+			if local[v].Remaining() == 0 {
+				continue
+			}
+			rate := globalMean
+			if done[v] > 0 && spent[v]/float64(done[v]) > rate {
+				rate = spent[v] / float64(done[v])
+			}
+			if est := local[v].EstRemaining(rate); est > bestTime {
+				bestTime = est
+				victim = v
+			}
+		}
+		if victim < 0 {
+			// Nothing left anywhere; wait for stragglers to finish
+			// their running chunks.
+			finish[j] = sim.Now()
+			return
+		}
+		k := policy.NextChunk(remainingGlobal, p, ts)
+		budget := local[victim].EstRemaining(globalMean) / 2
+		tasks := local[victim].TakeBudget(k, budget, op.Hint)
+		res.Steals++
+		res.Messages += 3
+		// Round trip to the root plus the task+data transfer.
+		cost := 2*cfg.MsgTime(procs[j], procs[0], 16) +
+			cfg.MsgTime(procs[victim], procs[j], int64(len(tasks))*op.Bytes+32)
+		execChunk(j, tasks, cost)
+	}
+	for j := 0; j < p; j++ {
+		j := j
+		sim.After(0, func() { next(j) })
+	}
+	sim.Run()
+	max := 0.0
+	for _, f := range finish {
+		if f > max {
+			max = f
+		}
+	}
+	// Each completed epoch's broadcast adds root latency; the final
+	// barrier synchronizes completion.
+	res.Messages += tree.Messages
+	res.Makespan = max + float64(tree.Broadcasts)*0.1*cfg.HopLatency + cfg.BroadcastTime(p, 8)
+	return res
+}

@@ -1,0 +1,302 @@
+package source
+
+// BaseType is the element type of a declared variable.
+type BaseType int
+
+// Base types.
+const (
+	Integer BaseType = iota
+	Real
+)
+
+func (t BaseType) String() string {
+	if t == Integer {
+		return "integer"
+	}
+	return "real"
+}
+
+// Size reports the element size in bytes, used by the Delirium layer to
+// annotate dataflow edges with data volumes.
+func (t BaseType) Size() int64 {
+	if t == Integer {
+		return 4
+	}
+	return 8
+}
+
+// Decl declares a scalar (no Dims) or an array variable.
+type Decl struct {
+	Name string
+	Type BaseType
+	Dims []Expr // one extent expression per dimension; nil for scalars
+	Pos  Pos
+}
+
+// IsArray reports whether the declaration has at least one dimension.
+func (d *Decl) IsArray() bool { return len(d.Dims) > 0 }
+
+// Program is a parsed mini-Fortran program.
+type Program struct {
+	Name  string
+	Decls []*Decl
+	Body  []Stmt
+
+	decls map[string]*Decl
+}
+
+// Decl looks up a declaration by (lower-case) name.
+func (p *Program) Decl(name string) *Decl {
+	return p.decls[name]
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmt()
+	GetPos() Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	GetPos() Pos
+}
+
+// Num is a numeric literal.
+type Num struct {
+	Text   string // original spelling
+	IsReal bool
+	Int    int64 // value when !IsReal
+	Pos    Pos
+}
+
+// Ident is a scalar variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// ArrayRef is a subscripted reference to a declared array.
+type ArrayRef struct {
+	Name  string
+	Index []Expr
+	Pos   Pos
+}
+
+// FuncCall is a call to an external (pure) function in expression
+// position. The paper's examples use such calls ("compute result[i]
+// from the i-th column of q"); analysis treats them as reading their
+// arguments.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// Bin is a binary operation. Op is one of + - * / == != < <= > >= && ||.
+type Bin struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// Un is a unary operation. Op is one of - !.
+type Un struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+func (*Num) expr()      {}
+func (*Ident) expr()    {}
+func (*ArrayRef) expr() {}
+func (*FuncCall) expr() {}
+func (*Bin) expr()      {}
+func (*Un) expr()       {}
+
+// GetPos implements Expr.
+func (n *Num) GetPos() Pos { return n.Pos }
+
+// GetPos implements Expr.
+func (n *Ident) GetPos() Pos { return n.Pos }
+
+// GetPos implements Expr.
+func (n *ArrayRef) GetPos() Pos { return n.Pos }
+
+// GetPos implements Expr.
+func (n *FuncCall) GetPos() Pos { return n.Pos }
+
+// GetPos implements Expr.
+func (n *Bin) GetPos() Pos { return n.Pos }
+
+// GetPos implements Expr.
+func (n *Un) GetPos() Pos { return n.Pos }
+
+// Assign is an assignment statement. LHS is *Ident or *ArrayRef.
+type Assign struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// DoRange is one contiguous segment of a do-loop's iteration space.
+type DoRange struct {
+	Lo, Hi Expr
+	Step   Expr // nil means 1
+}
+
+// Do is a do loop, possibly with a discontinuous iteration space
+// (multiple ranges joined by "and", the paper's notation) and an
+// optional where guard evaluated per iteration.
+type Do struct {
+	Var    string
+	Ranges []DoRange
+	Where  Expr // nil when unguarded
+	Body   []Stmt
+	Pos    Pos
+}
+
+// If is a conditional statement.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil when absent
+	Pos  Pos
+}
+
+// CallStmt is a subroutine call statement. Analysis treats it
+// conservatively: it reads and may write every aggregate argument.
+type CallStmt struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Assign) stmt()   {}
+func (*Do) stmt()       {}
+func (*If) stmt()       {}
+func (*CallStmt) stmt() {}
+
+// GetPos implements Stmt.
+func (s *Assign) GetPos() Pos { return s.Pos }
+
+// GetPos implements Stmt.
+func (s *Do) GetPos() Pos { return s.Pos }
+
+// GetPos implements Stmt.
+func (s *If) GetPos() Pos { return s.Pos }
+
+// GetPos implements Stmt.
+func (s *CallStmt) GetPos() Pos { return s.Pos }
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Num:
+		c := *e
+		return &c
+	case *Ident:
+		c := *e
+		return &c
+	case *ArrayRef:
+		c := &ArrayRef{Name: e.Name, Pos: e.Pos, Index: make([]Expr, len(e.Index))}
+		for i, x := range e.Index {
+			c.Index[i] = CloneExpr(x)
+		}
+		return c
+	case *FuncCall:
+		c := &FuncCall{Name: e.Name, Pos: e.Pos, Args: make([]Expr, len(e.Args))}
+		for i, x := range e.Args {
+			c.Args[i] = CloneExpr(x)
+		}
+		return c
+	case *Bin:
+		return &Bin{Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R), Pos: e.Pos}
+	case *Un:
+		return &Un{Op: e.Op, X: CloneExpr(e.X), Pos: e.Pos}
+	}
+	panic("source: unknown expression node")
+}
+
+// CloneStmt deep-copies a statement tree.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Assign:
+		return &Assign{LHS: CloneExpr(s.LHS), RHS: CloneExpr(s.RHS), Pos: s.Pos}
+	case *Do:
+		c := &Do{Var: s.Var, Pos: s.Pos, Body: CloneStmts(s.Body)}
+		for _, r := range s.Ranges {
+			cr := DoRange{Lo: CloneExpr(r.Lo), Hi: CloneExpr(r.Hi)}
+			if r.Step != nil {
+				cr.Step = CloneExpr(r.Step)
+			}
+			c.Ranges = append(c.Ranges, cr)
+		}
+		if s.Where != nil {
+			c.Where = CloneExpr(s.Where)
+		}
+		return c
+	case *If:
+		c := &If{Cond: CloneExpr(s.Cond), Then: CloneStmts(s.Then), Pos: s.Pos}
+		if s.Else != nil {
+			c.Else = CloneStmts(s.Else)
+		}
+		return c
+	case *CallStmt:
+		c := &CallStmt{Name: s.Name, Pos: s.Pos, Args: make([]Expr, len(s.Args))}
+		for i, a := range s.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return c
+	}
+	panic("source: unknown statement node")
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(ss []Stmt) []Stmt {
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// WalkExpr calls f on e and every sub-expression, pre-order.
+func WalkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *ArrayRef:
+		for _, x := range e.Index {
+			WalkExpr(x, f)
+		}
+	case *FuncCall:
+		for _, x := range e.Args {
+			WalkExpr(x, f)
+		}
+	case *Bin:
+		WalkExpr(e.L, f)
+		WalkExpr(e.R, f)
+	case *Un:
+		WalkExpr(e.X, f)
+	}
+}
+
+// WalkStmts calls f on every statement in ss and their bodies,
+// pre-order.
+func WalkStmts(ss []Stmt, f func(Stmt)) {
+	for _, s := range ss {
+		f(s)
+		switch s := s.(type) {
+		case *Do:
+			WalkStmts(s.Body, f)
+		case *If:
+			WalkStmts(s.Then, f)
+			WalkStmts(s.Else, f)
+		}
+	}
+}

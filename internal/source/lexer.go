@@ -1,0 +1,162 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes mini-Fortran input. Comments run from '!' to end of
+// line. Newlines are significant (they terminate statements) and are
+// produced as TokNewline tokens; blank lines collapse.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError reports a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	for {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.advance()
+			continue
+		}
+		if c == '!' && l.peek2() != '=' { // comment to end of line ("!=" is an operator)
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '\n':
+		l.advance()
+		return Token{Kind: TokNewline, Text: "\n", Pos: pos}, nil
+	case c == '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case c == ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case c == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		// Fraction, but only when followed by a digit (so "1." is not
+		// consumed; the language has no trailing-dot literals).
+		if l.peek() == '.' && isDigit(l.peek2()) {
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.off], Pos: pos}, nil
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := strings.ToLower(l.src[start:l.off])
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	}
+	// Operators, longest match first.
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	switch two {
+	case "==", "!=", "<>", "<=", ">=", "&&", "||":
+		l.advance()
+		l.advance()
+		t := two
+		if t == "<>" {
+			t = "!=" // normalize the paper's FORTRAN-style disequality
+		}
+		return Token{Kind: TokOp, Text: t, Pos: pos}, nil
+	}
+	switch c {
+	case '+', '-', '*', '/', '=', '<', '>':
+		l.advance()
+		return Token{Kind: TokOp, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, &LexError{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+// Tokenize lexes the entire input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,524 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with its position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks   []Token
+	pos    int
+	arrays map[string]bool // declared array names, for ident(...) resolution
+}
+
+// Parse parses a complete mini-Fortran program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, arrays: map[string]bool{}}
+	return p.parseProgram()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %q, found %s", kw, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) atOp(op string) bool {
+	t := p.cur()
+	return t.Kind == TokOp && t.Text == op
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.atOp(op) {
+		return p.errf("expected %q, found %s", op, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKind(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+// skipNewlines consumes any run of newline tokens.
+func (p *parser) skipNewlines() {
+	for p.cur().Kind == TokNewline {
+		p.next()
+	}
+}
+
+// endOfStmt consumes the newline (or EOF) that terminates a statement.
+func (p *parser) endOfStmt() error {
+	switch p.cur().Kind {
+	case TokNewline:
+		p.skipNewlines()
+		return nil
+	case TokEOF:
+		return nil
+	}
+	return p.errf("expected end of statement, found %s", p.cur())
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	p.skipNewlines()
+	if err := p.expectKeyword("program"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectKind(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: nameTok.Text, decls: map[string]*Decl{}}
+
+	// Declarations: a run of integer/real lines.
+	for p.atKeyword("integer") || p.atKeyword("real") {
+		decls, err := p.parseDeclLine()
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range decls {
+			if prog.decls[d.Name] != nil {
+				return nil, &ParseError{Pos: d.Pos, Msg: fmt.Sprintf("duplicate declaration of %q", d.Name)}
+			}
+			prog.Decls = append(prog.Decls, d)
+			prog.decls[d.Name] = d
+			if d.IsArray() {
+				p.arrays[d.Name] = true
+			}
+		}
+	}
+
+	body, err := p.parseStmts(func() bool { return p.atKeyword("end") })
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("unexpected input after program end: %s", p.cur())
+	}
+	return prog, nil
+}
+
+func (p *parser) parseDeclLine() ([]*Decl, error) {
+	typTok := p.next()
+	typ := Integer
+	if typTok.Text == "real" {
+		typ = Real
+	}
+	var decls []*Decl
+	for {
+		nameTok, err := p.expectKind(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d := &Decl{Name: nameTok.Text, Type: typ, Pos: nameTok.Pos}
+		if p.cur().Kind == TokLParen {
+			p.next()
+			for {
+				dim, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Dims = append(d.Dims, dim)
+				if p.cur().Kind == TokComma {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expectKind(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, d)
+		if p.cur().Kind == TokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	return decls, p.endOfStmt()
+}
+
+// parseStmts parses statements until stop() reports the terminator is
+// current (terminator not consumed).
+func (p *parser) parseStmts(stop func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		if stop() {
+			return out, nil
+		}
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected end of input")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("do"):
+		return p.parseDo()
+	case p.atKeyword("if"):
+		return p.parseIf()
+	case p.atKeyword("call"):
+		return p.parseCall()
+	case p.cur().Kind == TokIdent:
+		return p.parseAssign()
+	}
+	return nil, p.errf("expected statement, found %s", p.cur())
+}
+
+func (p *parser) parseDo() (Stmt, error) {
+	doTok := p.next() // "do"
+	varTok, err := p.expectKind(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	d := &Do{Var: varTok.Text, Pos: doTok.Pos}
+
+	r, hasStep, err := p.parseDoRange()
+	if err != nil {
+		return nil, err
+	}
+	d.Ranges = append(d.Ranges, r)
+	// Additional ranges joined by "and" (discontinuous iteration space);
+	// a stepped first range precludes additional segments.
+	for !hasStep && p.atKeyword("and") {
+		p.next()
+		r, _, err := p.parseDoRange()
+		if err != nil {
+			return nil, err
+		}
+		d.Ranges = append(d.Ranges, r)
+	}
+
+	if p.atKeyword("where") {
+		p.next()
+		if _, err := p.expectKind(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(TokRParen); err != nil {
+			return nil, err
+		}
+		d.Where = cond
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+
+	body, err := p.parseStmts(func() bool { return p.atKeyword("end") || p.atKeyword("enddo") })
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	if p.atKeyword("enddo") {
+		p.next()
+	} else {
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("do"); err != nil {
+			return nil, err
+		}
+	}
+	return d, p.endOfStmt()
+}
+
+// parseDoRange parses "lo, hi [, step]". The step is only permitted on
+// a single-segment loop; the caller uses hasStep to enforce that.
+func (p *parser) parseDoRange() (DoRange, bool, error) {
+	lo, err := p.parseExpr()
+	if err != nil {
+		return DoRange{}, false, err
+	}
+	if _, err := p.expectKind(TokComma); err != nil {
+		return DoRange{}, false, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return DoRange{}, false, err
+	}
+	r := DoRange{Lo: lo, Hi: hi}
+	if p.cur().Kind == TokComma {
+		p.next()
+		step, err := p.parseExpr()
+		if err != nil {
+			return DoRange{}, false, err
+		}
+		r.Step = step
+		return r, true, nil
+	}
+	return r, false, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	ifTok := p.next() // "if"
+	if _, err := p.expectKind(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKind(TokRParen); err != nil {
+		return nil, err
+	}
+	st := &If{Cond: cond, Pos: ifTok.Pos}
+
+	if !p.atKeyword("then") {
+		// One-line form: if (cond) assignment
+		one, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		st.Then = []Stmt{one}
+		return st, nil
+	}
+	p.next() // "then"
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.parseStmts(func() bool {
+		return p.atKeyword("else") || p.atKeyword("endif") || p.atKeyword("end")
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Then = thenBody
+	if p.atKeyword("else") {
+		p.next()
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+		elseBody, err := p.parseStmts(func() bool {
+			return p.atKeyword("endif") || p.atKeyword("end")
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.Else = elseBody
+	}
+	if p.atKeyword("endif") {
+		p.next()
+	} else {
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("if"); err != nil {
+			// "end if" uses the identifier "if"? No: "if" is a keyword.
+			return nil, err
+		}
+	}
+	return st, p.endOfStmt()
+}
+
+func (p *parser) parseCall() (Stmt, error) {
+	callTok := p.next() // "call"
+	nameTok, err := p.expectKind(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	st := &CallStmt{Name: nameTok.Text, Pos: callTok.Pos}
+	if _, err := p.expectKind(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Args = append(st.Args, arg)
+			if p.cur().Kind == TokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expectKind(TokRParen); err != nil {
+		return nil, err
+	}
+	return st, p.endOfStmt()
+}
+
+func (p *parser) parseAssign() (Stmt, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	switch lhs.(type) {
+	case *Ident, *ArrayRef:
+	default:
+		return nil, &ParseError{Pos: lhs.GetPos(), Msg: "assignment target must be a variable or array element"}
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	st := &Assign{LHS: lhs, RHS: rhs, Pos: lhs.GetPos()}
+	return st, p.endOfStmt()
+}
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!=", "<", "<=", ">", ">="},
+	{"+", "-"},
+	{"*", "/"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokOp || !contains(precLevels[level], t.Text) {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Bin{Op: t.Text, L: lhs, R: rhs, Pos: t.Pos}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: t.Text, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			return &Num{Text: t.Text, IsReal: true, Pos: t.Pos}, nil
+		}
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: "integer literal out of range"}
+		}
+		return &Num{Text: t.Text, Int: v, Pos: t.Pos}, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind != TokLParen {
+			return &Ident{Name: t.Text, Pos: t.Pos}, nil
+		}
+		p.next() // "("
+		var args []Expr
+		if p.cur().Kind != TokRParen {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().Kind == TokComma {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expectKind(TokRParen); err != nil {
+			return nil, err
+		}
+		if p.arrays[t.Text] {
+			return &ArrayRef{Name: t.Text, Index: args, Pos: t.Pos}, nil
+		}
+		return &FuncCall{Name: t.Text, Args: args, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}

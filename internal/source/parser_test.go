@@ -1,0 +1,484 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1 is the paper's Figure 1 example in mini-Fortran syntax.
+const figure1 = `
+program sample
+  integer n
+  integer mask(n)
+  real result(n), q(n, n), output(n, n)
+
+  do col = 1, n where (mask(col) != 0)
+    do i = 1, n
+      result(i) = f(q(i, col))
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = g(q(j, i))
+    end do
+  end do
+end
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestParseFigure1(t *testing.T) {
+	p := mustParse(t, figure1)
+	if p.Name != "sample" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if len(p.Decls) != 5 {
+		t.Fatalf("decls = %d, want 5", len(p.Decls))
+	}
+	if len(p.Body) != 2 {
+		t.Fatalf("top-level statements = %d, want 2", len(p.Body))
+	}
+	loopA, ok := p.Body[0].(*Do)
+	if !ok {
+		t.Fatalf("first statement is %T", p.Body[0])
+	}
+	if loopA.Var != "col" || loopA.Where == nil || len(loopA.Body) != 2 {
+		t.Fatalf("loop A malformed: %+v", loopA)
+	}
+	w, ok := loopA.Where.(*Bin)
+	if !ok || w.Op != "!=" {
+		t.Fatalf("where clause = %v", FormatExpr(loopA.Where))
+	}
+	if _, ok := w.L.(*ArrayRef); !ok {
+		t.Fatalf("where lhs should be array ref, got %T", w.L)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	p := mustParse(t, `
+program d
+  integer n, m
+  real a(n), b(n, m), c
+end
+`)
+	if got := len(p.Decls); got != 5 {
+		t.Fatalf("decls = %d", got)
+	}
+	a := p.Decl("a")
+	if a == nil || !a.IsArray() || len(a.Dims) != 1 || a.Type != Real {
+		t.Fatalf("decl a = %+v", a)
+	}
+	b := p.Decl("b")
+	if b == nil || len(b.Dims) != 2 {
+		t.Fatalf("decl b = %+v", b)
+	}
+	c := p.Decl("c")
+	if c == nil || c.IsArray() {
+		t.Fatalf("decl c = %+v", c)
+	}
+	if p.Decl("n").Type != Integer {
+		t.Fatal("n should be integer")
+	}
+	if p.Decl("zz") != nil {
+		t.Fatal("undeclared lookup should be nil")
+	}
+}
+
+func TestParseDuplicateDecl(t *testing.T) {
+	_, err := Parse("program d\n integer x\n real x\nend\n")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArrayVsCallResolution(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n
+  real a(n), x
+  x = a(3) + f(4)
+end
+`)
+	as := p.Body[0].(*Assign)
+	bin := as.RHS.(*Bin)
+	if _, ok := bin.L.(*ArrayRef); !ok {
+		t.Fatalf("a(3) parsed as %T", bin.L)
+	}
+	if _, ok := bin.R.(*FuncCall); !ok {
+		t.Fatalf("f(4) parsed as %T", bin.R)
+	}
+}
+
+func TestParseDiscontinuousRange(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n, a
+  real x(n)
+  do i = 1, a - 1 and a + 1, n
+    x(i) = 0
+  end do
+end
+`)
+	d := p.Body[0].(*Do)
+	if len(d.Ranges) != 2 {
+		t.Fatalf("ranges = %d", len(d.Ranges))
+	}
+	if FormatExpr(d.Ranges[0].Hi) != "a - 1" {
+		t.Fatalf("first hi = %q", FormatExpr(d.Ranges[0].Hi))
+	}
+	if FormatExpr(d.Ranges[1].Lo) != "a + 1" {
+		t.Fatalf("second lo = %q", FormatExpr(d.Ranges[1].Lo))
+	}
+}
+
+func TestParseStep(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n
+  real x(n)
+  do i = 2, n, 2
+    x(i) = 1
+  end do
+end
+`)
+	d := p.Body[0].(*Do)
+	if d.Ranges[0].Step == nil || FormatExpr(d.Ranges[0].Step) != "2" {
+		t.Fatalf("step = %v", d.Ranges[0].Step)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n, s
+  integer mask(n)
+  if (mask(1) == 0) then
+    s = 1
+  else
+    s = 2
+  end if
+  if (s > 0) s = s - 1
+end
+`)
+	st := p.Body[0].(*If)
+	if len(st.Then) != 1 || len(st.Else) != 1 {
+		t.Fatalf("if branches: then=%d else=%d", len(st.Then), len(st.Else))
+	}
+	oneLine := p.Body[1].(*If)
+	if len(oneLine.Then) != 1 || oneLine.Else != nil {
+		t.Fatalf("one-line if: %+v", oneLine)
+	}
+}
+
+func TestParseEndifEnddo(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n, s
+  do i = 1, n
+    if (s == 0) then
+      s = 1
+    endif
+  enddo
+end
+`)
+	d := p.Body[0].(*Do)
+	if _, ok := d.Body[0].(*If); !ok {
+		t.Fatal("nested if lost")
+	}
+}
+
+func TestParseCallStmt(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n
+  real x(n)
+  call solve(x, n)
+  call barrier()
+end
+`)
+	c := p.Body[0].(*CallStmt)
+	if c.Name != "solve" || len(c.Args) != 2 {
+		t.Fatalf("call = %+v", c)
+	}
+	c2 := p.Body[1].(*CallStmt)
+	if len(c2.Args) != 0 {
+		t.Fatalf("barrier args = %d", len(c2.Args))
+	}
+}
+
+func TestParseReduction(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer n
+  real x(n, n), sum
+  do i = 1, n
+    do j = 1, n
+      sum = sum + x(j, i)
+    end do
+  end do
+end
+`)
+	outer := p.Body[0].(*Do)
+	inner := outer.Body[0].(*Do)
+	as := inner.Body[0].(*Assign)
+	if FormatExpr(as.RHS) != "sum + x(j, i)" {
+		t.Fatalf("rhs = %q", FormatExpr(as.RHS))
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	p := mustParse(t, `
+program r
+  integer a, b, c, d
+  a = b + c * d
+  b = (a + c) * d
+  c = a + b - c
+  d = -a * b
+end
+`)
+	cases := []string{"b + c * d", "(a + c) * d", "a + b - c", "-a * b"}
+	for i, want := range cases {
+		got := FormatExpr(p.Body[i].(*Assign).RHS)
+		if got != want {
+			t.Errorf("stmt %d: %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestComparisonNormalization(t *testing.T) {
+	// "<>" normalizes to "!=".
+	p := mustParse(t, `
+program r
+  integer a, b, s
+  if (a <> b) s = 1
+end
+`)
+	cond := p.Body[0].(*If).Cond.(*Bin)
+	if cond.Op != "!=" {
+		t.Fatalf("op = %q", cond.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                        // empty
+		"program\n",                               // missing name
+		"program p\n do i = 1\n end do\nend\n",    // bad range
+		"program p\n x = \nend\n",                 // missing rhs
+		"program p\n do i = 1, 2\nend\n",          // unterminated do
+		"program p\n if (1 > 0) then\nend\n",      // unterminated if
+		"program p\n 3 = x\nend\n",                // bad lhs
+		"program p\n integer a\n f(a) = 1\nend\n", // call as lhs
+		"program p\nend\nxx\n",                    // trailing garbage
+		"program p\n x = $\nend\n",                // lex error
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := mustParse(t, figure1)
+	printed := Format(p)
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if Format(p2) != printed {
+		t.Fatalf("format not a fixed point:\n%s\n---\n%s", printed, Format(p2))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mustParse(t, figure1)
+	orig := Format(p)
+	cl := CloneStmts(p.Body)
+	// Mutate the clone thoroughly.
+	WalkStmts(cl, func(s Stmt) {
+		if d, ok := s.(*Do); ok {
+			d.Var = "zz"
+			d.Ranges[0].Lo = &Num{Int: 99}
+		}
+	})
+	if Format(p) != orig {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestWalkStmtsVisitsAll(t *testing.T) {
+	p := mustParse(t, figure1)
+	var dos, assigns int
+	WalkStmts(p.Body, func(s Stmt) {
+		switch s.(type) {
+		case *Do:
+			dos++
+		case *Assign:
+			assigns++
+		}
+	})
+	if dos != 5 {
+		t.Fatalf("do loops = %d, want 5", dos)
+	}
+	if assigns != 3 {
+		t.Fatalf("assigns = %d, want 3", assigns)
+	}
+}
+
+func TestWalkExprVisitsAll(t *testing.T) {
+	p := mustParse(t, "program r\n integer a, b\n real q(a)\n a = q(a + b) + f(a, -b)\nend\n")
+	var idents int
+	WalkExpr(p.Body[0].(*Assign).RHS, func(e Expr) {
+		if _, ok := e.(*Ident); ok {
+			idents++
+		}
+	})
+	if idents != 4 {
+		t.Fatalf("idents = %d, want 4", idents)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Tokenize("ab + cd\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{1, 4}) || toks[2].Pos != (Pos{1, 6}) {
+		t.Fatalf("positions: %+v", toks[:3])
+	}
+	// x on line 2 col 3
+	if toks[4].Pos != (Pos{2, 3}) {
+		t.Fatalf("x pos = %v", toks[4].Pos)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := Tokenize("a ! comment with $ garbage\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a" || toks[1].Kind != TokNewline || toks[2].Text != "b" {
+		t.Fatalf("tokens: %+v", toks)
+	}
+}
+
+func TestLexerRealLiterals(t *testing.T) {
+	toks, err := Tokenize("1.5 2 0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "1.5" || toks[1].Text != "2" || toks[2].Text != "0.25" {
+		t.Fatalf("tokens: %+v", toks[:3])
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	p := mustParse(t, "PROGRAM R\n INTEGER N\n REAL X(N)\n DO I = 1, N\n X(I) = 0\n END DO\nEND\n")
+	if p.Name != "r" || p.Decl("x") == nil {
+		t.Fatal("case folding failed")
+	}
+}
+
+func TestNodeInterfaces(t *testing.T) {
+	// Marker methods and position accessors across every node type.
+	p := mustParse(t, `
+program p
+  integer n, a
+  real x(n)
+  do i = 1, n
+    if (a > 0) then
+      x(i) = f(a) + -a * 1.5
+    end if
+  end do
+  call g(a)
+end
+`)
+	var exprs []Expr
+	var stmts []Stmt
+	WalkStmts(p.Body, func(s Stmt) {
+		stmts = append(stmts, s)
+		switch s := s.(type) {
+		case *Assign:
+			WalkExpr(s.LHS, func(e Expr) { exprs = append(exprs, e) })
+			WalkExpr(s.RHS, func(e Expr) { exprs = append(exprs, e) })
+		case *If:
+			WalkExpr(s.Cond, func(e Expr) { exprs = append(exprs, e) })
+		case *Do:
+			WalkExpr(s.Ranges[0].Lo, func(e Expr) { exprs = append(exprs, e) })
+		case *CallStmt:
+			for _, a := range s.Args {
+				WalkExpr(a, func(e Expr) { exprs = append(exprs, e) })
+			}
+		}
+	})
+	kinds := map[string]bool{}
+	for _, e := range exprs {
+		if e.GetPos().Line <= 0 {
+			t.Fatalf("expr %T has no position", e)
+		}
+		kinds[FormatExpr(e)] = true
+		_ = e
+	}
+	for _, s := range stmts {
+		if s.GetPos().Line <= 0 {
+			t.Fatalf("stmt %T has no position", s)
+		}
+	}
+	if len(kinds) < 8 {
+		t.Fatalf("expected diverse expressions, got %d", len(kinds))
+	}
+}
+
+func TestBaseTypeSize(t *testing.T) {
+	if Integer.Size() != 4 || Real.Size() != 8 {
+		t.Fatal("element sizes changed")
+	}
+	if Integer.String() != "integer" || Real.String() != "real" {
+		t.Fatal("type names changed")
+	}
+}
+
+func TestFormatStmtsIndent(t *testing.T) {
+	p := mustParse(t, "program p\n integer a\n a = 1\nend\n")
+	got := FormatStmts(p.Body, 2)
+	if got != "    a = 1\n" {
+		t.Fatalf("indent = %q", got)
+	}
+}
+
+func TestCloneCallAndIf(t *testing.T) {
+	p := mustParse(t, `
+program p
+  integer a
+  real x(3)
+  if (a > 0) then
+    a = 1
+  else
+    call f(x, a)
+  end if
+end
+`)
+	cl := CloneStmts(p.Body)
+	orig := FormatStmts(p.Body, 0)
+	// Mutate the cloned call's argument.
+	WalkStmts(cl, func(s Stmt) {
+		if c, ok := s.(*CallStmt); ok {
+			c.Args[1].(*Ident).Name = "zz"
+		}
+	})
+	if FormatStmts(p.Body, 0) != orig {
+		t.Fatal("clone shared call arguments")
+	}
+}

@@ -1,0 +1,174 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatExpr renders an expression as mini-Fortran source.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// precedence of an operator for parenthesization decisions.
+func opPrec(op string) int {
+	for i, level := range precLevels {
+		if contains(level, op) {
+			return i
+		}
+	}
+	return len(precLevels)
+}
+
+func writeExpr(b *strings.Builder, e Expr, parentPrec int) {
+	switch e := e.(type) {
+	case *Num:
+		if e.Text != "" {
+			b.WriteString(e.Text)
+		} else {
+			fmt.Fprintf(b, "%d", e.Int)
+		}
+	case *Ident:
+		b.WriteString(e.Name)
+	case *ArrayRef:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, x := range e.Index {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, x, 0)
+		}
+		b.WriteByte(')')
+	case *FuncCall:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, x := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, x, 0)
+		}
+		b.WriteByte(')')
+	case *Bin:
+		prec := opPrec(e.Op)
+		if prec < parentPrec {
+			b.WriteByte('(')
+		}
+		writeExpr(b, e.L, prec)
+		fmt.Fprintf(b, " %s ", e.Op)
+		writeExpr(b, e.R, prec+1)
+		if prec < parentPrec {
+			b.WriteByte(')')
+		}
+	case *Un:
+		b.WriteString(e.Op)
+		writeExpr(b, e.X, len(precLevels))
+	default:
+		panic("source: unknown expression node in printer")
+	}
+}
+
+// Format renders a whole program as mini-Fortran source.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, d := range p.Decls {
+		fmt.Fprintf(&b, "  %s %s", d.Type, d.Name)
+		if d.IsArray() {
+			b.WriteByte('(')
+			for i, dim := range d.Dims {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(&b, dim, 0)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte('\n')
+	}
+	writeStmts(&b, p.Body, 1)
+	b.WriteString("end\n")
+	return b.String()
+}
+
+// FormatStmts renders a statement list at the given indent level.
+func FormatStmts(ss []Stmt, indent int) string {
+	var b strings.Builder
+	writeStmts(&b, ss, indent)
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, ss []Stmt, indent int) {
+	for _, s := range ss {
+		writeStmt(b, s, indent)
+	}
+}
+
+func ind(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeStmt(b *strings.Builder, s Stmt, indent int) {
+	switch s := s.(type) {
+	case *Assign:
+		ind(b, indent)
+		writeExpr(b, s.LHS, 0)
+		b.WriteString(" = ")
+		writeExpr(b, s.RHS, 0)
+		b.WriteByte('\n')
+	case *Do:
+		ind(b, indent)
+		fmt.Fprintf(b, "do %s = ", s.Var)
+		for i, r := range s.Ranges {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			writeExpr(b, r.Lo, 0)
+			b.WriteString(", ")
+			writeExpr(b, r.Hi, 0)
+			if r.Step != nil {
+				b.WriteString(", ")
+				writeExpr(b, r.Step, 0)
+			}
+		}
+		if s.Where != nil {
+			b.WriteString(" where (")
+			writeExpr(b, s.Where, 0)
+			b.WriteByte(')')
+		}
+		b.WriteByte('\n')
+		writeStmts(b, s.Body, indent+1)
+		ind(b, indent)
+		b.WriteString("end do\n")
+	case *If:
+		ind(b, indent)
+		b.WriteString("if (")
+		writeExpr(b, s.Cond, 0)
+		b.WriteString(") then\n")
+		writeStmts(b, s.Then, indent+1)
+		if len(s.Else) > 0 {
+			ind(b, indent)
+			b.WriteString("else\n")
+			writeStmts(b, s.Else, indent+1)
+		}
+		ind(b, indent)
+		b.WriteString("end if\n")
+	case *CallStmt:
+		ind(b, indent)
+		fmt.Fprintf(b, "call %s(", s.Name)
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a, 0)
+		}
+		b.WriteString(")\n")
+	default:
+		panic("source: unknown statement node in printer")
+	}
+}

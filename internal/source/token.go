@@ -1,0 +1,82 @@
+// Package source implements the front end for the mini-Fortran input
+// language: lexer, abstract syntax tree, recursive-descent parser, and a
+// pretty-printer. The language covers the constructs every example in
+// the paper uses — loop nests with optional where guards, discontinuous
+// iteration ranges ("do i = 1,a-1 and a+1,n"), conditionals, multi-
+// dimensional arrays, reductions, and calls — which is the surface the
+// symbolic analysis and the split transformation operate on.
+package source
+
+import "fmt"
+
+// TokKind classifies a lexical token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokKeyword // do, end, if, then, else, where, and, integer, real, call, program
+	TokOp      // + - * / = == != <> < <= > >= && || !
+	TokLParen
+	TokRParen
+	TokComma
+	TokNewline
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokNewline:
+		return "newline"
+	}
+	return "unknown"
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokNewline {
+		return "newline"
+	}
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords of the mini-Fortran language.
+var keywords = map[string]bool{
+	"program": true, "do": true, "end": true, "enddo": true,
+	"if": true, "then": true, "else": true, "endif": true,
+	"where": true, "and": true, "or": true, "not": true,
+	"integer": true, "real": true, "call": true,
+}

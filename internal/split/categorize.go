@@ -1,0 +1,145 @@
+package split
+
+import (
+	"orchestra/internal/descriptor"
+	"orchestra/internal/symbolic"
+)
+
+// Category is the memory-usage classification of a primitive
+// computation with respect to a target descriptor D (§3.3.1).
+type Category int
+
+// Categories. Bound computations interfere with D directly. Linked
+// computations interfere only transitively, and subdivide into
+// NeedsBound (transitive flow interference FROM Bound), GenerateLinked
+// (Bound or NeedsBound has a transitive flow interference from them),
+// and ReadLinked (the rest). Free computations have no relationship to
+// D at all.
+const (
+	Free Category = iota
+	Bound
+	NeedsBound
+	GenerateLinked
+	ReadLinked
+)
+
+func (c Category) String() string {
+	switch c {
+	case Free:
+		return "Free"
+	case Bound:
+		return "Bound"
+	case NeedsBound:
+		return "NeedsBound"
+	case GenerateLinked:
+		return "GenerateLinked"
+	case ReadLinked:
+		return "ReadLinked"
+	}
+	return "?"
+}
+
+// Categorize assigns each primitive a category with respect to D,
+// following the paper's two algorithms literally: first
+// Bound/Linked/Free via transitive_interfere, then the Linked
+// subdivision via transitive_flow_{up,down}.
+func Categorize(prims []Prim, d descriptor.Descriptor, ctx symbolic.Conj) []Category {
+	n := len(prims)
+	cats := make([]Category, n)
+
+	// Bound = direct interference; MaybeFree = the rest.
+	var maybeFree []int
+	var bound []int
+	for i, p := range prims {
+		if descriptor.Interferes(p.Desc, d, ctx) {
+			cats[i] = Bound
+			bound = append(bound, i)
+		} else {
+			maybeFree = append(maybeFree, i)
+		}
+	}
+
+	// Linked = transitive_interfere(MaybeFree, Bound): members of
+	// MaybeFree that transitively interfere with Bound using MaybeFree.
+	linked := transitiveInterfere(prims, maybeFree, bound,
+		func(a, b int) bool { return descriptor.Interferes(prims[a].Desc, prims[b].Desc, ctx) })
+
+	// Subdivide Linked. Flow interference is a predecessor/successor
+	// relation, so program order (primitive index) gates each test.
+	// NeedsBound = transitive_flow_up(Linked, Bound): computations with
+	// a transitive flow interference FROM Bound (they read values Bound
+	// writes, possibly through other Linked computations).
+	needsBound := transitiveInterfere(prims, linked, bound,
+		func(a, b int) bool {
+			return b < a && descriptor.FlowInterferes(prims[b].Desc, prims[a].Desc, ctx)
+		})
+	isNeeds := map[int]bool{}
+	for _, i := range needsBound {
+		isNeeds[i] = true
+	}
+
+	var unrestricted []int
+	for _, i := range linked {
+		if !isNeeds[i] {
+			unrestricted = append(unrestricted, i)
+		}
+	}
+	// GenerateLinked = transitive_flow_down(Unrestricted, Bound ∪
+	// NeedsBound): Bound or NeedsBound has a transitive flow
+	// interference from them (they generate values those use).
+	target := append(append([]int{}, bound...), needsBound...)
+	genLinked := transitiveInterfere(prims, unrestricted, target,
+		func(a, b int) bool {
+			return a < b && descriptor.FlowInterferes(prims[a].Desc, prims[b].Desc, ctx)
+		})
+	isGen := map[int]bool{}
+	for _, i := range genLinked {
+		isGen[i] = true
+	}
+
+	for _, i := range linked {
+		switch {
+		case isNeeds[i]:
+			cats[i] = NeedsBound
+		case isGen[i]:
+			cats[i] = GenerateLinked
+		default:
+			cats[i] = ReadLinked
+		}
+	}
+	return cats
+}
+
+// transitiveInterfere is the paper's transitive_interfere procedure: it
+// returns the members of initial that transitively relate to target
+// using members of initial as intermediaries. rel(a, b) is the
+// one-step relation from candidate index a to reference index b; it
+// iterates to a fixpoint, each round moving candidates that relate to
+// the newly added set.
+func transitiveInterfere(prims []Prim, initial, target []int, rel func(a, b int) bool) []int {
+	remaining := append([]int{}, initial...)
+	testSet := append([]int{}, target...)
+	var result []int
+	for len(testSet) > 0 {
+		var newBound []int
+		var still []int
+		for _, c := range remaining {
+			hit := false
+			for _, t := range testSet {
+				if rel(c, t) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				result = append(result, c)
+				newBound = append(newBound, c)
+			} else {
+				still = append(still, c)
+			}
+		}
+		remaining = still
+		testSet = newBound
+	}
+	return result
+}

@@ -1,0 +1,70 @@
+// Package split implements the split transformation (§3.3): dividing a
+// computation C into an independent part CI, a dependent part CD, and a
+// merging part CM with respect to the symbolic data descriptor of
+// another computation, together with the pipelining application of
+// split that weakens the synchronization between loop iterations
+// (§3.3.2, Figure 3).
+package split
+
+import (
+	"orchestra/internal/analysis"
+	"orchestra/internal/descriptor"
+	"orchestra/internal/source"
+)
+
+// Prim is a primitive computation: the unit managed by the
+// transformation. The paper chooses "basic blocks, function calls, and
+// loops as primitive computations"; maximal runs of assignments form
+// one basic block.
+type Prim struct {
+	Stmts []source.Stmt
+	Desc  descriptor.Descriptor
+	// IsLoop reports whether the primitive is a single do-loop, the
+	// case where iteration splitting may apply.
+	IsLoop bool
+}
+
+// Loop returns the loop statement of a loop primitive.
+func (p Prim) Loop() *source.Do {
+	if !p.IsLoop {
+		return nil
+	}
+	return p.Stmts[0].(*source.Do)
+}
+
+// Decompose subdivides a statement list into primitive computations and
+// summarizes each with a descriptor.
+func Decompose(r *analysis.Result, stmts []source.Stmt) []Prim {
+	var prims []Prim
+	var run []source.Stmt // current basic-block run
+
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		prims = append(prims, Prim{Stmts: run, Desc: r.DescribeStmts(run)})
+		run = nil
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *source.Assign:
+			run = append(run, s)
+		case *source.CallStmt:
+			// Calls are their own primitives.
+			flush()
+			prims = append(prims, Prim{Stmts: []source.Stmt{s}, Desc: r.DescribeStmt(s)})
+		case *source.Do:
+			flush()
+			prims = append(prims, Prim{
+				Stmts:  []source.Stmt{s},
+				Desc:   r.DescribeLoop(s),
+				IsLoop: true,
+			})
+		case *source.If:
+			flush()
+			prims = append(prims, Prim{Stmts: []source.Stmt{s}, Desc: r.DescribeStmt(s)})
+		}
+	}
+	flush()
+	return prims
+}

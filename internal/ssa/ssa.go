@@ -1,0 +1,502 @@
+// Package ssa converts mini-Fortran programs to static single
+// assignment form (the paper's analysis step 3) and propagates symbolic
+// values and branch assertions (steps 4–6).
+//
+// Rather than rewriting the AST, the conversion leaves the source tree
+// untouched and computes, for every statement, the environment mapping
+// each scalar variable to its reaching SSA name. Each SSA name has a
+// definition record carrying, when known, a symbolic value — a linear
+// expression, or an iteration range for loop induction variables. The
+// Translate functions convert source expressions at a program point
+// into the symbolic domain, inlining linear definitions so that, for
+// example, a subscript q(i, col-1) and a subscript q(i, j) with j
+// defined as col-1 produce identical symbolic expressions.
+package ssa
+
+import (
+	"fmt"
+
+	"orchestra/internal/cfg"
+	"orchestra/internal/source"
+	"orchestra/internal/symbolic"
+)
+
+// DefKind classifies SSA definitions.
+type DefKind int
+
+// Definition kinds.
+const (
+	DefEntry     DefKind = iota // program input / initial version
+	DefAssign                   // scalar assignment
+	DefPhi                      // join of multiple reaching definitions
+	DefInduction                // loop induction variable
+	DefPostLoop                 // induction variable after loop exit
+	DefCall                     // scalar potentially written by a call
+)
+
+func (k DefKind) String() string {
+	switch k {
+	case DefEntry:
+		return "entry"
+	case DefAssign:
+		return "assign"
+	case DefPhi:
+		return "phi"
+	case DefInduction:
+		return "induction"
+	case DefPostLoop:
+		return "postloop"
+	case DefCall:
+		return "call"
+	}
+	return "?"
+}
+
+// Def is one SSA definition.
+type Def struct {
+	Name symbolic.Name
+	Var  string
+	Kind DefKind
+	Node *cfg.Node
+
+	// Value is the linear symbolic value of the definition when known
+	// (DefAssign with a translatable right-hand side, or a phi whose
+	// arguments agree).
+	Value    symbolic.Expr
+	HasValue bool
+
+	// Ranges is the iteration space for DefInduction (one entry per
+	// "and"-joined segment), in symbolic form.
+	Ranges []symbolic.Range
+	// Loop is the defining loop for DefInduction / DefPostLoop.
+	Loop *source.Do
+
+	// Args are the incoming names for DefPhi.
+	Args []symbolic.Name
+}
+
+// Env maps scalar variable names to their reaching SSA names.
+type Env map[string]symbolic.Name
+
+func cloneEnv(e Env) Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// Info is the result of SSA conversion.
+type Info struct {
+	Graph *cfg.Graph
+	Defs  map[symbolic.Name]*Def
+
+	// AtStmt gives the environment in force immediately before each
+	// statement. Loop statements see the environment at the loop
+	// header including their own induction definition; a statement
+	// after a loop sees post-loop versions.
+	AtStmt map[source.Stmt]Env
+
+	// InsideLoop gives, for loop statements, the environment in force
+	// at the top of the loop body (induction variable bound).
+	InsideLoop map[*source.Do]Env
+
+	// Ctx gives the assertion context (a conjunction of predicates
+	// over SSA names) established by dominating branches, where
+	// guards, and loop bounds, per statement.
+	Ctx map[source.Stmt]symbolic.Conj
+
+	// BodyCtx gives the context inside a loop's body, including the
+	// loop's own bound and guard predicates.
+	BodyCtx map[*source.Do]symbolic.Conj
+
+	scalars  map[string]bool
+	counters map[string]int
+
+	// elemCache implements the paper's aggregate propagation (step 4):
+	// within a straight-line region, a value stored through an array
+	// element can be recovered by a scalar load of the same element
+	// ("if a value V is assigned to A[i] and then A[i] is assigned to
+	// a scalar, the compiler creates an SSA name for V"). Keys are the
+	// array name plus canonical symbolic index strings; the cache is
+	// invalidated at loops, branches, and calls (alias elimination,
+	// step 5), and on stores whose index cannot be proven distinct.
+	elemCache map[string]elemEntry
+}
+
+// elemEntry is one cached array-element value.
+type elemEntry struct {
+	array string
+	index []symbolic.Expr
+	value symbolic.Expr
+}
+
+// Convert runs SSA conversion over a program.
+func Convert(p *source.Program) *Info {
+	g := cfg.Build(p.Body)
+	in := &Info{
+		Graph:      g,
+		Defs:       map[symbolic.Name]*Def{},
+		AtStmt:     map[source.Stmt]Env{},
+		InsideLoop: map[*source.Do]Env{},
+		Ctx:        map[source.Stmt]symbolic.Conj{},
+		BodyCtx:    map[*source.Do]symbolic.Conj{},
+		scalars:    map[string]bool{},
+		counters:   map[string]int{},
+		elemCache:  map[string]elemEntry{},
+	}
+	in.collectScalars(p)
+
+	// Entry definitions: version 0 of every scalar.
+	env := Env{}
+	for v := range in.scalars {
+		d := in.newDef(v, DefEntry, g.Entry)
+		env[v] = d.Name
+	}
+
+	in.walkStmts(p.Body, env, nil)
+	return in
+}
+
+// collectScalars gathers every scalar variable: declared scalars, loop
+// induction variables, and assigned identifiers.
+func (in *Info) collectScalars(p *source.Program) {
+	for _, d := range p.Decls {
+		if !d.IsArray() {
+			in.scalars[d.Name] = true
+		}
+	}
+	source.WalkStmts(p.Body, func(s source.Stmt) {
+		switch s := s.(type) {
+		case *source.Do:
+			in.scalars[s.Var] = true
+		case *source.Assign:
+			if id, ok := s.LHS.(*source.Ident); ok {
+				in.scalars[id.Name] = true
+			}
+		}
+	})
+}
+
+func (in *Info) newDef(v string, kind DefKind, node *cfg.Node) *Def {
+	in.counters[v]++
+	d := &Def{
+		Name: symbolic.Name(fmt.Sprintf("%s.%d", v, in.counters[v])),
+		Var:  v,
+		Kind: kind,
+		Node: node,
+	}
+	in.Defs[d.Name] = d
+	return d
+}
+
+// walkStmts performs the conversion over the structured statement list.
+// Because the language is fully structured, reaching definitions can be
+// computed by a direct recursive walk: a loop or branch merges the
+// environments of its constituent paths with phi definitions. env is
+// mutated in place to reflect the effect of the statements; ctx is the
+// assertion context in force.
+func (in *Info) walkStmts(body []source.Stmt, env Env, ctx symbolic.Conj) {
+	for _, s := range body {
+		in.AtStmt[s] = cloneEnv(env)
+		in.Ctx[s] = ctx
+		switch s := s.(type) {
+		case *source.Assign:
+			in.walkAssign(s, env)
+		case *source.CallStmt:
+			// A call may write any scalar passed by reference, and may
+			// write through any aggregate (alias elimination: drop all
+			// propagated element values).
+			for _, a := range s.Args {
+				if id, ok := a.(*source.Ident); ok {
+					in.newDefInto(id.Name, DefCall, nil, env)
+				}
+			}
+			in.elemCache = map[string]elemEntry{}
+		case *source.Do:
+			in.elemCache = map[string]elemEntry{}
+			in.walkDo(s, env, ctx)
+			in.elemCache = map[string]elemEntry{}
+		case *source.If:
+			in.elemCache = map[string]elemEntry{}
+			in.walkIf(s, env, ctx)
+			in.elemCache = map[string]elemEntry{}
+		}
+	}
+}
+
+func (in *Info) newDefInto(v string, kind DefKind, node *cfg.Node, env Env) *Def {
+	d := in.newDef(v, kind, node)
+	env[v] = d.Name
+	return d
+}
+
+func (in *Info) walkAssign(s *source.Assign, env Env) {
+	if id, ok := s.LHS.(*source.Ident); ok {
+		// Translate the RHS in the pre-assignment environment,
+		// consulting the aggregate-propagation cache for array loads.
+		val, ok := in.TranslateExpr(s.RHS, env)
+		if !ok {
+			if ar, isRef := s.RHS.(*source.ArrayRef); isRef {
+				val, ok = in.lookupElem(ar, env)
+			}
+		}
+		d := in.newDefInto(id.Name, DefAssign, nil, env)
+		if ok {
+			d.Value = val
+			d.HasValue = true
+		}
+		return
+	}
+	// Array-element stores do not define scalar versions, but they
+	// feed (and invalidate) the aggregate-propagation cache.
+	if ar, ok := s.LHS.(*source.ArrayRef); ok {
+		in.storeElem(ar, s.RHS, env)
+	}
+}
+
+// elemKey canonicalizes an array reference with translated indices.
+func elemKey(array string, idx []symbolic.Expr) string {
+	key := array + "["
+	for i, e := range idx {
+		if i > 0 {
+			key += ","
+		}
+		key += e.String()
+	}
+	return key + "]"
+}
+
+// storeElem records a store through an aggregate and invalidates cached
+// entries of the same array it cannot prove untouched.
+func (in *Info) storeElem(ar *source.ArrayRef, rhs source.Expr, env Env) {
+	idx := make([]symbolic.Expr, len(ar.Index))
+	translatable := true
+	for i, e := range ar.Index {
+		x, ok := in.TranslateExpr(e, env)
+		if !ok {
+			translatable = false
+			break
+		}
+		idx[i] = x
+	}
+	// Invalidate entries of this array that may alias the store.
+	for k, ent := range in.elemCache {
+		if ent.array != ar.Name {
+			continue
+		}
+		if !translatable || aliases(ent.index, idx) {
+			delete(in.elemCache, k)
+		}
+	}
+	if !translatable {
+		return
+	}
+	if val, ok := in.TranslateExpr(rhs, env); ok {
+		in.elemCache[elemKey(ar.Name, idx)] = elemEntry{array: ar.Name, index: idx, value: val}
+	}
+}
+
+// lookupElem recovers the value previously stored through an equal
+// aggregate element, if any.
+func (in *Info) lookupElem(ar *source.ArrayRef, env Env) (symbolic.Expr, bool) {
+	idx := make([]symbolic.Expr, len(ar.Index))
+	for i, e := range ar.Index {
+		x, ok := in.TranslateExpr(e, env)
+		if !ok {
+			return symbolic.Expr{}, false
+		}
+		idx[i] = x
+	}
+	ent, ok := in.elemCache[elemKey(ar.Name, idx)]
+	if !ok {
+		return symbolic.Expr{}, false
+	}
+	return ent.value, true
+}
+
+// aliases reports whether two index vectors may refer to the same
+// element: they alias unless some dimension is provably unequal.
+func aliases(a, b []symbolic.Expr) bool {
+	if len(a) != len(b) {
+		return true
+	}
+	for i := range a {
+		if symbolic.ProvesNotEqual(a[i], b[i], nil) {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *Info) walkDo(s *source.Do, env Env, ctx symbolic.Conj) {
+	node := in.Graph.LoopNode[s]
+
+	// Loop-carried scalars: any scalar assigned in the body (or by a
+	// nested construct) receives a phi at the header, killing its
+	// pre-loop value. The induction variable gets its range definition.
+	assigned := scalarsAssigned(s.Body)
+
+	headerEnv := cloneEnv(env)
+	for v := range assigned {
+		if v == s.Var {
+			continue
+		}
+		pre := headerEnv[v]
+		phi := in.newDefInto(v, DefPhi, node, headerEnv)
+		phi.Args = []symbolic.Name{pre} // body arg appended after walk
+	}
+
+	// Induction definition: bounds translated in the header environment
+	// (which already reflects loop-carried phis, keeping bounds that
+	// depend on variables mutated in the body conservatively opaque).
+	ind := in.newDefInto(s.Var, DefInduction, node, headerEnv)
+	ind.Loop = s
+	for _, r := range s.Ranges {
+		lo, okLo := in.TranslateExpr(r.Lo, headerEnv)
+		hi, okHi := in.TranslateExpr(r.Hi, headerEnv)
+		if !okLo {
+			lo = symbolic.Var(in.opaque("lo", node))
+		}
+		if !okHi {
+			hi = symbolic.Var(in.opaque("hi", node))
+		}
+		rg := symbolic.NewRange(lo, hi)
+		if r.Step != nil {
+			if st, ok := in.TranslateExpr(r.Step, headerEnv); ok {
+				if c, isConst := st.IsConst(); isConst && c >= 1 {
+					rg.Skip = c
+				}
+			}
+		}
+		ind.Ranges = append(ind.Ranges, rg)
+	}
+
+	// Context inside the body: lo <= var <= hi (for the hull of all
+	// segments) plus the where guard.
+	bodyCtx := ctx
+	iv := symbolic.Var(ind.Name)
+	if len(ind.Ranges) > 0 {
+		bodyCtx = bodyCtx.And(symbolic.CmpExpr(iv, symbolic.GE, ind.Ranges[0].Start))
+		bodyCtx = bodyCtx.And(symbolic.CmpExpr(iv, symbolic.LE, ind.Ranges[len(ind.Ranges)-1].End))
+	}
+	if s.Where != nil {
+		if preds, ok := in.TranslatePred(s.Where, headerEnv); ok {
+			bodyCtx = bodyCtx.Merge(preds)
+		}
+	}
+	in.InsideLoop[s] = cloneEnv(headerEnv)
+	in.BodyCtx[s] = bodyCtx
+
+	bodyEnv := cloneEnv(headerEnv)
+	in.walkStmts(s.Body, bodyEnv, bodyCtx)
+
+	// Close the phis with the body-exit versions.
+	for v := range assigned {
+		if v == s.Var {
+			continue
+		}
+		phi := in.Defs[headerEnv[v]]
+		phi.Args = append(phi.Args, bodyEnv[v])
+		in.resolvePhi(phi)
+	}
+
+	// After the loop: loop-carried scalars keep their phi versions
+	// (conservative); the induction variable gets a fresh opaque
+	// post-loop version, never its in-loop range (the in-loop range
+	// would be unsound for code after the loop).
+	for v := range assigned {
+		if v != s.Var {
+			env[v] = headerEnv[v]
+		}
+	}
+	post := in.newDefInto(s.Var, DefPostLoop, node, env)
+	post.Loop = s
+}
+
+func (in *Info) walkIf(s *source.If, env Env, ctx symbolic.Conj) {
+	thenCtx := ctx
+	elseCtx := ctx
+	if preds, ok := in.TranslatePred(s.Cond, env); ok {
+		thenCtx = thenCtx.Merge(preds)
+		// The negation is a conjunction only for single predicates.
+		if len(preds) == 1 {
+			elseCtx = elseCtx.And(preds[0].Negate())
+		}
+	}
+	thenEnv := cloneEnv(env)
+	in.walkStmts(s.Then, thenEnv, thenCtx)
+	elseEnv := cloneEnv(env)
+	in.walkStmts(s.Else, elseEnv, elseCtx)
+
+	// Merge: variables redefined on either arm get phis.
+	node := in.Graph.BranchNode[s]
+	for v := range in.scalars {
+		tn, en := thenEnv[v], elseEnv[v]
+		if tn == en {
+			env[v] = tn
+			continue
+		}
+		phi := in.newDefInto(v, DefPhi, node, env)
+		phi.Args = []symbolic.Name{tn, en}
+		in.resolvePhi(phi)
+	}
+}
+
+// resolvePhi gives a phi a value when all its arguments carry the same
+// known value (or are the same name).
+func (in *Info) resolvePhi(phi *Def) {
+	if len(phi.Args) == 0 {
+		return
+	}
+	var val symbolic.Expr
+	have := false
+	for _, a := range phi.Args {
+		d := in.Defs[a]
+		var v symbolic.Expr
+		switch {
+		case d != nil && d.HasValue:
+			v = d.Value
+		default:
+			v = symbolic.Var(a)
+		}
+		if !have {
+			val, have = v, true
+		} else if !val.Equal(v) {
+			return
+		}
+	}
+	phi.Value = val
+	phi.HasValue = true
+}
+
+// opaque creates a fresh unnamed definition used for untranslatable
+// bounds.
+func (in *Info) opaque(tag string, node *cfg.Node) symbolic.Name {
+	d := in.newDef("$"+tag, DefEntry, node)
+	return d.Name
+}
+
+// scalarsAssigned returns the scalar variables assigned anywhere in a
+// statement list, including induction variables of nested loops and
+// scalars passed to calls.
+func scalarsAssigned(body []source.Stmt) map[string]bool {
+	out := map[string]bool{}
+	source.WalkStmts(body, func(s source.Stmt) {
+		switch s := s.(type) {
+		case *source.Assign:
+			if id, ok := s.LHS.(*source.Ident); ok {
+				out[id.Name] = true
+			}
+		case *source.Do:
+			out[s.Var] = true
+		case *source.CallStmt:
+			for _, a := range s.Args {
+				if id, ok := a.(*source.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+		}
+	})
+	return out
+}

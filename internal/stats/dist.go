@@ -1,0 +1,98 @@
+package stats
+
+import "math"
+
+// Dist is a distribution of task execution times. Workload generators
+// compose these to model the irregularity structure of the paper's
+// applications (§5): regular grid phases, heavy-tailed irregular phases
+// (cloud physics), and masked sparse phases (tomography columns).
+type Dist interface {
+	// Sample draws one task time. Implementations must be
+	// deterministic given the RNG state.
+	Sample(r *RNG) float64
+	// Mean reports the analytic mean of the distribution.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution: every task costs V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+// UniformDist draws uniformly from [Lo, Hi).
+type UniformDist struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u UniformDist) Sample(r *RNG) float64 { return r.Uniform(u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u UniformDist) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// NormalDist draws from a normal clipped below at Floor (task times must
+// be positive).
+type NormalDist struct {
+	Mu, Sigma float64
+	Floor     float64
+}
+
+// Sample implements Dist.
+func (n NormalDist) Sample(r *RNG) float64 {
+	x := r.Normal(n.Mu, n.Sigma)
+	if x < n.Floor {
+		x = n.Floor
+	}
+	return x
+}
+
+// Mean implements Dist. The clipping bias is negligible for the
+// parameterizations used here (Mu >> Sigma) and is ignored.
+func (n NormalDist) Mean() float64 { return n.Mu }
+
+// LogNormalDist draws from a log-normal; heavy-tailed, the paper's model
+// for irregular task times such as the climate model's cloud physics.
+type LogNormalDist struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (l LogNormalDist) Sample(r *RNG) float64 { return r.LogNormal(l.Mu, l.Sigma) }
+
+// Mean implements Dist.
+func (l LogNormalDist) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Bimodal draws from A with probability PA, otherwise from B. It models
+// masked loops: cheap iterations where the mask is zero, expensive ones
+// where it is set.
+type Bimodal struct {
+	PA   float64
+	A, B Dist
+}
+
+// Sample implements Dist.
+func (b Bimodal) Sample(r *RNG) float64 {
+	if r.Bernoulli(b.PA) {
+		return b.A.Sample(r)
+	}
+	return b.B.Sample(r)
+}
+
+// Mean implements Dist.
+func (b Bimodal) Mean() float64 {
+	return b.PA*b.A.Mean() + (1-b.PA)*b.B.Mean()
+}
+
+// Scaled multiplies every sample of D by K.
+type Scaled struct {
+	K float64
+	D Dist
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(r *RNG) float64 { return s.K * s.D.Sample(r) }
+
+// Mean implements Dist.
+func (s Scaled) Mean() float64 { return s.K * s.D.Mean() }

@@ -1,0 +1,113 @@
+// Package stats provides deterministic pseudo-random number generation,
+// running statistics, and the task-time distributions used by the
+// workload generators and the adaptive runtime.
+//
+// All randomness in the repository flows through stats.RNG so that every
+// simulation, test, and benchmark is reproducible from a seed.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** with a splitmix64 seeder). It is not safe for concurrent
+// use; give each goroutine its own RNG via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Any seed, including zero,
+// produces a well-mixed state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from r, advancing r.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box–Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed value whose underlying
+// normal has parameters mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,206 @@
+// Package symbolic implements the symbolic value domain of the paper's
+// analysis (§3.1): linear symbolic expressions over SSA names, ranges
+// with symbolic endpoints and integer skip, inequalities, and assertions
+// (disjunctions of conjunctions of inequalities). A small conservative
+// prover answers the disjointness and equality questions that the
+// descriptor-interference test and the split transformation ask.
+//
+// The paper limits a symbolic expression to "a sum that may include a
+// set of SSA names, each with an integer coefficient, and a constant";
+// Expr implements exactly that domain. Every operation is total:
+// expressions outside the domain are represented by introducing an
+// opaque fresh name, which keeps the analysis conservative.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Name identifies an SSA name. Names are opaque to this package; the
+// SSA construction guarantees each has a single defining value.
+type Name string
+
+// Expr is a linear symbolic expression: a constant plus a sum of SSA
+// names with integer coefficients. The zero value is the constant 0.
+// Expr values are immutable; all operations return new expressions.
+type Expr struct {
+	konst int64
+	terms map[Name]int64 // never contains zero coefficients
+}
+
+// Const returns the constant expression c.
+func Const(c int64) Expr { return Expr{konst: c} }
+
+// Var returns the expression consisting of the single name n.
+func Var(n Name) Expr {
+	return Expr{terms: map[Name]int64{n: 1}}
+}
+
+// Term returns coef*n.
+func Term(n Name, coef int64) Expr {
+	if coef == 0 {
+		return Expr{}
+	}
+	return Expr{terms: map[Name]int64{n: coef}}
+}
+
+// clone returns a deep copy of the term map (nil-safe).
+func cloneTerms(m map[Name]int64) map[Name]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[Name]int64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	r := Expr{konst: e.konst + o.konst, terms: cloneTerms(e.terms)}
+	for n, c := range o.terms {
+		nc := r.terms[n] + c
+		if r.terms == nil {
+			r.terms = make(map[Name]int64)
+		}
+		if nc == 0 {
+			delete(r.terms, n)
+		} else {
+			r.terms[n] = nc
+		}
+	}
+	if len(r.terms) == 0 {
+		r.terms = nil
+	}
+	return r
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Neg()) }
+
+// Neg returns -e.
+func (e Expr) Neg() Expr { return e.Scale(-1) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	r := Expr{konst: e.konst * k}
+	if len(e.terms) > 0 {
+		r.terms = make(map[Name]int64, len(e.terms))
+		for n, c := range e.terms {
+			r.terms[n] = c * k
+		}
+	}
+	return r
+}
+
+// AddConst returns e + c.
+func (e Expr) AddConst(c int64) Expr {
+	return Expr{konst: e.konst + c, terms: cloneTerms(e.terms)}
+}
+
+// IsConst reports whether e has no symbolic terms, and if so its value.
+func (e Expr) IsConst() (int64, bool) {
+	if len(e.terms) == 0 {
+		return e.konst, true
+	}
+	return 0, false
+}
+
+// ConstPart returns the constant component of e.
+func (e Expr) ConstPart() int64 { return e.konst }
+
+// Coef returns the coefficient of name n (zero if absent).
+func (e Expr) Coef(n Name) int64 { return e.terms[n] }
+
+// Names returns the SSA names appearing in e, sorted.
+func (e Expr) Names() []Name {
+	ns := make([]Name, 0, len(e.terms))
+	for n := range e.terms {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// Uses reports whether name n appears in e with nonzero coefficient.
+func (e Expr) Uses(n Name) bool { return e.terms[n] != 0 }
+
+// Equal reports structural equality.
+func (e Expr) Equal(o Expr) bool {
+	if e.konst != o.konst || len(e.terms) != len(o.terms) {
+		return false
+	}
+	for n, c := range e.terms {
+		if o.terms[n] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Subst replaces every occurrence of name n with expression v.
+func (e Expr) Subst(n Name, v Expr) Expr {
+	c, ok := e.terms[n]
+	if !ok {
+		return e
+	}
+	r := Expr{konst: e.konst, terms: cloneTerms(e.terms)}
+	delete(r.terms, n)
+	if len(r.terms) == 0 {
+		r.terms = nil
+	}
+	return r.Add(v.Scale(c))
+}
+
+// Eval evaluates e under an environment giving each name an integer
+// value. It reports false if any name is unbound.
+func (e Expr) Eval(env map[Name]int64) (int64, bool) {
+	v := e.konst
+	for n, c := range e.terms {
+		nv, ok := env[n]
+		if !ok {
+			return 0, false
+		}
+		v += c * nv
+	}
+	return v, true
+}
+
+// String renders e deterministically, e.g. "2*n.1 - i.3 + 4".
+func (e Expr) String() string {
+	if len(e.terms) == 0 {
+		return fmt.Sprintf("%d", e.konst)
+	}
+	var b strings.Builder
+	for i, n := range e.Names() {
+		c := e.terms[n]
+		switch {
+		case i == 0 && c == 1:
+			b.WriteString(string(n))
+		case i == 0 && c == -1:
+			b.WriteString("-" + string(n))
+		case i == 0:
+			fmt.Fprintf(&b, "%d*%s", c, n)
+		case c == 1:
+			b.WriteString(" + " + string(n))
+		case c == -1:
+			b.WriteString(" - " + string(n))
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, n)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, n)
+		}
+	}
+	if e.konst > 0 {
+		fmt.Fprintf(&b, " + %d", e.konst)
+	} else if e.konst < 0 {
+		fmt.Fprintf(&b, " - %d", -e.konst)
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprConst(t *testing.T) {
+	e := Const(5)
+	if c, ok := e.IsConst(); !ok || c != 5 {
+		t.Fatalf("Const(5).IsConst() = %v, %v", c, ok)
+	}
+	if e.String() != "5" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestExprZeroValue(t *testing.T) {
+	var e Expr
+	if c, ok := e.IsConst(); !ok || c != 0 {
+		t.Fatal("zero Expr must be constant 0")
+	}
+}
+
+func TestExprAddSub(t *testing.T) {
+	i, n := Var("i"), Var("n")
+	e := i.Add(n).AddConst(3)
+	if got := e.String(); got != "i + n + 3" {
+		t.Fatalf("String = %q", got)
+	}
+	d := e.Sub(i).Sub(n)
+	if c, ok := d.IsConst(); !ok || c != 3 {
+		t.Fatalf("after cancel: %v const=%v", d, ok)
+	}
+}
+
+func TestExprCancellation(t *testing.T) {
+	i := Var("i")
+	d := i.Sub(i)
+	if c, ok := d.IsConst(); !ok || c != 0 {
+		t.Fatalf("i - i = %v (const %v)", d, ok)
+	}
+	if len(d.Names()) != 0 {
+		t.Fatal("cancelled name still present")
+	}
+}
+
+func TestExprScale(t *testing.T) {
+	e := Var("i").AddConst(2).Scale(3)
+	if e.Coef("i") != 3 || e.ConstPart() != 6 {
+		t.Fatalf("scale: %v", e)
+	}
+	if z := e.Scale(0); !z.Equal(Const(0)) {
+		t.Fatalf("scale by 0: %v", z)
+	}
+}
+
+func TestExprSubst(t *testing.T) {
+	// (2i + j + 1)[i := n - 1]  ==  2n + j - 1
+	e := Term("i", 2).Add(Var("j")).AddConst(1)
+	s := e.Subst("i", Var("n").AddConst(-1))
+	want := Term("n", 2).Add(Var("j")).AddConst(-1)
+	if !s.Equal(want) {
+		t.Fatalf("subst: %v, want %v", s, want)
+	}
+	// Substituting an absent name is identity.
+	if !e.Subst("zz", Const(9)).Equal(e) {
+		t.Fatal("subst of absent name changed expression")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	e := Term("i", 2).Add(Var("n")).AddConst(-3)
+	v, ok := e.Eval(map[Name]int64{"i": 4, "n": 10})
+	if !ok || v != 15 {
+		t.Fatalf("eval = %v, %v", v, ok)
+	}
+	if _, ok := e.Eval(map[Name]int64{"i": 4}); ok {
+		t.Fatal("eval with unbound name must fail")
+	}
+}
+
+func TestExprEqualIgnoresOrder(t *testing.T) {
+	a := Var("x").Add(Var("y"))
+	b := Var("y").Add(Var("x"))
+	if !a.Equal(b) {
+		t.Fatal("x+y != y+x")
+	}
+}
+
+func TestExprStringNegatives(t *testing.T) {
+	e := Term("i", -1).Add(Term("j", -2)).AddConst(-3)
+	if got := e.String(); got != "-i - 2*j - 3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestExprAlgebraProperties(t *testing.T) {
+	names := []Name{"a", "b", "c"}
+	gen := func(seed int64) Expr {
+		e := Const(seed % 7)
+		for i, n := range names {
+			e = e.Add(Term(n, (seed>>uint(4*i))%5-2))
+		}
+		return e
+	}
+	if err := quick.Check(func(s1, s2, s3 int64) bool {
+		x, y, z := gen(s1), gen(s2), gen(s3)
+		// commutativity, associativity, inverse
+		return x.Add(y).Equal(y.Add(x)) &&
+			x.Add(y.Add(z)).Equal(x.Add(y).Add(z)) &&
+			x.Sub(x).Equal(Const(0)) &&
+			x.Neg().Neg().Equal(x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprImmutability(t *testing.T) {
+	e := Var("i").AddConst(1)
+	_ = e.Add(Var("j"))
+	_ = e.Subst("i", Const(5))
+	_ = e.Scale(7)
+	if e.String() != "i + 1" {
+		t.Fatalf("expression mutated: %v", e)
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := ConstRange(1, 10)
+	if n, ok := r.Count(); !ok || n != 10 {
+		t.Fatalf("count = %v, %v", n, ok)
+	}
+	r2 := Range{Start: Const(2), End: Const(20), Skip: 2}
+	if n, ok := r2.Count(); !ok || n != 10 {
+		t.Fatalf("strided count = %v, %v", n, ok)
+	}
+	if r2.String() != "2..20:2" {
+		t.Fatalf("String = %q", r2.String())
+	}
+}
+
+func TestRangeEmpty(t *testing.T) {
+	r := ConstRange(5, 4)
+	if n, ok := r.Count(); !ok || n != 0 {
+		t.Fatalf("empty range count = %v, %v", n, ok)
+	}
+}
+
+func TestRangePoint(t *testing.T) {
+	p := Point(Var("a"))
+	if e, ok := p.IsPoint(); !ok || !e.Equal(Var("a")) {
+		t.Fatal("Point not recognized")
+	}
+	if p.String() != "a" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := ConstRange(1, 10)
+	for _, tc := range []struct {
+		v          int64
+		in, decide bool
+	}{{5, true, true}, {1, true, true}, {10, true, true}, {0, false, true}, {11, false, true}} {
+		in, ok := r.Contains(Const(tc.v))
+		if in != tc.in || ok != tc.decide {
+			t.Errorf("Contains(%d) = %v,%v want %v,%v", tc.v, in, ok, tc.in, tc.decide)
+		}
+	}
+	// Strided: [2..20:2] contains 4 but not 5.
+	r2 := Range{Start: Const(2), End: Const(20), Skip: 2}
+	if in, ok := r2.Contains(Const(4)); !ok || !in {
+		t.Fatal("4 should be in 2..20:2")
+	}
+	if in, ok := r2.Contains(Const(5)); !ok || in {
+		t.Fatal("5 should not be in 2..20:2")
+	}
+	// Symbolic membership is undecidable.
+	if _, ok := r.Contains(Var("k")); ok {
+		t.Fatal("symbolic membership must be undecidable")
+	}
+}
+
+func TestRangeSubstShift(t *testing.T) {
+	r := NewRange(Var("i"), Var("i").AddConst(4))
+	s := r.Subst("i", Const(3))
+	if lo, hi, ok := s.IsConst(); !ok || lo != 3 || hi != 7 {
+		t.Fatalf("subst range = %v", s)
+	}
+	sh := r.Shift(-1)
+	if !sh.Start.Equal(Var("i").AddConst(-1)) {
+		t.Fatalf("shift = %v", sh)
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	ev := ExprValue(Const(7))
+	if ev.IsRange() {
+		t.Fatal("expr value reported as range")
+	}
+	if e, ok := ev.Expr(); !ok || !e.Equal(Const(7)) {
+		t.Fatal("expr value lost")
+	}
+	rv := RangeValue(ConstRange(1, 3))
+	if !rv.IsRange() {
+		t.Fatal("range value not reported as range")
+	}
+	if _, ok := rv.Expr(); ok {
+		t.Fatal("range value yielded expr")
+	}
+	if rv.String() != "1..3" || ev.String() != "7" {
+		t.Fatalf("Strings: %q %q", rv.String(), ev.String())
+	}
+}

@@ -1,0 +1,227 @@
+package symbolic
+
+import "testing"
+
+func TestCmpOpNegate(t *testing.T) {
+	cases := map[CmpOp]CmpOp{EQ: NE, NE: EQ, LT: GE, LE: GT, GT: LE, GE: LT}
+	for op, want := range cases {
+		if got := op.Negate(); got != want {
+			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
+		}
+		if op.Negate().Negate() != op {
+			t.Errorf("%v double negation not identity", op)
+		}
+	}
+}
+
+func TestPredConstTruth(t *testing.T) {
+	for _, tc := range []struct {
+		p     Pred
+		truth bool
+	}{
+		{CmpExpr(Const(3), LT, Const(5)), true},
+		{CmpExpr(Const(5), LT, Const(3)), false},
+		{CmpExpr(Const(4), EQ, Const(4)), true},
+		{CmpExpr(Const(4), NE, Const(4)), false},
+		{CmpExpr(Const(4), GE, Const(4)), true},
+	} {
+		truth, ok := tc.p.ConstTruth()
+		if !ok || truth != tc.truth {
+			t.Errorf("%v: truth=%v ok=%v, want %v", tc.p, truth, ok, tc.truth)
+		}
+	}
+	if _, ok := CmpExpr(Var("i"), LT, Const(5)).ConstTruth(); ok {
+		t.Fatal("symbolic predicate must not be const-decidable")
+	}
+	if _, ok := NewPred(ElemAtom("a", Var("i")), EQ, ExprAtom(Const(0))).ConstTruth(); ok {
+		t.Fatal("array predicate must not be const-decidable")
+	}
+}
+
+func TestPredEquivalent(t *testing.T) {
+	i, n := Var("i"), Var("n")
+	// a == b vs b == a
+	if !CmpExpr(i, EQ, n).Equivalent(CmpExpr(n, EQ, i)) {
+		t.Fatal("symmetric EQ not equivalent")
+	}
+	// a < b vs b > a
+	if !CmpExpr(i, LT, n).Equivalent(CmpExpr(n, GT, i)) {
+		t.Fatal("flipped LT not equivalent")
+	}
+	// i < n vs i - n < 0
+	if !CmpExpr(i, LT, n).Equivalent(CmpExpr(i.Sub(n), LT, Const(0))) {
+		t.Fatal("normalized form not equivalent")
+	}
+	if CmpExpr(i, LT, n).Equivalent(CmpExpr(i, LE, n)) {
+		t.Fatal("LT equivalent to LE")
+	}
+}
+
+func TestPredContradicts(t *testing.T) {
+	i := Var("i")
+	a := ElemAtom("mask", Var("col"))
+	zero := ExprAtom(Const(0))
+	for _, tc := range []struct {
+		p, q Pred
+		want bool
+	}{
+		{NewPred(a, NE, zero), NewPred(a, EQ, zero), true},
+		{NewPred(a, EQ, zero), NewPred(a, EQ, ExprAtom(Const(1))), true},
+		{NewPred(a, EQ, zero), NewPred(a, EQ, zero), false},
+		{CmpExpr(i, LT, Const(5)), CmpExpr(i, GT, Const(7)), true},
+		{CmpExpr(i, LT, Const(5)), CmpExpr(i, GT, Const(3)), false},
+		{CmpExpr(i, EQ, Const(5)), CmpExpr(i, EQ, Const(6)), true},
+		{CmpExpr(i, LE, Const(5)), CmpExpr(i, GE, Const(6)), true},
+		{CmpExpr(i, LE, Const(5)), CmpExpr(i, GE, Const(5)), false},
+		// Different arrays never contradict.
+		{NewPred(a, EQ, zero), NewPred(ElemAtom("other", Var("col")), NE, zero), false},
+	} {
+		if got := tc.p.Contradicts(tc.q); got != tc.want {
+			t.Errorf("(%v) contradicts (%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+		if got := tc.q.Contradicts(tc.p); got != tc.want {
+			t.Errorf("contradicts not symmetric for (%v),(%v)", tc.p, tc.q)
+		}
+	}
+}
+
+func TestPredSubst(t *testing.T) {
+	p := NewPred(ElemAtom("mask", Var("col")), NE, ExprAtom(Const(0)))
+	q := p.Subst("col", Var("i"))
+	want := NewPred(ElemAtom("mask", Var("i")), NE, ExprAtom(Const(0)))
+	if !q.Equal(want) {
+		t.Fatalf("subst = %v", q)
+	}
+	if p.Uses("i") {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := ElemAtom("q", Var("i"), Var("col"))
+	if a.String() != "q[i,col]" {
+		t.Fatalf("String = %q", a.String())
+	}
+	p := NewPred(a, NE, ExprAtom(Const(0)))
+	if p.String() != "q[i,col] != 0" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestConjProvesFalse(t *testing.T) {
+	i := Var("i")
+	c := Conj{}.And(CmpExpr(i, LT, Const(5))).And(CmpExpr(i, GT, Const(10)))
+	if !c.ProvesFalse() {
+		t.Fatal("contradictory conjunction not detected")
+	}
+	ok := Conj{}.And(CmpExpr(i, GE, Const(1))).And(CmpExpr(i, LE, Const(10)))
+	if ok.ProvesFalse() {
+		t.Fatal("satisfiable conjunction reported false")
+	}
+	constFalse := Conj{CmpExpr(Const(1), EQ, Const(2))}
+	if !constFalse.ProvesFalse() {
+		t.Fatal("constant-false predicate not detected")
+	}
+}
+
+func TestConjImplies(t *testing.T) {
+	i := Var("i")
+	c := Conj{CmpExpr(i, GE, Const(5))}
+	for _, tc := range []struct {
+		p    Pred
+		want bool
+	}{
+		{CmpExpr(i, GE, Const(5)), true},
+		{CmpExpr(i, GE, Const(4)), true},
+		{CmpExpr(i, GT, Const(4)), true},
+		{CmpExpr(i, GE, Const(6)), false},
+		{CmpExpr(i, LE, Const(4)), false},
+		{CmpExpr(Const(1), LT, Const(2)), true}, // constant truth
+	} {
+		if got := c.Implies(tc.p); got != tc.want {
+			t.Errorf("%v implies %v = %v, want %v", c, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestConjAndDeduplicates(t *testing.T) {
+	p := CmpExpr(Var("i"), LT, Var("n"))
+	c := Conj{}.And(p).And(p).And(CmpExpr(Var("n"), GT, Var("i")))
+	if len(c) != 1 {
+		t.Fatalf("dedup failed: %v", c)
+	}
+}
+
+func TestAssertionTruthTable(t *testing.T) {
+	if !True().IsTrue() || True().IsFalse() {
+		t.Fatal("True() wrong")
+	}
+	if !False().IsFalse() || False().IsTrue() {
+		t.Fatal("False() wrong")
+	}
+	if !True().Or(False()).IsTrue() {
+		t.Fatal("true or false")
+	}
+	if !True().And(False()).IsFalse() {
+		t.Fatal("true and false")
+	}
+	if !False().Not().IsTrue() || !True().Not().IsFalse() {
+		t.Fatal("Not on constants")
+	}
+}
+
+func TestAssertionAndContradiction(t *testing.T) {
+	i := Var("i")
+	a := FromPred(CmpExpr(i, LT, Const(5)))
+	b := FromPred(CmpExpr(i, GT, Const(10)))
+	if !a.And(b).IsFalse() {
+		t.Fatal("contradictory conjunction not pruned")
+	}
+	if a.Or(b).IsFalse() {
+		t.Fatal("disjunction of satisfiables reported false")
+	}
+}
+
+func TestAssertionNotRoundTrip(t *testing.T) {
+	p := CmpExpr(Var("i"), LT, Const(5))
+	a := FromPred(p)
+	na := a.Not()
+	// not(i < 5) == i >= 5
+	if !na.Implies(CmpExpr(Var("i"), GE, Const(5))) {
+		t.Fatalf("negation = %v", na)
+	}
+	nna := na.Not()
+	if !nna.Implies(p) {
+		t.Fatalf("double negation = %v", nna)
+	}
+}
+
+func TestAssertionImplies(t *testing.T) {
+	i := Var("i")
+	// (i >= 5) or (i >= 7) implies i >= 5
+	a := FromPred(CmpExpr(i, GE, Const(5))).Or(FromPred(CmpExpr(i, GE, Const(7))))
+	if !a.Implies(CmpExpr(i, GE, Const(5))) {
+		t.Fatal("disjunction implication failed")
+	}
+	if a.Implies(CmpExpr(i, GE, Const(7))) {
+		t.Fatal("over-strong implication")
+	}
+	// False implies anything.
+	if !False().Implies(CmpExpr(i, EQ, Const(99))) {
+		t.Fatal("false must imply everything")
+	}
+}
+
+func TestAssertionStrings(t *testing.T) {
+	i := Var("i")
+	a := FromPred(CmpExpr(i, GE, Const(1))).And(FromPred(CmpExpr(i, LE, Var("n"))))
+	if got := a.String(); got != "i >= 1 && i <= n" && got != "i - n <= 0 && i >= 1" {
+		// Accept canonical rendering only; this pins formatting.
+		if got != "i >= 1 && i <= n" {
+			t.Fatalf("String = %q", got)
+		}
+	}
+	if True().String() != "true" || False().String() != "false" {
+		t.Fatal("constant strings")
+	}
+}

@@ -1,0 +1,220 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProvesNotEqualConstants(t *testing.T) {
+	if !ProvesNotEqual(Const(3), Const(4), nil) {
+		t.Fatal("3 != 4 unproven")
+	}
+	if ProvesNotEqual(Const(3), Const(3), nil) {
+		t.Fatal("3 != 3 proven")
+	}
+}
+
+func TestProvesNotEqualConstantOffset(t *testing.T) {
+	// col vs col-1: the pipelining test from Figure 3.
+	col := Var("col")
+	if !ProvesNotEqual(col, col.AddConst(-1), nil) {
+		t.Fatal("col != col-1 unproven")
+	}
+	if ProvesNotEqual(col, col, nil) {
+		t.Fatal("col != col proven")
+	}
+}
+
+func TestProvesNotEqualFromContext(t *testing.T) {
+	i, iP := Var("i"), Var("i'")
+	ctx := Conj{CmpExpr(i, NE, iP)}
+	if !ProvesNotEqual(i, iP, ctx) {
+		t.Fatal("direct context disequality unproven")
+	}
+	// 3i vs 3i' under i != i'.
+	if !ProvesNotEqual(Term("i", 3), Term("i'", 3), ctx) {
+		t.Fatal("scaled disequality unproven")
+	}
+	// i + j vs i' + j under i != i'.
+	j := Var("j")
+	if !ProvesNotEqual(i.Add(j), iP.Add(j), ctx) {
+		t.Fatal("offset disequality unproven")
+	}
+	// But i+j vs i'+k is not provable.
+	if ProvesNotEqual(i.Add(j), iP.Add(Var("k")), ctx) {
+		t.Fatal("unsound disequality proven")
+	}
+	// Without context nothing is provable.
+	if ProvesNotEqual(i, iP, nil) {
+		t.Fatal("disequality proven without context")
+	}
+}
+
+func TestProvesNotEqualFromOrdering(t *testing.T) {
+	a, b := Var("a"), Var("b")
+	ctx := Conj{CmpExpr(a, LT, b)}
+	if !ProvesNotEqual(a, b, ctx) {
+		t.Fatal("a<b should give a!=b")
+	}
+}
+
+func TestProvesLess(t *testing.T) {
+	if !ProvesLess(Const(2), Const(3), nil) || ProvesLess(Const(3), Const(3), nil) {
+		t.Fatal("constant ProvesLess wrong")
+	}
+	n := Var("n")
+	// n-1 < n always (difference -1).
+	if !ProvesLess(n.AddConst(-1), n, nil) {
+		t.Fatal("n-1 < n unproven")
+	}
+	if ProvesLess(n, n.AddConst(-1), nil) {
+		t.Fatal("n < n-1 proven")
+	}
+	ctx := Conj{CmpExpr(Var("a"), LT, Var("b"))}
+	if !ProvesLess(Var("a"), Var("b"), ctx) {
+		t.Fatal("context ProvesLess failed")
+	}
+}
+
+func TestDisjointRangesConstant(t *testing.T) {
+	if !ProvesDisjointRanges(ConstRange(1, 5), ConstRange(6, 10), nil) {
+		t.Fatal("1..5 vs 6..10 not disjoint")
+	}
+	if ProvesDisjointRanges(ConstRange(1, 5), ConstRange(5, 10), nil) {
+		t.Fatal("1..5 vs 5..10 disjoint (they share 5)")
+	}
+	if ProvesDisjointRanges(ConstRange(1, 10), ConstRange(3, 4), nil) {
+		t.Fatal("nested ranges disjoint")
+	}
+}
+
+func TestDisjointRangesSymbolic(t *testing.T) {
+	n := Var("n")
+	// [1, n] vs [n+1, 2n]: End-Start = n - (n+1) = -1 < 0.
+	a := NewRange(Const(1), n)
+	b := NewRange(n.AddConst(1), n.Scale(2))
+	if !ProvesDisjointRanges(a, b, nil) {
+		t.Fatal("1..n vs n+1..2n not disjoint")
+	}
+	// [1, n] vs [n, 2n] share n.
+	c := NewRange(n, n.Scale(2))
+	if ProvesDisjointRanges(a, c, nil) {
+		t.Fatal("1..n vs n..2n disjoint")
+	}
+}
+
+func TestDisjointPointVsRange(t *testing.T) {
+	aVar := Var("a")
+	// Figure 4: column a vs columns 1..a-1 and a+1..n.
+	left := NewRange(Const(1), aVar.AddConst(-1))
+	right := NewRange(aVar.AddConst(1), Var("n"))
+	pt := Point(aVar)
+	if !ProvesDisjointRanges(pt, left, nil) {
+		t.Fatal("a vs 1..a-1 not disjoint")
+	}
+	if !ProvesDisjointRanges(pt, right, nil) {
+		t.Fatal("a vs a+1..n not disjoint")
+	}
+	full := NewRange(Const(1), Var("n"))
+	if ProvesDisjointRanges(pt, full, nil) {
+		t.Fatal("a vs 1..n disjoint")
+	}
+}
+
+func TestDisjointPointsWithContext(t *testing.T) {
+	i, iP := Var("i"), Var("i'")
+	ctx := Conj{CmpExpr(i, NE, iP)}
+	if !ProvesDisjointRanges(Point(i), Point(iP), ctx) {
+		t.Fatal("distinct induction instances not disjoint")
+	}
+}
+
+func TestDisjointStrided(t *testing.T) {
+	// Even vs odd elements.
+	even := Range{Start: Const(2), End: Const(100), Skip: 2}
+	odd := Range{Start: Const(1), End: Const(99), Skip: 2}
+	if !ProvesDisjointRanges(even, odd, nil) {
+		t.Fatal("even/odd strides not disjoint")
+	}
+	evenB := Range{Start: Const(4), End: Const(50), Skip: 2}
+	if ProvesDisjointRanges(even, evenB, nil) {
+		t.Fatal("overlapping even strides disjoint")
+	}
+	// Point vs stride lattice.
+	if !ProvesDisjointRanges(Point(Const(5)), even, nil) {
+		t.Fatal("5 vs even stride not disjoint")
+	}
+}
+
+func TestProvesContained(t *testing.T) {
+	n := Var("n")
+	inner := NewRange(Const(2), n.AddConst(-1))
+	outer := NewRange(Const(1), n)
+	if !ProvesContained(inner, outer, nil) {
+		t.Fatal("2..n-1 not contained in 1..n")
+	}
+	if ProvesContained(outer, inner, nil) {
+		t.Fatal("1..n contained in 2..n-1")
+	}
+}
+
+func TestDisjointSoundnessRandomized(t *testing.T) {
+	// Property: whenever the prover claims two constant ranges are
+	// disjoint, they really are.
+	if err := quick.Check(func(a1, a2, b1, b2 int16, s1, s2 uint8) bool {
+		lo1, hi1 := int64(a1), int64(a1)+int64(a2%64)
+		lo2, hi2 := int64(b1), int64(b1)+int64(b2%64)
+		skip1, skip2 := int64(s1%4)+1, int64(s2%4)+1
+		ra := Range{Start: Const(lo1), End: Const(hi1), Skip: skip1}
+		rb := Range{Start: Const(lo2), End: Const(hi2), Skip: skip2}
+		if !ProvesDisjointRanges(ra, rb, nil) {
+			return true // "unknown" is always sound
+		}
+		for x := lo1; x <= hi1; x += skip1 {
+			for y := lo2; y <= hi2; y += skip2 {
+				if x == y {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvesNotEqualWithOrdering(t *testing.T) {
+	i, iP := Var("i"), Var("i'")
+	lt := Conj{CmpExpr(i, LT, iP)}
+	// i-1 vs i' under i < i': difference (i - i') - 1 <= -2.
+	if !ProvesNotEqual(i.AddConst(-1), iP, lt) {
+		t.Fatal("i-1 != i' under i < i' unproven")
+	}
+	// i vs i' directly under ordering.
+	if !ProvesNotEqual(i, iP, lt) {
+		t.Fatal("i != i' under i < i' unproven")
+	}
+	// i+1 vs i' is NOT provable under i < i' (i+1 may equal i').
+	if ProvesNotEqual(i.AddConst(1), iP, lt) {
+		t.Fatal("unsound: i+1 could equal i'")
+	}
+	// But i+1 vs i' IS provable under i > i'.
+	gt := Conj{CmpExpr(i, GT, iP)}
+	if !ProvesNotEqual(i.AddConst(1), iP, gt) {
+		t.Fatal("i+1 != i' under i > i' unproven")
+	}
+}
+
+func TestProvesLessWithOrdering(t *testing.T) {
+	i, iP := Var("i"), Var("i'")
+	lt := Conj{CmpExpr(i, LT, iP)}
+	if !ProvesLess(i.AddConst(-1), iP, lt) {
+		t.Fatal("i-1 < i' unproven")
+	}
+	if !ProvesLess(i, iP, lt) {
+		t.Fatal("i < i' unproven from itself")
+	}
+	if ProvesLess(i.AddConst(1), iP, lt) {
+		t.Fatal("unsound: i+1 < i' not implied by i < i'")
+	}
+}

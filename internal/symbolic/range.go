@@ -1,0 +1,146 @@
+package symbolic
+
+import "fmt"
+
+// Range is a symbolic value denoting the arithmetic sequence
+// Start, Start+Skip, ..., End (inclusive). The paper: "a range has a
+// symbolic expression for both starting and ending values and an
+// integer skip."
+type Range struct {
+	Start Expr
+	End   Expr
+	Skip  int64 // always >= 1
+}
+
+// NewRange builds a range with skip 1.
+func NewRange(start, end Expr) Range {
+	return Range{Start: start, End: end, Skip: 1}
+}
+
+// ConstRange builds [lo, hi] with skip 1.
+func ConstRange(lo, hi int64) Range {
+	return Range{Start: Const(lo), End: Const(hi), Skip: 1}
+}
+
+// Point builds the degenerate range holding exactly e.
+func Point(e Expr) Range { return Range{Start: e, End: e, Skip: 1} }
+
+// IsPoint reports whether the range provably holds a single value, and
+// if so that value's expression.
+func (r Range) IsPoint() (Expr, bool) {
+	if r.Start.Equal(r.End) {
+		return r.Start, true
+	}
+	return Expr{}, false
+}
+
+// IsConst reports whether both endpoints are constants.
+func (r Range) IsConst() (lo, hi int64, ok bool) {
+	lo, ok1 := r.Start.IsConst()
+	hi, ok2 := r.End.IsConst()
+	return lo, hi, ok1 && ok2
+}
+
+// Count reports the number of values in the range when both endpoints
+// are constant. ok is false for symbolic ranges.
+func (r Range) Count() (int64, bool) {
+	lo, hi, ok := r.IsConst()
+	if !ok {
+		return 0, false
+	}
+	if hi < lo {
+		return 0, true
+	}
+	skip := r.Skip
+	if skip < 1 {
+		skip = 1
+	}
+	return (hi-lo)/skip + 1, true
+}
+
+// Equal reports structural equality.
+func (r Range) Equal(o Range) bool {
+	return r.Skip == o.Skip && r.Start.Equal(o.Start) && r.End.Equal(o.End)
+}
+
+// Uses reports whether name n appears in either endpoint.
+func (r Range) Uses(n Name) bool { return r.Start.Uses(n) || r.End.Uses(n) }
+
+// Subst replaces name n with expression v in both endpoints.
+func (r Range) Subst(n Name, v Expr) Range {
+	return Range{Start: r.Start.Subst(n, v), End: r.End.Subst(n, v), Skip: r.Skip}
+}
+
+// Shift returns the range displaced by delta: [Start+delta, End+delta].
+func (r Range) Shift(delta int64) Range {
+	return Range{Start: r.Start.AddConst(delta), End: r.End.AddConst(delta), Skip: r.Skip}
+}
+
+// Contains reports whether value v is provably a member of r, assuming
+// skip divisibility is satisfied (conservative: only constant evidence
+// counts). The second result reports whether membership was decidable.
+func (r Range) Contains(v Expr) (bool, bool) {
+	// v in [Start, End] iff v-Start >= 0 and End-v >= 0.
+	lo, ok1 := v.Sub(r.Start).IsConst()
+	hi, ok2 := r.End.Sub(v).IsConst()
+	if !ok1 || !ok2 {
+		return false, false
+	}
+	if lo < 0 || hi < 0 {
+		return false, true
+	}
+	skip := r.Skip
+	if skip < 1 {
+		skip = 1
+	}
+	return lo%skip == 0, true
+}
+
+// String renders the range, e.g. "1..n.1" or "2..20:2".
+func (r Range) String() string {
+	if e, ok := r.IsPoint(); ok {
+		return e.String()
+	}
+	if r.Skip > 1 {
+		return fmt.Sprintf("%s..%s:%d", r.Start, r.End, r.Skip)
+	}
+	return fmt.Sprintf("%s..%s", r.Start, r.End)
+}
+
+// Value is a symbolic value: either a single expression or a range.
+// The paper: "A symbolic value is either a symbolic expression or a
+// range."
+type Value struct {
+	r       Range
+	isRange bool
+}
+
+// ExprValue wraps a single expression as a Value.
+func ExprValue(e Expr) Value { return Value{r: Point(e)} }
+
+// RangeValue wraps a range as a Value.
+func RangeValue(r Range) Value { return Value{r: r, isRange: true} }
+
+// Expr reports the underlying expression when the value is a single
+// expression.
+func (v Value) Expr() (Expr, bool) {
+	if v.isRange {
+		return Expr{}, false
+	}
+	return v.r.Start, true
+}
+
+// Range reports the value as a range. Single expressions widen to a
+// degenerate point range, so Range is total.
+func (v Value) Range() Range { return v.r }
+
+// IsRange reports whether the value is a proper range.
+func (v Value) IsRange() bool { return v.isRange }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.isRange {
+		return v.r.String()
+	}
+	return v.r.Start.String()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedupEfficiency(t *testing.T) {
+	r := Result{Name: "x", Processors: 10, Makespan: 50, SeqTime: 400}
+	if r.Speedup() != 8 {
+		t.Fatalf("speedup = %v", r.Speedup())
+	}
+	if r.Efficiency() != 0.8 {
+		t.Fatalf("efficiency = %v", r.Efficiency())
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	var r Result
+	if r.Speedup() != 0 || r.Efficiency() != 0 || r.LoadImbalance() != 0 {
+		t.Fatal("zero result must report zeros")
+	}
+	r2 := Result{Processors: 4, Makespan: 0, SeqTime: 10}
+	if r2.Speedup() != 0 {
+		t.Fatal("zero makespan must not divide")
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	r := Result{Busy: []float64{10, 10, 10, 10}}
+	if r.LoadImbalance() != 1 {
+		t.Fatalf("even load imbalance = %v", r.LoadImbalance())
+	}
+	r2 := Result{Busy: []float64{20, 10, 10, 0}}
+	if r2.LoadImbalance() != 2 {
+		t.Fatalf("imbalance = %v", r2.LoadImbalance())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Name: "taper/x", Processors: 8, Makespan: 100, SeqTime: 400, Chunks: 5}
+	s := r.String()
+	if !strings.Contains(s, "taper/x") || !strings.Contains(s, "p=8") ||
+		!strings.Contains(s, "speedup=4.0") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Label: "static"}
+	b := &Series{Label: "TAPER"}
+	for _, p := range []int{2, 4} {
+		a.Add(float64(p), Result{Processors: p, Makespan: 100, SeqTime: float64(100 * p / 2)})
+		b.Add(float64(p), Result{Processors: p, Makespan: 50, SeqTime: float64(100 * p / 2)})
+	}
+	// Sparse point present only in one series.
+	b.Add(8, Result{Processors: 8, Makespan: 50, SeqTime: 400})
+
+	tbl := Table("fig", "procs", []*Series{a, b}, Result.Speedup, "speedup")
+	lines := strings.Split(strings.TrimSpace(tbl), "\n")
+	if len(lines) != 5 { // title + header + 3 x-values
+		t.Fatalf("table rows = %d:\n%s", len(lines), tbl)
+	}
+	if !strings.Contains(lines[1], "static") || !strings.Contains(lines[1], "TAPER") {
+		t.Fatalf("header: %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "-") {
+		t.Fatalf("missing point not dashed: %q", lines[4])
+	}
+	// x values sorted ascending.
+	if !strings.HasPrefix(lines[2], "2") || !strings.HasPrefix(lines[4], "8") {
+		t.Fatalf("x order wrong:\n%s", tbl)
+	}
+}

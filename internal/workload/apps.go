@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"orchestra/internal/delirium"
+	"orchestra/internal/rts"
+	"orchestra/internal/stats"
+)
+
+// Psirrfan models the x-ray tomography reconstruction program: a
+// regular projection phase, an irregular masked update phase (roughly
+// 40% of the columns carry real work), and a regular output phase.
+// Split divides the output phase around the mask (outI is independent
+// of the update and runs concurrently with it) and pipelines the
+// update into the dependent output part — the paper: "by exposing
+// additional coarse-grained parallelism and two opportunities for
+// pipelining, we transformed Psirrfan to achieve sustained efficiency
+// of over 80% using up to 1024 processors."
+func Psirrfan(cfg Config) *App {
+	rng := stats.NewRNG(cfg.Seed ^ 0x9a17)
+	n := cfg.N
+
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = rng.Bernoulli(0.4)
+	}
+	update := make([]float64, n)
+	for i := range update {
+		if mask[i] {
+			update[i] = rng.Uniform(6, 14)
+		} else {
+			update[i] = 0.5
+		}
+	}
+	proj := sampleTimes(n, stats.NormalDist{Mu: 2.0, Sigma: 0.1, Floor: 0.1}, rng)
+	projI, projPre := partition(proj, mask)
+	output := sampleTimes(n, stats.NormalDist{Mu: 1.5, Sigma: 0.1, Floor: 0.1}, rng)
+	outI, outD := partition(output, mask)
+	app := &App{Name: "psirrfan", ops: map[string]rts.OpSpec{
+		"proj":    makeOp("proj", proj, 64),
+		"projPre": makeOp("projPre", projPre, 64),
+		"projI":   makeOp("projI", projI, 64),
+		"update":  makeOp("update", update, 64),
+		"output":  makeOp("output", output, 64),
+		"outI":    makeOp("outI", outI, 64),
+		"outD":    makeOp("outD", outD, 64),
+	}}
+
+	app.SeqGraph = chain("psirrfan", []string{"proj", "update", "output"}, 16)
+
+	// Split applied to every phase (the paper hand-applied split
+	// "wherever applicable"): only the masked columns' projections
+	// (projPre) gate the update; the remaining projections (projI) run
+	// concurrently with it, and the output phase splits around the
+	// mask, its dependent half pipelined behind the update.
+	g := delirium.NewGraph("psirrfan-split")
+	for _, name := range []string{"projPre", "projI", "update", "outI", "outD"} {
+		if err := g.AddNode(&delirium.Node{Name: name, Kind: delirium.Par, Tasks: "n"}); err != nil {
+			panic(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "projPre", To: "update", Bytes: 16, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "projPre", To: "projI", Bytes: 8, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "update", To: "outD", Bytes: 16, PerTask: true, Pipelined: true})
+	g.AddEdge(&delirium.Edge{From: "projI", To: "outI", Bytes: 16, PerTask: true})
+	app.SplitGraph = g
+	return app
+}
+
+// Climate models the UCLA General Circulation Model: regular dynamics,
+// the irregular cloud-physics phase (about 30% of the grid cells are
+// convective and an order of magnitude more expensive), and a
+// radiation phase. Split lets the independent part of radiation (the
+// non-convective cells) execute concurrently with cloud physics,
+// smoothing its load imbalance. The paper's measurement uses "about
+// 3200 latitude-longitude grid cells".
+func Climate(cfg Config) *App {
+	rng := stats.NewRNG(cfg.Seed ^ 0xc71a)
+	n := cfg.N
+
+	mask := make([]bool, n) // convective cells
+	for i := range mask {
+		mask[i] = rng.Bernoulli(0.3)
+	}
+	cloud := make([]float64, n)
+	for i := range cloud {
+		switch {
+		case mask[i] && rng.Bernoulli(0.1):
+			// Deep convection: an order of magnitude above the mean
+			// task, the cells the paper blames for the 1024-processor
+			// efficiency collapse.
+			cloud[i] = rng.Uniform(18, 24)
+		case mask[i]:
+			cloud[i] = rng.Uniform(6, 12)
+		default:
+			cloud[i] = 0.8
+		}
+	}
+	dynamics := sampleTimes(n, stats.NormalDist{Mu: 3.0, Sigma: 0.15, Floor: 0.1}, rng)
+	dynI, dynPre := partition(dynamics, mask)
+	radiation := sampleTimes(n, stats.NormalDist{Mu: 2.5, Sigma: 0.1, Floor: 0.1}, rng)
+	radI, radD := partition(radiation, mask)
+
+	app := &App{Name: "climate", ops: map[string]rts.OpSpec{
+		"dynamics": makeOp("dynamics", dynamics, 96),
+		"dynPre":   makeOp("dynPre", dynPre, 96),
+		"dynI":     makeOp("dynI", dynI, 96),
+		"cloud":    makeOp("cloud", cloud, 96),
+		"rad":      makeOp("rad", radiation, 96),
+		"radI":     makeOp("radI", radI, 96),
+		"radD":     makeOp("radD", radD, 96),
+	}}
+	app.SeqGraph = chain("climate", []string{"dynamics", "cloud", "rad"}, 24)
+
+	// Split applied throughout: cloud physics runs on the convective
+	// cells only, so it needs just their dynamics (dynPre); the
+	// remaining dynamics (dynI) execute concurrently with cloud
+	// physics, and radiation splits around the convective mask.
+	g := delirium.NewGraph("climate-split")
+	for _, name := range []string{"dynPre", "dynI", "cloud", "radI", "radD"} {
+		if err := g.AddNode(&delirium.Node{Name: name, Kind: delirium.Par, Tasks: "n"}); err != nil {
+			panic(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "dynPre", To: "cloud", Bytes: 24, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "dynPre", To: "dynI", Bytes: 8, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "cloud", To: "radD", Bytes: 24, PerTask: true, Pipelined: true})
+	g.AddEdge(&delirium.Edge{From: "dynI", To: "radI", Bytes: 24, PerTask: true})
+	app.SplitGraph = g
+	return app
+}
+
+// EMU models the parallel circuit simulator: per-timestep gate
+// evaluation where only the active gates (hot spots, ~15%) carry real
+// work, followed by a fanout-propagation phase split around the active
+// set.
+func EMU(cfg Config) *App {
+	rng := stats.NewRNG(cfg.Seed ^ 0xe3)
+	n := cfg.N
+
+	mask := make([]bool, n) // active gates
+	for i := range mask {
+		mask[i] = rng.Bernoulli(0.2)
+	}
+	eval := make([]float64, n)
+	for i := range eval {
+		if mask[i] {
+			eval[i] = rng.Uniform(4, 12)
+		} else {
+			eval[i] = 0.4
+		}
+	}
+	fanout := sampleTimes(n, stats.NormalDist{Mu: 1.2, Sigma: 0.1, Floor: 0.1}, rng)
+	fanI, fanD := partition(fanout, mask)
+
+	app := &App{Name: "emu", ops: map[string]rts.OpSpec{
+		"eval": makeOp("eval", eval, 48),
+		"fan":  makeOp("fan", fanout, 48),
+		"fanI": makeOp("fanI", fanI, 48),
+		"fanD": makeOp("fanD", fanD, 48),
+	}}
+	app.SeqGraph = chain("emu", []string{"eval", "fan"}, 12)
+	app.SplitGraph = maskedSplitGraph("emu-split", "", "eval", "fanI", "fanD", 12)
+	return app
+}
+
+// Vortex models the adaptive vortex method for turbulent fluid flow:
+// velocity evaluation whose cost is spatially clustered (particles in
+// dense clusters are far more expensive, and clusters are contiguous
+// in the particle ordering — the worst case for a static block
+// decomposition), followed by a position-update phase split around the
+// cluster membership. A regular tree-build phase precedes both.
+func Vortex(cfg Config) *App {
+	rng := stats.NewRNG(cfg.Seed ^ 0x70f7)
+	n := cfg.N
+
+	// Contiguous clusters covering ~30% of the particles.
+	mask := make([]bool, n)
+	clusters := 8
+	span := n / (clusters * 3)
+	if span < 1 {
+		span = 1
+	}
+	for c := 0; c < clusters; c++ {
+		start := rng.Intn(n)
+		for i := start; i < start+span && i < n; i++ {
+			mask[i] = true
+		}
+	}
+	velocity := make([]float64, n)
+	for i := range velocity {
+		if mask[i] {
+			velocity[i] = rng.Uniform(4, 10)
+		} else {
+			velocity[i] = 1.0
+		}
+	}
+	tree := sampleTimes(n, stats.NormalDist{Mu: 1.5, Sigma: 0.1, Floor: 0.1}, rng)
+	treeI, treePre := partition(tree, mask)
+	move := sampleTimes(n, stats.NormalDist{Mu: 0.8, Sigma: 0.05, Floor: 0.1}, rng)
+	moveI, moveD := partition(move, mask)
+
+	app := &App{Name: "vortex", ops: map[string]rts.OpSpec{
+		"tree":    makeOp("tree", tree, 32),
+		"treePre": makeOp("treePre", treePre, 32),
+		"treeI":   makeOp("treeI", treeI, 32),
+		"vel":     makeOp("vel", velocity, 32),
+		"move":    makeOp("move", move, 32),
+		"moveI":   makeOp("moveI", moveI, 32),
+		"moveD":   makeOp("moveD", moveD, 32),
+	}}
+	app.SeqGraph = chain("vortex", []string{"tree", "vel", "move"}, 16)
+
+	// Split applied throughout: the velocity evaluation of clustered
+	// particles needs only their tree cells (treePre); the rest of the
+	// tree build runs concurrently with it, and the move phase splits
+	// around the cluster membership.
+	g := delirium.NewGraph("vortex-split")
+	for _, name := range []string{"treePre", "treeI", "vel", "moveI", "moveD"} {
+		if err := g.AddNode(&delirium.Node{Name: name, Kind: delirium.Par, Tasks: "n"}); err != nil {
+			panic(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "treePre", To: "vel", Bytes: 16, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "treePre", To: "treeI", Bytes: 8, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "vel", To: "moveD", Bytes: 16, PerTask: true, Pipelined: true})
+	g.AddEdge(&delirium.Edge{From: "treeI", To: "moveI", Bytes: 16, PerTask: true})
+	app.SplitGraph = g
+	return app
+}
+
+// All returns the four applications at the given size and seed.
+func All(n int, seed uint64) []*App {
+	return []*App{
+		Psirrfan(Config{N: n, Seed: seed}),
+		Climate(Config{N: n, Seed: seed}),
+		EMU(Config{N: n, Seed: seed}),
+		Vortex(Config{N: n, Seed: seed}),
+	}
+}

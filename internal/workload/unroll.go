@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/rts"
+)
+
+// Unrolled builds a K-timestep dataflow graph from the application's
+// split graph: each step is a copy of the per-step graph, and every
+// source of step t+1 depends on every sink of step t (the state update
+// between timesteps). Executing the unrolled graph barrier-free lets
+// step boundaries overlap — the cross-iteration form of the pipelining
+// the paper applies inside loops, and the natural extension for the
+// iterative applications of §5.
+//
+// The returned binder resolves "name@t" nodes to the same operations
+// every step.
+func (a *App) Unrolled(k int) (*delirium.Graph, rts.Binder, error) {
+	if k < 1 {
+		k = 1
+	}
+	g := delirium.NewGraph(fmt.Sprintf("%s-x%d", a.Name, k))
+
+	var sources, sinks []string
+	for _, n := range a.SplitGraph.Nodes {
+		if len(a.SplitGraph.Preds(n.Name)) == 0 {
+			sources = append(sources, n.Name)
+		}
+		if len(a.SplitGraph.Succs(n.Name)) == 0 {
+			sinks = append(sinks, n.Name)
+		}
+	}
+
+	at := func(name string, t int) string { return fmt.Sprintf("%s@%d", name, t) }
+	for t := 0; t < k; t++ {
+		for _, n := range a.SplitGraph.Nodes {
+			if err := g.AddNode(&delirium.Node{
+				Name: at(n.Name, t), Kind: n.Kind, Tasks: n.Tasks,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, e := range a.SplitGraph.Edges {
+			g.AddEdge(&delirium.Edge{
+				From: at(e.From, t), To: at(e.To, t),
+				Bytes: e.Bytes, PerTask: e.PerTask, Pipelined: e.Pipelined,
+			})
+		}
+		if t > 0 {
+			for _, snk := range sinks {
+				for _, src := range sources {
+					g.AddEdge(&delirium.Edge{
+						From: at(snk, t-1), To: at(src, t),
+						Bytes: 16, PerTask: true, Pipelined: true,
+					})
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	bind := func(name string) rts.OpSpec {
+		base := name
+		if i := strings.LastIndex(name, "@"); i > 0 {
+			base = name[:i]
+		}
+		return a.Bind(base)
+	}
+	return g, bind, nil
+}

@@ -1,0 +1,189 @@
+// Package xform implements the classical source-to-source loop
+// transformations the paper's compilation environment combines with
+// split (§3: "Our compilation environment combines split with
+// source-to-source transformations like loop fusion [Kuck et al.] and
+// loop interchange [Allen & Kennedy] to expose additional
+// concurrency"). Legality is decided with the same symbolic data
+// descriptors the split transformation uses.
+package xform
+
+import (
+	"orchestra/internal/analysis"
+	"orchestra/internal/descriptor"
+	"orchestra/internal/source"
+	"orchestra/internal/symbolic"
+)
+
+// CanFuse reports whether two adjacent loops may legally fuse: they
+// must have identical single-segment iteration ranges (syntactically
+// equal bounds after symbolic translation), no where guards, the same
+// step, and fusing must not reverse any dependence — iteration i of
+// the second loop must not touch data that a LATER iteration j > i of
+// the first loop writes (or write data a later iteration reads).
+func CanFuse(r *analysis.Result, a, b *source.Do) bool {
+	if a.Where != nil || b.Where != nil {
+		return false
+	}
+	if len(a.Ranges) != 1 || len(b.Ranges) != 1 {
+		return false
+	}
+	da, iva := r.DescribeIteration(a)
+	db, ivb := r.DescribeIteration(b)
+	ia := r.SSA.Defs[iva]
+	ib := r.SSA.Defs[ivb]
+	if ia == nil || ib == nil || len(ia.Ranges) != 1 || len(ib.Ranges) != 1 {
+		return false
+	}
+	ra, rb := ia.Ranges[0], ib.Ranges[0]
+	if !ra.Start.Equal(rb.Start) || !ra.End.Equal(rb.End) || ra.Skip != rb.Skip {
+		return false
+	}
+
+	// Align the two iteration descriptors on one name and test the
+	// fusion-preventing dependence: b's iteration i against a's
+	// iteration j with j > i. (Dependences from a's earlier iterations
+	// are preserved by fusion; only later-iteration interference
+	// reverses direction.)
+	later := symbolic.Name(string(iva) + "'later")
+	dbAligned := db.Subst(ivb, symbolic.Var(iva))
+	daLater := da.Subst(iva, symbolic.Var(later))
+	ctx := symbolic.Conj{symbolic.CmpExpr(symbolic.Var(later), symbolic.GT, symbolic.Var(iva))}
+	return !descriptor.Interferes(daLater, dbAligned, ctx)
+}
+
+// Fuse returns the fused loop (a's body followed by b's body under a's
+// induction variable). Callers must have established legality with
+// CanFuse. The second loop's induction variable is renamed to the
+// first's.
+func Fuse(a, b *source.Do) *source.Do {
+	fused := source.CloneStmt(a).(*source.Do)
+	bodyB := source.CloneStmts(b.Body)
+	if b.Var != a.Var {
+		renameScalar(bodyB, b.Var, a.Var)
+	}
+	fused.Body = append(fused.Body, bodyB...)
+	return fused
+}
+
+// CanInterchange reports whether a perfectly nested loop pair may
+// legally interchange: the outer loop's body must be exactly the inner
+// loop, neither may carry a where guard, the inner bounds must not use
+// the outer induction variable (a rectangular nest), and no dependence
+// may have direction (<, >) — tested by checking that iteration (i, j)
+// cannot interfere with iteration (i', j') under i < i' and j > j'.
+func CanInterchange(r *analysis.Result, outer *source.Do) bool {
+	inner, ok := innerLoop(outer)
+	if !ok || outer.Where != nil || inner.Where != nil {
+		return false
+	}
+	if len(outer.Ranges) != 1 || len(inner.Ranges) != 1 {
+		return false
+	}
+	_, ivo := r.DescribeIteration(outer)
+	dInner, ivi := r.DescribeIteration(inner)
+	def := r.SSA.Defs[ivi]
+	if def == nil || len(def.Ranges) != 1 {
+		return false
+	}
+	if def.Ranges[0].Uses(ivo) {
+		return false // triangular nest
+	}
+
+	// The (i, j) iteration's descriptor is the inner iteration
+	// descriptor with both induction variables free.
+	op, oj := symbolic.Name(string(ivo)+"'"), symbolic.Name(string(ivi)+"'")
+	other := dInner.Subst(ivo, symbolic.Var(op)).Subst(ivi, symbolic.Var(oj))
+	ctx := symbolic.Conj{
+		symbolic.CmpExpr(symbolic.Var(ivo), symbolic.LT, symbolic.Var(op)),
+		symbolic.CmpExpr(symbolic.Var(ivi), symbolic.GT, symbolic.Var(oj)),
+	}
+	return !descriptor.Interferes(dInner, other, ctx)
+}
+
+// Interchange returns the nest with the two loops swapped. Callers
+// must have established legality with CanInterchange.
+func Interchange(outer *source.Do) *source.Do {
+	inner := outer.Body[0].(*source.Do)
+	newOuter := source.CloneStmt(inner).(*source.Do)
+	newInner := source.CloneStmt(outer).(*source.Do)
+	newInner.Body = source.CloneStmts(inner.Body)
+	newOuter.Body = []source.Stmt{newInner}
+	return newOuter
+}
+
+// innerLoop reports whether the loop body is exactly one nested loop.
+func innerLoop(outer *source.Do) (*source.Do, bool) {
+	if len(outer.Body) != 1 {
+		return nil, false
+	}
+	inner, ok := outer.Body[0].(*source.Do)
+	return inner, ok
+}
+
+// FuseAdjacent fuses runs of legally fusable adjacent loops in a
+// statement list, returning the rewritten list and the number of
+// fusions performed. The analysis result must describe the ORIGINAL
+// program; fused loops are re-checked pairwise left to right.
+func FuseAdjacent(r *analysis.Result, stmts []source.Stmt) ([]source.Stmt, int) {
+	var out []source.Stmt
+	fusions := 0
+	for _, s := range stmts {
+		cur, isLoop := s.(*source.Do)
+		if !isLoop || len(out) == 0 {
+			out = append(out, s)
+			continue
+		}
+		prev, prevLoop := out[len(out)-1].(*source.Do)
+		// Only fuse ORIGINAL adjacent loops (both must be analyzable);
+		// a previously fused loop is not in the analysis tables, so
+		// fusion chains re-use the leftmost original loop's records.
+		if prevLoop && analyzable(r, prev) && analyzable(r, cur) && CanFuse(r, prev, cur) {
+			out[len(out)-1] = Fuse(prev, cur)
+			fusions++
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, fusions
+}
+
+// analyzable reports whether the loop belongs to the analyzed program.
+func analyzable(r *analysis.Result, d *source.Do) bool {
+	_, ok := r.SSA.InsideLoop[d]
+	return ok
+}
+
+// renameScalar rewrites scalar identifier uses in a statement list.
+func renameScalar(ss []source.Stmt, from, to string) {
+	var fixExpr func(e source.Expr)
+	fixExpr = func(e source.Expr) {
+		source.WalkExpr(e, func(x source.Expr) {
+			if id, ok := x.(*source.Ident); ok && id.Name == from {
+				id.Name = to
+			}
+		})
+	}
+	source.WalkStmts(ss, func(s source.Stmt) {
+		switch s := s.(type) {
+		case *source.Assign:
+			fixExpr(s.LHS)
+			fixExpr(s.RHS)
+		case *source.Do:
+			for _, rg := range s.Ranges {
+				fixExpr(rg.Lo)
+				fixExpr(rg.Hi)
+				fixExpr(rg.Step)
+			}
+			fixExpr(s.Where)
+			if s.Var == from {
+				s.Var = to
+			}
+		case *source.If:
+			fixExpr(s.Cond)
+		case *source.CallStmt:
+			for _, a := range s.Args {
+				fixExpr(a)
+			}
+		}
+	})
+}
