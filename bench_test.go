@@ -11,11 +11,13 @@
 //	BenchmarkTable1Climate*    — in-text climate measurements (512/1024, ±split)
 //	BenchmarkTable2Doubling    — in-text doubling claim (5–15% efficiency loss)
 //	BenchmarkAblation*         — design-choice ablations
+//	BenchmarkNativeBackend     — wall-clock execution on the goroutine backend
 //	BenchmarkCompiler*         — compiler-side throughput (analysis + split)
 package orchestra_bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -23,6 +25,7 @@ import (
 	"orchestra/internal/compile"
 	"orchestra/internal/experiment"
 	"orchestra/internal/machine"
+	"orchestra/internal/native"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/source"
@@ -196,6 +199,50 @@ func BenchmarkSchedulerPolicies(b *testing.B) {
 			b.ReportMetric(float64(last.Chunks), "chunks")
 		})
 	}
+}
+
+// BenchmarkNativeBackend runs the compiled running example on the
+// native goroutine backend with real array kernels — wall-clock
+// execution, not simulation — comparing the three modes. The reported
+// speedup/eff% are measured against the backend's own sequential-work
+// accounting; on a multi-core host the adaptive modes should approach
+// the core count.
+func BenchmarkNativeBackend(b *testing.B) {
+	out, err := compile.Compile(mustParse(b, benchProgram), compile.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n, work = 4000, 120
+	workers := runtime.GOMAXPROCS(0)
+	for _, mode := range []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit} {
+		b.Run(fmt.Sprintf("%s/p=%d", mode, workers), func(b *testing.B) {
+			var last trace.Result
+			for i := 0; i < b.N; i++ {
+				bind, _, err := native.ArrayKernels(out.Graph, n, work)
+				if err != nil {
+					b.Fatal(err)
+				}
+				be := &native.Backend{Workers: workers}
+				last, err = be.Execute(out.Graph, bind, workers, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.Makespan*1e3, "makespan-ms")
+			b.ReportMetric(last.Speedup(), "speedup")
+			b.ReportMetric(float64(last.Chunks), "chunks")
+			b.ReportMetric(float64(last.Steals), "steals")
+		})
+	}
+}
+
+func mustParse(b *testing.B, text string) *source.Program {
+	b.Helper()
+	prog, err := source.Parse(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
 }
 
 const benchProgram = `

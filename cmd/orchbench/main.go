@@ -3,15 +3,22 @@
 // measurements (Table 1), the processor-doubling claim (Table 2), and
 // the design-choice ablations DESIGN.md lists.
 //
+// The native experiment is deliberately not part of "all": unlike the
+// simulated experiments it measures wall-clock time on this machine's
+// cores, so its numbers are noisy and host-dependent. It writes its
+// series to BENCH_native.json alongside the printed table.
+//
 // Usage:
 //
-//	orchbench [-exp fig6|table1|table2|ablations|all] [-n size] [-seed s]
+//	orchbench [-exp fig6|table1|table2|ablations|native|all] [-n size] [-seed s]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"orchestra/internal/experiment"
 	"orchestra/internal/trace"
@@ -19,9 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, or all")
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, or all (native is wall-clock and never part of all)")
 	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
 	seed := flag.Uint64("seed", 7, "workload seed")
+	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -30,7 +38,7 @@ func main() {
 		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
 			run[e] = true
 		}
-	case "fig6", "table1", "table2", "ablations", "iterated", "policies":
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native":
 		run[*exp] = true
 	default:
 		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
@@ -84,6 +92,28 @@ func main() {
 		fmt.Printf("  per-step split (barriers):  makespan %8.1f  eff %5.1f%%\n", splitSteps.Makespan, 100*splitSteps.Efficiency())
 		fmt.Printf("  unrolled dataflow:          makespan %8.1f  eff %5.1f%%\n", unrolled.Makespan, 100*unrolled.Efficiency())
 		fmt.Println()
+	}
+
+	if run["native"] {
+		workers := []int{1, 2, 4}
+		if g := runtime.GOMAXPROCS(0); g > 4 {
+			workers = append(workers, g)
+		}
+		fmt.Printf("=== Native backend: Psirrfan topology on goroutines (GOMAXPROCS=%d) ===\n", runtime.GOMAXPROCS(0))
+		fmt.Println("wall-clock measurements; CPU-spinning log-normal tasks, cv 1")
+		fmt.Println()
+		points := experiment.NativeSweep(size(2048), *seed, workers, 2000)
+		fmt.Print(experiment.FormatNative(points))
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*nativeOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d points to %s\n\n", len(points), *nativeOut)
 	}
 
 	if run["ablations"] {

@@ -1,29 +1,39 @@
 // Command orchrun executes a Delirium dataflow graph (as produced by
-// orchc) on the simulated distributed-memory machine under one of the
-// three runtime configurations of the paper's evaluation: static,
-// TAPER, or TAPER with the split-exposed concurrency.
+// orchc) under one of the three runtime configurations of the paper's
+// evaluation: static, TAPER, or TAPER with the split-exposed
+// concurrency — on either execution backend:
+//
+//   - -backend sim (default): the discrete-event Ncube-2-style
+//     simulator; node task times are drawn from a log-normal with
+//     coefficient of variation -cv and charged to the simulated clock.
+//   - -backend native: the goroutine runtime of internal/native; the
+//     same log-normal draws are converted to real CPU spinning
+//     (-unitwork floating-point iterations per time unit), and the
+//     reported makespan/efficiency are wall-clock measurements.
 //
 // Graph nodes are bound to synthetic parallel operations. A node's
 // task count comes from its tasks= annotation (a symbolic trip count
 // such as "n", resolved with the -n flag) when present, else from
-// -tasks; task times are drawn from a log-normal with coefficient of
-// variation -cv.
+// -tasks.
 //
 // Usage:
 //
-//	orchrun [-p procs] [-mode static|taper|split] [-tasks n] [-cv x] [-seed s] file.graph
+//	orchrun [-p procs] [-backend sim|native] [-mode static|taper|split|all]
+//	        [-tasks n] [-cv x] [-seed s] [-unitwork w] file.graph
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
 
+	"orchestra/internal/core"
 	"orchestra/internal/delirium"
 	"orchestra/internal/interp"
-	"orchestra/internal/machine"
+	"orchestra/internal/native"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/source"
@@ -31,58 +41,118 @@ import (
 )
 
 func main() {
-	p := flag.Int("p", 64, "number of processors")
-	mode := flag.String("mode", "split", "execution mode: static, taper, split, or all")
-	tasks := flag.Int("tasks", 2048, "tasks per operator without a tasks= annotation")
-	nParam := flag.Int("n", 2048, "value of the symbolic problem size n in tasks= annotations")
-	cv := flag.Float64("cv", 1.0, "coefficient of variation of task times")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: orchrun [flags] file.graph")
-		os.Exit(2)
+// parseModes resolves the -mode flag; unknown values are an error, not
+// a silent default.
+func parseModes(mode string) ([]rts.Mode, error) {
+	switch strings.ToLower(mode) {
+	case "static":
+		return []rts.Mode{rts.ModeStatic}, nil
+	case "taper":
+		return []rts.Mode{rts.ModeTaper}, nil
+	case "split":
+		return []rts.Mode{rts.ModeSplit}, nil
+	case "all":
+		return []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}, nil
 	}
-	text, err := os.ReadFile(flag.Arg(0))
+	return nil, fmt.Errorf("unknown mode %q (valid: static, taper, split, all)", mode)
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the full flag-to-execution path and assert on exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("orchrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	p := fs.Int("p", 64, "number of processors (sim) or worker goroutines (native; 0 = GOMAXPROCS)")
+	backend := fs.String("backend", "sim", "execution backend: sim or native")
+	mode := fs.String("mode", "split", "execution mode: static, taper, split, or all")
+	tasks := fs.Int("tasks", 2048, "tasks per operator without a tasks= annotation")
+	nParam := fs.Int("n", 2048, "value of the symbolic problem size n in tasks= annotations")
+	cv := fs.Float64("cv", 1.0, "coefficient of variation of task times")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	unitWork := fs.Int("unitwork", 4000, "native backend: floating-point iterations per task-time unit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: orchrun [flags] file.graph")
+		return 2
+	}
+	modes, err := parseModes(*mode)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "orchrun:", err)
+		return 2
+	}
+	be, err := core.NewBackend(*backend, *p)
+	if err != nil {
+		fmt.Fprintf(stderr, "orchrun: unknown backend %q (valid: %s)\n",
+			*backend, strings.Join(core.BackendNames(), ", "))
+		return 2
+	}
+	text, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "orchrun:", err)
+		return 1
 	}
 	g, err := delirium.Decode(string(text))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "orchrun:", err)
+		return 1
 	}
 
-	var modes []rts.Mode
-	switch strings.ToLower(*mode) {
-	case "static":
-		modes = []rts.Mode{rts.ModeStatic}
-	case "taper":
-		modes = []rts.Mode{rts.ModeTaper}
-	case "split":
-		modes = []rts.Mode{rts.ModeSplit}
-	case "all":
-		modes = []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	count := func(n *delirium.Node) int {
+		c := *tasks
+		if n.Tasks != "" {
+			if v, ok := resolveTasks(n.Tasks, *nParam); ok {
+				c = v
+			}
+		}
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	var bind rts.Binder
+	if *backend == "native" {
+		// Real CPU-bound tasks: the drawn log-normal time units become
+		// spin iterations, so TAPER's measured statistics see the same
+		// irregularity the simulator models.
+		bind = native.SpinBinder(g, count, *cv, *seed, *unitWork)
+	} else {
+		bind = simBinder(g, count, *cv, *seed)
 	}
 
-	// Bind every node to a synthetic operation. A log-normal with the
-	// requested cv: sigma^2 = ln(1+cv^2).
-	sigma := math.Sqrt(math.Log(1 + *cv**cv))
+	if st, err := g.Summarize(); err == nil {
+		fmt.Fprintln(stdout, "graph:", st)
+	}
+	unit := ""
+	if *backend == "native" {
+		unit = " s"
+	}
+	for _, m := range modes {
+		r, err := be.Execute(g, bind, *p, m)
+		if err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
+			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
+	}
+	return 0
+}
+
+// simBinder binds every node to a synthetic operation whose task
+// times are log-normal with the requested cv: sigma^2 = ln(1+cv^2).
+func simBinder(g *delirium.Graph, count func(*delirium.Node) int, cv float64, seed uint64) rts.Binder {
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
 	mu := -sigma * sigma / 2 // unit mean
 	specs := map[string]rts.OpSpec{}
 	for _, n := range g.Nodes {
-		count := *tasks
-		if n.Tasks != "" {
-			if c, ok := resolveTasks(n.Tasks, *nParam); ok {
-				count = c
-			}
-		}
-		if count < 1 {
-			count = 1
-		}
-		rng := stats.NewRNG(*seed ^ hash(n.Name))
-		times := make([]float64, count)
+		rng := stats.NewRNG(seed ^ hash(n.Name))
+		times := make([]float64, count(n))
 		for i := range times {
 			times[i] = rng.LogNormal(mu, sigma)
 		}
@@ -97,20 +167,7 @@ func main() {
 		spec.SampleStats(128)
 		specs[n.Name] = spec
 	}
-	bind := func(name string) rts.OpSpec { return specs[name] }
-
-	cfg := machine.DefaultConfig(*p)
-	if st, err := g.Summarize(); err == nil {
-		fmt.Println("graph:", st)
-	}
-	for _, m := range modes {
-		r, err := rts.RunGraph(cfg, g, bind, *p, m)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%-12s makespan %10.1f  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
-			m, r.Makespan, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
-	}
+	return func(name string) rts.OpSpec { return specs[name] }
 }
 
 // resolveTasks evaluates a symbolic trip-count annotation with every
@@ -139,9 +196,4 @@ func hash(s string) uint64 {
 		h = (h ^ uint64(s[i])) * 1099511628211
 	}
 	return h
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "orchrun:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"orchestra/internal/delirium"
+)
+
+// writeGraph encodes a small two-node pipelined graph to a temp file.
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	g := delirium.NewGraph("t")
+	for _, n := range []string{"a", "b"} {
+		if err := g.AddNode(&delirium.Node{Name: n, Kind: delirium.Par}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "a", To: "b", Bytes: 8, Pipelined: true})
+	path := filepath.Join(t.TempDir(), "t.graph")
+	if err := os.WriteFile(path, []byte(g.Encode()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-mode", "bogus", writeGraph(t)}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if msg := errw.String(); !strings.Contains(msg, `unknown mode "bogus"`) || !strings.Contains(msg, "static") {
+		t.Errorf("stderr %q should name the bad mode and list valid values", msg)
+	}
+}
+
+func TestRunUnknownBackend(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-backend", "gpu", writeGraph(t)}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if msg := errw.String(); !strings.Contains(msg, `unknown backend "gpu"`) || !strings.Contains(msg, "native") {
+		t.Errorf("stderr %q should name the bad backend and list valid values", msg)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-no-such-flag", writeGraph(t)}, &out, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunMissingArgument(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "usage:") {
+		t.Errorf("stderr %q should print usage", errw.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.graph")}, &out, &errw); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunSimHappyPath(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-p", "8", "-tasks", "64", "-mode", "all", writeGraph(t)}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	lower := strings.ToLower(out.String())
+	for _, mode := range []string{"static", "taper", "split"} {
+		if !strings.Contains(lower, mode) {
+			t.Errorf("output missing a line for mode %s:\n%s", mode, out.String())
+		}
+	}
+}
+
+func TestRunNativeHappyPath(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-backend", "native", "-p", "2", "-tasks", "64", "-unitwork", "50",
+		"-mode", "split", writeGraph(t)}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(out.String(), " s ") {
+		t.Errorf("native output should report wall-clock seconds:\n%s", out.String())
+	}
+}

@@ -18,10 +18,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"orchestra/internal/compile"
 	"orchestra/internal/machine"
+	"orchestra/internal/native"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/source"
@@ -57,11 +59,38 @@ func CompileSource(text string, opts Options) (*Output, error) {
 	return compile.Compile(prog, opts)
 }
 
+// Backend re-exports the execution-backend interface: the simulated
+// Ncube-2 machine or the native goroutine runtime.
+type Backend = rts.Backend
+
+// BackendNames lists the recognized backend names, in the order the
+// command-line tools document them.
+func BackendNames() []string { return []string{"sim", "native"} }
+
+// NewBackend constructs a backend by name. For "sim", p sizes the
+// simulated machine's cost model; for "native", p <= 0 defaults the
+// worker count to GOMAXPROCS at Execute time.
+func NewBackend(name string, p int) (Backend, error) {
+	switch name {
+	case "sim":
+		return rts.NewSimBackend(machine.DefaultConfig(p)), nil
+	case "native":
+		return &native.Backend{Workers: p}, nil
+	}
+	return nil, fmt.Errorf("core: unknown backend %q (valid: sim, native)", name)
+}
+
 // Execute runs a compilation's dataflow graph on a simulated machine
 // with p processors under the given mode.
 func Execute(out *Output, bind rts.Binder, p int, mode Mode) (trace.Result, error) {
-	cfg := machine.DefaultConfig(p)
-	return rts.RunGraph(cfg, out.Graph, bind, p, mode)
+	return ExecuteOn(rts.NewSimBackend(machine.DefaultConfig(p)), out, bind, p, mode)
+}
+
+// ExecuteOn runs a compilation's dataflow graph on the given backend
+// with p processors (simulated processors, or worker goroutines for
+// the native backend) under the given mode.
+func ExecuteOn(be Backend, out *Output, bind rts.Binder, p int, mode Mode) (trace.Result, error) {
+	return be.Execute(out.Graph, bind, p, mode)
 }
 
 // BindUniform binds every graph node to an operation of n tasks with

@@ -88,3 +88,45 @@ func TestBindIrregularPerNodeDistinct(t *testing.T) {
 		t.Fatalf("distinct nodes share %d task times", same)
 	}
 }
+
+func TestNewBackend(t *testing.T) {
+	for _, name := range BackendNames() {
+		be, err := NewBackend(name, 4)
+		if err != nil {
+			t.Fatalf("NewBackend(%q): %v", name, err)
+		}
+		if be.Name() != name {
+			t.Errorf("NewBackend(%q).Name() = %q", name, be.Name())
+		}
+	}
+	if _, err := NewBackend("tpu", 4); err == nil {
+		t.Fatal("NewBackend accepted an unknown name")
+	}
+}
+
+func TestExecuteOnBothBackends(t *testing.T) {
+	out, err := CompileSource(sample, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range BackendNames() {
+		be, err := NewBackend(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ExecuteOn(be, out, BindUniform(128, 1), 4, ModeSplit)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Makespan <= 0 {
+			t.Errorf("%s: makespan %v, want positive", name, r.Makespan)
+		}
+		wantUnit := ""
+		if name == "native" {
+			wantUnit = "s"
+		}
+		if r.Unit != wantUnit {
+			t.Errorf("%s: unit %q, want %q", name, r.Unit, wantUnit)
+		}
+	}
+}

@@ -130,6 +130,27 @@ func TestPredsSuccs(t *testing.T) {
 	}
 }
 
+func TestInOutEdges(t *testing.T) {
+	g := buildSample(t)
+	g.AddEdge(&Edge{From: "BM", To: "BM", Carried: true})
+	in := g.InEdges("BM")
+	if len(in) != 2 {
+		t.Fatalf("InEdges(BM) = %d edges, want 2 (carried excluded)", len(in))
+	}
+	for _, e := range in {
+		if e.To != "BM" || e.Carried {
+			t.Fatalf("InEdges(BM) returned %+v", e)
+		}
+	}
+	out := g.OutEdges("A")
+	if len(out) != 1 || out[0].To != "BD" || !out[0].PerTask {
+		t.Fatalf("OutEdges(A) = %v", out)
+	}
+	if len(g.OutEdges("BM")) != 0 {
+		t.Fatal("OutEdges(BM) should exclude the carried self-loop")
+	}
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	g := buildSample(t)
 	g.AddEdge(&Edge{From: "BD", To: "BD", Carried: true})

@@ -1,0 +1,76 @@
+package native
+
+import "sync"
+
+// segment is a contiguous range [lo, hi) of one operator's tasks, the
+// unit of work the scheduler moves between workers. Workers carve
+// TAPER-sized chunks off a segment's front and push the remainder
+// back, so a segment shrinks as it is consumed.
+type segment struct {
+	op     int
+	lo, hi int
+}
+
+func (s segment) len() int { return s.hi - s.lo }
+
+// deque is one worker's double-ended work queue. The owner pushes and
+// pops at the bottom (LIFO — the most recently split remainder, still
+// cache-warm), while thieves steal at the top (FIFO — the oldest and
+// typically largest segment, so a single steal moves a substantial
+// amount of work). A mutex guards the buffer: segments are coarse
+// (chunks, not tasks), so operations are rare relative to task
+// execution and contention on the lock is negligible.
+type deque struct {
+	mu   sync.Mutex
+	head int
+	buf  []segment
+}
+
+// push adds a segment at the bottom (owner end).
+func (d *deque) push(s segment) {
+	d.mu.Lock()
+	d.buf = append(d.buf, s)
+	d.mu.Unlock()
+}
+
+// pop removes the bottom segment (owner end, LIFO).
+func (d *deque) pop() (segment, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		return segment{}, false
+	}
+	s := d.buf[len(d.buf)-1]
+	d.buf = d.buf[:len(d.buf)-1]
+	d.reset()
+	return s, true
+}
+
+// steal removes the top segment (thief end, FIFO).
+func (d *deque) steal() (segment, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		return segment{}, false
+	}
+	s := d.buf[d.head]
+	d.head++
+	d.reset()
+	return s, true
+}
+
+// size reports the number of queued segments.
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf) - d.head
+}
+
+// reset reclaims the buffer once it empties so a long run does not
+// accumulate dead head space. Called with mu held.
+func (d *deque) reset() {
+	if d.head == len(d.buf) {
+		d.head = 0
+		d.buf = d.buf[:0]
+	}
+}

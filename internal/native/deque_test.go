@@ -1,0 +1,100 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
+	var d deque
+	for i := 0; i < 3; i++ {
+		d.push(segment{op: i, lo: 0, hi: 1})
+	}
+	if s, ok := d.steal(); !ok || s.op != 0 {
+		t.Fatalf("steal got %+v ok=%v, want oldest (op 0)", s, ok)
+	}
+	if s, ok := d.pop(); !ok || s.op != 2 {
+		t.Fatalf("pop got %+v ok=%v, want newest (op 2)", s, ok)
+	}
+	if s, ok := d.pop(); !ok || s.op != 1 {
+		t.Fatalf("pop got %+v ok=%v, want op 1", s, ok)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop on empty deque reported ok")
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal on empty deque reported ok")
+	}
+	if d.size() != 0 {
+		t.Fatalf("size = %d, want 0", d.size())
+	}
+}
+
+// TestDequeStealContention hammers one deque from an owner (push+pop)
+// and many thieves concurrently and checks that every segment is
+// consumed exactly once. Run with -race to check the locking.
+func TestDequeStealContention(t *testing.T) {
+	const (
+		thieves = 8
+		items   = 2000
+	)
+	var d deque
+	seen := make([]atomic.Int32, items)
+	var consumed atomic.Int64
+	record := func(s segment) {
+		if n := seen[s.lo].Add(1); n != 1 {
+			t.Errorf("segment %d consumed %d times", s.lo, n)
+		}
+		consumed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if s, ok := d.steal(); ok {
+					record(s)
+					continue
+				}
+				select {
+				case <-done:
+					// Drain anything published after the last failed steal.
+					for {
+						s, ok := d.steal()
+						if !ok {
+							return
+						}
+						record(s)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	// Owner interleaves pushes with occasional pops.
+	for i := 0; i < items; i++ {
+		d.push(segment{op: 0, lo: i, hi: i + 1})
+		if i%3 == 0 {
+			if s, ok := d.pop(); ok {
+				record(s)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	// The owner drains whatever the thieves left behind.
+	for {
+		s, ok := d.pop()
+		if !ok {
+			break
+		}
+		record(s)
+	}
+	if consumed.Load() != items {
+		t.Fatalf("consumed %d segments, want %d", consumed.Load(), items)
+	}
+}

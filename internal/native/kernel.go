@@ -1,0 +1,171 @@
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/interp"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+	"orchestra/internal/stats"
+)
+
+// This file provides operation bindings that do real work, so the
+// same compiled graph produces actual numeric results on either
+// backend. A binding is an rts.Binder whose Time function executes
+// task i's body and returns a nominal simulated cost: the simulator
+// charges the return value to its clock, the native backend runs the
+// body and measures the wall clock.
+//
+// Kernel tasks must obey a dataflow-safety contract so that every
+// execution order either backend produces yields bit-identical
+// results:
+//
+//  1. Tasks are idempotent and order-independent within an operator:
+//     task i writes only its own elements, as a pure function of its
+//     inputs. (The simulator executes Time more than once per task —
+//     e.g. Op.TotalTime sums costs by calling every task — so a
+//     re-execution after inputs settle must reproduce the value.)
+//  2. A task may read arrays of non-pipelined predecessors at any
+//     index: both backends run it only after such producers fully
+//     complete.
+//  3. A task i of an operator with n tasks may read a *pipelined*
+//     predecessor (pn tasks) only at indices j ≤ i·pn/n: the native
+//     gate enables i only once the producer's contiguous completed
+//     prefix covers that index, and the simulator's upfront
+//     sequential pass settles all arrays in topological order.
+
+// ArrayKernels binds every node of a graph to a real array kernel
+// over an interp.State memory image: node X owns the n-element array
+// X in st.Arrays, and task i computes
+//
+//	X[i] = f(i, node) + Σ_pred pred[j_pred]
+//
+// with f the interpreter's deterministic external-function stand-in
+// (interp.DefaultFunc) iterated `work` times — so `work` scales the
+// CPU cost of a task without changing the dataflow. Pipelined
+// predecessors are read at the prefix-safe index, other predecessors
+// at a fixed stride, exercising real cross-operator data delivery.
+// The returned state is fresh per call: each execution must start
+// from zeroed arrays.
+func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("native: kernel task count %d < 1", n)
+	}
+	if work < 1 {
+		work = 1
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	st := interp.NewState()
+	specs := map[string]rts.OpSpec{}
+	for idx, nd := range order {
+		st.Alloc(nd.Name, n)
+		arr := st.Arrays[nd.Name]
+		// Snapshot the predecessor arrays and their edge kinds.
+		type input struct {
+			arr       []float64
+			pipelined bool
+		}
+		var inputs []input
+		for _, e := range g.InEdges(nd.Name) {
+			inputs = append(inputs, input{arr: st.Arrays[e.From], pipelined: e.Pipelined})
+		}
+		nodeID := float64(idx)
+		w := work
+		body := func(i int) float64 {
+			v := 0.0
+			for r := 0; r < w; r++ {
+				v += interp.DefaultFunc([]float64{float64(i), nodeID, float64(r)})
+			}
+			for _, in := range inputs {
+				var j int
+				if in.pipelined {
+					// Prefix-safe read (contract rule 3).
+					j = i * len(in.arr) / n
+				} else {
+					j = (i*31 + 7) % len(in.arr)
+				}
+				v += in.arr[j]
+			}
+			arr[i] = v
+			return 1
+		}
+		specs[nd.Name] = rts.OpSpec{
+			Op: sched.Op{
+				Name:  nd.Name,
+				N:     n,
+				Time:  body,
+				Bytes: 8,
+			},
+			Mu: 1,
+		}
+	}
+	return func(name string) rts.OpSpec { return specs[name] }, st, nil
+}
+
+// SpinBinder binds every node to a synthetic CPU-bound operation of
+// count tasks whose task times are log-normally distributed with unit
+// mean and the given coefficient of variation (the same distribution
+// cmd/orchrun uses for the simulator), scaled so one time unit burns
+// roughly unitWork iterations of floating-point work. The returned
+// binder is usable on both backends: the simulator charges the drawn
+// cost, the native backend actually spins for it.
+func SpinBinder(g *delirium.Graph, count func(node *delirium.Node) int, cv float64, seed uint64, unitWork int) rts.Binder {
+	if unitWork < 1 {
+		unitWork = 1
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	mu := -sigma * sigma / 2
+	specs := map[string]rts.OpSpec{}
+	for _, nd := range g.Nodes {
+		n := count(nd)
+		if n < 1 {
+			n = 1
+		}
+		rng := stats.NewRNG(seed ^ hashName(nd.Name))
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = rng.LogNormal(mu, sigma)
+		}
+		t := times
+		uw := unitWork
+		spec := rts.OpSpec{Op: sched.Op{
+			Name:  nd.Name,
+			N:     n,
+			Bytes: 64,
+			Time: func(i int) float64 {
+				spin(int(t[i] * float64(uw)))
+				return t[i]
+			},
+			Hint: func(i int) float64 { return t[i] },
+		}}
+		spec.SampleStats(128)
+		specs[nd.Name] = spec
+	}
+	return func(name string) rts.OpSpec { return specs[name] }
+}
+
+// spinSink defeats dead-code elimination of the spin loop.
+var spinSink float64
+
+// spin burns approximately iters iterations of floating-point work.
+func spin(iters int) {
+	v := 1.0
+	for i := 0; i < iters; i++ {
+		v += math.Sqrt(v + float64(i&7))
+	}
+	spinSink = v
+}
+
+// hashName is FNV-1a, keeping per-node workloads distinct.
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,558 @@
+// Package native executes compiled Delirium graphs on real hardware.
+// Where internal/machine substitutes a discrete-event model for the
+// paper's Ncube-2, this package is an actual parallel runtime: a pool
+// of worker goroutines (GOMAXPROCS of them by default) runs operator
+// tasks through per-worker work-stealing deques, and the orchestration
+// decisions the paper makes from modelled costs are made here from
+// measured ones —
+//
+//   - TAPER chunk sizing (internal/sched) is driven by wall-clock task
+//     times sampled online into Welford (μ, σ²) accumulators, instead
+//     of the simulator's per-task cost hints;
+//   - barrier-free DAG execution mirrors rts.ExecuteDAG: operators
+//     enable as their dataflow predecessors complete, and pipelined
+//     edges deliver producer progress to consumers in granularity
+//     batches over channels;
+//   - the trace is captured from real clocks: per-worker busy time,
+//     wall-clock makespan, chunk/steal/batch counts, reported through
+//     the same trace.Result the simulator fills.
+//
+// The backend consumes the same rts.Binder the simulator does: an
+// operation's Time function is treated as the executable body of task
+// i (its return value, the simulated cost, is ignored — the wall clock
+// is authoritative here). Kernel bindings whose Time does real array
+// work therefore run identically on both backends, which is what the
+// sim-vs-native parity tests exploit.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+	"orchestra/internal/stats"
+	"orchestra/internal/trace"
+)
+
+// Backend runs Delirium graphs on goroutine workers.
+type Backend struct {
+	// Workers is the default worker count when Execute is called with
+	// p <= 0; zero means GOMAXPROCS.
+	Workers int
+	// Pin locks each worker goroutine to an OS thread, reducing
+	// scheduler migration on machines with spare cores.
+	Pin bool
+}
+
+// Name implements rts.Backend.
+func (*Backend) Name() string { return "native" }
+
+// Execute implements rts.Backend: it runs the graph on p worker
+// goroutines under the given mode. The modes parallel the simulator's:
+// ModeStatic uses a fixed block decomposition with no stealing and no
+// pipelining, ModeTaper adds measured-time TAPER chunking and work
+// stealing (operators still gate on fully completed predecessors), and
+// ModeSplit additionally overlaps pipelined producer/consumer pairs.
+func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mode) (trace.Result, error) {
+	if err := g.Validate(); err != nil {
+		return trace.Result{}, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return trace.Result{}, err
+	}
+	if p <= 0 {
+		p = b.Workers
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	e := &engine{p: p, pin: b.Pin}
+	switch mode {
+	case rts.ModeStatic:
+		// fixed blocks, no adaptation
+	case rts.ModeTaper:
+		e.adaptive, e.steal = true, true
+	case rts.ModeSplit:
+		e.adaptive, e.steal, e.pipelined = true, true, true
+	default:
+		return trace.Result{}, fmt.Errorf("native: unknown mode %d", int(mode))
+	}
+	e.parkCond = sync.NewCond(&e.parkMu)
+	e.finished = make(chan struct{})
+
+	// Operator states, in topological order.
+	index := map[string]int{}
+	total := 0
+	for i, nd := range order {
+		spec := bind(nd.Name)
+		o := &opState{name: nd.Name, n: spec.Op.N, body: spec.Op.Time}
+		if o.body == nil {
+			o.n = 0
+		}
+		o.taper = sched.Taper{UseCostFunction: true}
+		o.stats = sched.NewTaskStats(maxInt(o.n, 1))
+		o.unsched.Store(int64(o.n))
+		index[nd.Name] = i
+		e.ops = append(e.ops, o)
+		total += o.n
+	}
+	e.outstanding.Store(int64(total))
+
+	// Dataflow edges. Pipelined edges get a delivery granularity; in
+	// the barriered modes every edge degrades to completion-gated.
+	for _, ed := range g.Edges {
+		if ed.Carried {
+			continue
+		}
+		f, t := index[ed.From], index[ed.To]
+		pip := ed.Pipelined && e.pipelined && e.ops[f].n > 0
+		batch := 1
+		if pip {
+			batch = batchSize(e.ops[f].n, p)
+		}
+		e.ops[t].in = append(e.ops[t].in, inEdge{from: f, pipelined: pip, batch: batch})
+		e.ops[f].out = append(e.ops[f].out, &outEdge{to: t, pipelined: pip, batch: batch})
+	}
+	for _, o := range e.ops {
+		for _, oe := range o.out {
+			if oe.pipelined {
+				// Pipelined consumers gate on the contiguous completed
+				// prefix (tasks finish out of order under stealing), so
+				// the producer tracks per-task completion marks.
+				o.doneMark = make([]bool, o.n)
+				break
+			}
+		}
+	}
+
+	e.workers = make([]*worker, p)
+	for i := range e.workers {
+		e.workers[i] = &worker{id: i, rng: stats.NewRNG(uint64(i)*0x9e3779b97f4a7c15 + 0x1d)}
+	}
+
+	start := time.Now()
+	if total == 0 {
+		close(e.finished)
+	}
+
+	// Gaters: one goroutine per operator with dataflow inputs. Each
+	// consumes batch-progress notifications over its channel and
+	// releases the newly enabled task prefix to the worker deques.
+	for oi, o := range e.ops {
+		if len(o.in) == 0 {
+			if o.n > 0 {
+				e.release(oi, 0, o.n)
+			}
+			continue
+		}
+		o.notify = make(chan struct{}, 1)
+		e.wg.Add(1)
+		go e.runGater(oi, o)
+		// Initial kick so gates that are already open (zero-task or
+		// absent producers) release without waiting for an event.
+		o.notify <- struct{}{}
+	}
+
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go e.runWorker(w)
+	}
+	e.wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	if e.outstanding.Load() != 0 {
+		return trace.Result{}, fmt.Errorf("native: execution stalled with %d tasks outstanding", e.outstanding.Load())
+	}
+	res := trace.Result{
+		Name:       fmt.Sprintf("native-%s/%s", mode, g.Name),
+		Processors: p,
+		Unit:       "s",
+		Makespan:   wall,
+		Busy:       make([]float64, p),
+		Chunks:     int(e.chunks.Load()),
+		Steals:     int(e.steals.Load()),
+		Messages:   int(e.batches.Load()),
+	}
+	for i, w := range e.workers {
+		res.Busy[i] = w.busy
+		res.SeqTime += w.busy
+	}
+	return res, nil
+}
+
+// inEdge is a dataflow input: the consumer's gate over one producer.
+type inEdge struct {
+	from      int
+	pipelined bool
+	batch     int
+}
+
+// outEdge is a producer's delivery obligation toward one consumer.
+// notified and sentFull are guarded by the producer's progressMu.
+type outEdge struct {
+	to        int
+	pipelined bool
+	batch     int
+	notified  int // last batch count delivered
+	sentFull  bool
+}
+
+// opState is one operator's runtime state.
+type opState struct {
+	name string
+	n    int
+	// body executes task i; the returned simulated cost is ignored.
+	body func(i int) float64
+	in   []inEdge
+	out  []*outEdge
+
+	// unsched counts tasks not yet taken into any chunk.
+	unsched atomic.Int64
+	// done counts completed tasks (any order).
+	done atomic.Int64
+	// prefixA mirrors the contiguous completed prefix for lock-free
+	// reads by consumers' gaters.
+	prefixA atomic.Int64
+
+	// statsMu guards stats and taper.
+	statsMu sync.Mutex
+	stats   *sched.TaskStats
+	taper   sched.Taper
+
+	// progressMu guards doneMark, prefix and the out-edges' delivery
+	// cursors.
+	progressMu sync.Mutex
+	doneMark   []bool
+	prefix     int
+
+	// notify wakes the operator's gater; nil for source operators.
+	notify chan struct{}
+}
+
+// worker is one goroutine of the pool.
+type worker struct {
+	id  int
+	dq  deque
+	rng *stats.RNG
+	// busy accumulates measured task-execution seconds; written only
+	// by the owning goroutine, read after the pool joins.
+	busy float64
+}
+
+// engine is the per-execution scheduler state.
+type engine struct {
+	p                          int
+	adaptive, steal, pipelined bool
+	pin                        bool
+	ops                        []*opState
+	workers                    []*worker
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   int
+
+	// queued approximates the number of segments across all deques;
+	// workers park when it reaches zero.
+	queued      atomic.Int64
+	outstanding atomic.Int64
+	finished    chan struct{}
+	finishOnce  sync.Once
+
+	rr      atomic.Int64
+	chunks  atomic.Int64
+	steals  atomic.Int64
+	batches atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// sampleEach is the chunk size below which tasks are timed one by one
+// (true per-task variance); larger chunks are timed as a whole and
+// folded in via TaskStats.ObserveChunk.
+const sampleEach = 16
+
+// batchSize picks the pipelined delivery granularity: a handful of
+// batches per worker, so consumers ramp up early without paying a
+// channel notification per task. (The simulator derives its
+// granularity from modelled message costs — rts.ChoosePairGranularity;
+// natively a notification costs nanoseconds, so only the pipeline-fill
+// consideration survives.)
+func batchSize(n, p int) int {
+	b := n / (8 * p)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func (e *engine) isFinished() bool {
+	select {
+	case <-e.finished:
+		return true
+	default:
+		return false
+	}
+}
+
+// gate computes how many of o's tasks are executable given its
+// producers' progress: the minimum over inputs of the enabled prefix,
+// exactly the shape of rts.ExecuteDAG's gate — except that pipelined
+// enabling reads the producer's *contiguous* completed prefix, making
+// it safe for consumers to read producer data up to the mapped index.
+func (e *engine) gate(o *opState) int {
+	en := o.n
+	for _, ie := range o.in {
+		prod := e.ops[ie.from]
+		pn := prod.n
+		var v int
+		if int(prod.done.Load()) >= pn {
+			v = o.n
+		} else if ie.pipelined && pn > 0 {
+			prefix := int(prod.prefixA.Load())
+			delivered := prefix / ie.batch * ie.batch
+			v = int(int64(delivered) * int64(o.n) / int64(pn))
+		}
+		if v < en {
+			en = v
+		}
+	}
+	return en
+}
+
+// runGater consumes batch notifications for one operator and releases
+// newly enabled tasks to the worker deques.
+func (e *engine) runGater(oi int, o *opState) {
+	defer e.wg.Done()
+	released := 0
+	for released < o.n {
+		select {
+		case <-o.notify:
+		case <-e.finished:
+			return
+		}
+		if en := e.gate(o); en > released {
+			e.release(oi, released, en)
+			released = en
+		}
+	}
+}
+
+// release hands tasks [lo, hi) of op to the workers: a large range is
+// block-split across every deque (the owner-computes decomposition —
+// worker j owns block j), while a small pipelined delta goes whole to
+// the next worker round-robin.
+func (e *engine) release(op, lo, hi int) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if n >= 2*e.p {
+		for j := 0; j < e.p; j++ {
+			a, b := sched.BlockBounds(j, n, e.p)
+			if b > a {
+				e.workers[j].dq.push(segment{op: op, lo: lo + a, hi: lo + b})
+				e.queued.Add(1)
+			}
+		}
+	} else {
+		j := int(e.rr.Add(1)-1) % e.p
+		e.workers[j].dq.push(segment{op: op, lo: lo, hi: hi})
+		e.queued.Add(1)
+	}
+	e.signal()
+}
+
+// signal wakes parked workers after work becomes available.
+func (e *engine) signal() {
+	e.parkMu.Lock()
+	if e.parked > 0 {
+		e.parkCond.Broadcast()
+	}
+	e.parkMu.Unlock()
+}
+
+// park blocks until work this worker could run may be available or
+// the run finishes; it reports whether the worker should exit. With
+// stealing enabled any queued segment anywhere is reachable; without
+// it only the worker's own deque counts (otherwise an idle worker
+// would spin on work it is not allowed to take).
+func (e *engine) park(w *worker) bool {
+	e.parkMu.Lock()
+	e.parked++
+	for !e.isFinished() && !e.reachableWork(w) {
+		e.parkCond.Wait()
+	}
+	e.parked--
+	e.parkMu.Unlock()
+	return e.isFinished()
+}
+
+func (e *engine) reachableWork(w *worker) bool {
+	if e.steal {
+		return e.queued.Load() > 0
+	}
+	return w.dq.size() > 0
+}
+
+// stealFrom scans the other workers' deques from a random start and
+// takes the first stealable segment.
+func (e *engine) stealFrom(w *worker) (segment, bool) {
+	if e.p == 1 {
+		return segment{}, false
+	}
+	start := w.rng.Intn(e.p)
+	for t := 0; t < e.p; t++ {
+		v := (start + t) % e.p
+		if v == w.id {
+			continue
+		}
+		if s, ok := e.workers[v].dq.steal(); ok {
+			e.steals.Add(1)
+			return s, true
+		}
+	}
+	return segment{}, false
+}
+
+// runWorker is the worker loop: pop local work, else steal, else park.
+func (e *engine) runWorker(w *worker) {
+	defer e.wg.Done()
+	if e.pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for {
+		seg, ok := w.dq.pop()
+		if !ok && e.steal {
+			seg, ok = e.stealFrom(w)
+		}
+		if !ok {
+			if e.park(w) {
+				return
+			}
+			continue
+		}
+		e.queued.Add(-1)
+		e.runSegment(w, seg)
+	}
+}
+
+// runSegment executes one chunk off the segment's front and returns
+// the remainder to the worker's deque (where thieves can see it while
+// the chunk runs).
+func (e *engine) runSegment(w *worker, seg segment) {
+	o := e.ops[seg.op]
+	k := seg.len()
+	if e.adaptive {
+		rem := int(o.unsched.Load())
+		if rem < 1 {
+			rem = k
+		}
+		o.statsMu.Lock()
+		c := o.taper.NextChunk(rem, e.p, o.stats)
+		c = o.taper.ScaleChunk(c, seg.lo, o.stats)
+		o.statsMu.Unlock()
+		if c < k {
+			e.workers[w.id].dq.push(segment{op: seg.op, lo: seg.lo + c, hi: seg.hi})
+			e.queued.Add(1)
+			e.signal()
+			k = c
+		}
+	}
+	hi := seg.lo + k
+	o.unsched.Add(-int64(k))
+
+	begin := time.Now()
+	if k <= sampleEach {
+		var times [sampleEach]float64
+		for i := seg.lo; i < hi; i++ {
+			t0 := time.Now()
+			o.body(i)
+			times[i-seg.lo] = time.Since(t0).Seconds()
+		}
+		w.busy += time.Since(begin).Seconds()
+		o.statsMu.Lock()
+		for i := seg.lo; i < hi; i++ {
+			o.stats.Observe(i, times[i-seg.lo])
+		}
+		o.statsMu.Unlock()
+	} else {
+		for i := seg.lo; i < hi; i++ {
+			o.body(i)
+		}
+		elapsed := time.Since(begin).Seconds()
+		w.busy += elapsed
+		o.statsMu.Lock()
+		o.stats.ObserveChunk(seg.lo, k, elapsed)
+		o.statsMu.Unlock()
+	}
+	e.chunks.Add(1)
+	e.complete(o, seg.lo, hi)
+}
+
+// complete records the chunk [lo, hi) as done, advances the
+// contiguous prefix, and delivers progress to consumers: pipelined
+// edges receive a notification whenever a new granularity batch of the
+// prefix completes, ordinary edges only on full completion.
+func (e *engine) complete(o *opState, lo, hi int) {
+	k := hi - lo
+	full := int(o.done.Add(int64(k))) == o.n
+	var wake []*opState
+	if len(o.out) > 0 {
+		o.progressMu.Lock()
+		prefix := o.n
+		if o.doneMark != nil {
+			for i := lo; i < hi; i++ {
+				o.doneMark[i] = true
+			}
+			for o.prefix < o.n && o.doneMark[o.prefix] {
+				o.prefix++
+			}
+			prefix = o.prefix
+			o.prefixA.Store(int64(prefix))
+		}
+		for _, oe := range o.out {
+			trigger := false
+			if oe.pipelined {
+				if nb := prefix / oe.batch; nb > oe.notified {
+					oe.notified = nb
+					trigger = true
+				}
+			}
+			if full && !oe.sentFull {
+				oe.sentFull = true
+				trigger = true
+			}
+			if trigger {
+				wake = append(wake, e.ops[oe.to])
+			}
+		}
+		o.progressMu.Unlock()
+	}
+	for _, c := range wake {
+		e.batches.Add(1)
+		select {
+		case c.notify <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
+	if e.outstanding.Add(-int64(k)) == 0 {
+		e.finishOnce.Do(func() { close(e.finished) })
+		e.parkMu.Lock()
+		e.parkCond.Broadcast()
+		e.parkMu.Unlock()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+package rts
+
+import (
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/trace"
+)
+
+// Backend executes compiled Delirium graphs. Two implementations
+// exist: the discrete-event simulator of the paper's Ncube-2 testbed
+// (SimBackend, in this package) and the native goroutine runtime that
+// runs graphs on real hardware (internal/native). Both consume the
+// same compiled graph and the same Binder: a backend treats
+// OpSpec.Op.Time as the executable body of task i — the simulator
+// charges its return value to the simulated clock, while the native
+// backend runs it for real and measures wall-clock time instead.
+type Backend interface {
+	// Name identifies the backend ("sim" or "native").
+	Name() string
+	// Execute runs the graph on p processors (simulated processors or
+	// worker goroutines) under the given mode.
+	Execute(g *delirium.Graph, bind Binder, p int, mode Mode) (trace.Result, error)
+}
+
+// SimBackend runs graphs on the simulated distributed-memory machine.
+type SimBackend struct {
+	Cfg machine.Config
+}
+
+// NewSimBackend wraps a machine configuration as a Backend.
+func NewSimBackend(cfg machine.Config) *SimBackend { return &SimBackend{Cfg: cfg} }
+
+// Name implements Backend.
+func (*SimBackend) Name() string { return "sim" }
+
+// Execute implements Backend via RunGraph.
+func (s *SimBackend) Execute(g *delirium.Graph, bind Binder, p int, mode Mode) (trace.Result, error) {
+	return RunGraph(s.Cfg, g, bind, p, mode)
+}

@@ -46,6 +46,27 @@ func (ts *TaskStats) Observe(i int, t float64) {
 	ts.bins[b].Add(t)
 }
 
+// ObserveChunk records a chunk-level timing: total execution time for
+// the k tasks covering [lo, lo+k), measured as one aggregate (the form
+// a wall-clock executor produces when timing individual tasks would
+// cost more than the tasks themselves). The chunk mean enters the
+// global statistics as a single observation — chunk means understate
+// per-task variance, so executors should observe individual tasks
+// while chunks are small and switch to ObserveChunk once they grow.
+func (ts *TaskStats) ObserveChunk(lo, k int, total float64) {
+	if k <= 0 {
+		return
+	}
+	mean := total / float64(k)
+	ts.Global.Add(mean)
+	mid := lo + k/2
+	b := mid / ts.binSize
+	if b >= len(ts.bins) {
+		b = len(ts.bins) - 1
+	}
+	ts.bins[b].Add(mean)
+}
+
 // RegionMean estimates the mean task time in [lo, hi) using the cost
 // function; it falls back to the global mean where bins are empty.
 func (ts *TaskStats) RegionMean(lo, hi int) float64 {

@@ -48,6 +48,26 @@ func TestPolicyChunkBounds(t *testing.T) {
 	}
 }
 
+func TestObserveChunk(t *testing.T) {
+	ts := NewTaskStats(1000)
+	ts.ObserveChunk(0, 10, 30)   // mean 3 in the first bin
+	ts.ObserveChunk(900, 50, 50) // mean 1 in the last bin
+	if got := ts.Global.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("global mean after two chunk observations = %v, want 2", got)
+	}
+	if lo := ts.RegionMean(0, 100); math.Abs(lo-3) > 1e-12 {
+		t.Errorf("RegionMean(0,100) = %v, want 3 (chunk midpoint bin)", lo)
+	}
+	if hi := ts.RegionMean(900, 1000); math.Abs(hi-1) > 1e-12 {
+		t.Errorf("RegionMean(900,1000) = %v, want 1", hi)
+	}
+	// Degenerate chunks must not observe anything.
+	ts.ObserveChunk(0, 0, 5)
+	if got := ts.Global.N(); got != 2 {
+		t.Fatalf("zero-length chunk was recorded: N = %v", got)
+	}
+}
+
 func TestGSSChunks(t *testing.T) {
 	if k := (GSS{}).NextChunk(100, 4, nil); k != 25 {
 		t.Fatalf("GSS chunk = %d, want 25", k)

@@ -14,6 +14,10 @@ import (
 type Result struct {
 	Name       string
 	Processors int
+	// Unit names the time unit of Makespan, SeqTime and Busy. Empty
+	// means simulator units (one unit ≈ a small task); the native
+	// backend reports wall-clock seconds as "s".
+	Unit string
 	// Makespan is the parallel completion time.
 	Makespan float64
 	// SeqTime is the total task work (the one-processor execution
@@ -47,6 +51,15 @@ func (r Result) Efficiency() float64 {
 	return r.Speedup() / float64(r.Processors)
 }
 
+// TotalBusy sums the per-processor busy times.
+func (r Result) TotalBusy() float64 {
+	sum := 0.0
+	for _, b := range r.Busy {
+		sum += b
+	}
+	return sum
+}
+
 // LoadImbalance reports max busy / mean busy (1.0 = perfectly even).
 func (r Result) LoadImbalance() float64 {
 	if len(r.Busy) == 0 {
@@ -68,8 +81,12 @@ func (r Result) LoadImbalance() float64 {
 
 // String renders a one-line summary.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: p=%d makespan=%.1f speedup=%.1f eff=%.1f%% chunks=%d steals=%d msgs=%d",
-		r.Name, r.Processors, r.Makespan, r.Speedup(), 100*r.Efficiency(),
+	unit := r.Unit
+	if unit != "" {
+		unit = " " + unit
+	}
+	return fmt.Sprintf("%s: p=%d makespan=%.1f%s speedup=%.1f eff=%.1f%% chunks=%d steals=%d msgs=%d",
+		r.Name, r.Processors, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(),
 		r.Chunks, r.Steals, r.Messages)
 }
 
