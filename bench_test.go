@@ -236,6 +236,34 @@ func BenchmarkNativeBackend(b *testing.B) {
 	}
 }
 
+// BenchmarkHotpathSimEvents measures the simulator's steady-state event
+// loop through the allocation-free AfterFn path: 64 concurrent event
+// chains, one event per iteration. After the warm-up grows the arena
+// and heap to their peak, the loop must report 0 allocs/op.
+func BenchmarkHotpathSimEvents(b *testing.B) {
+	sim := machine.NewSim(machine.DefaultConfig(64))
+	const chains = 64
+	left := 0
+	var tick func(int)
+	tick = func(j int) {
+		if left > 0 {
+			left--
+			sim.AfterFn(0.5, tick, j)
+		}
+	}
+	run := func(events int) {
+		left = events - chains
+		for j := 0; j < chains; j++ {
+			sim.AfterFn(float64(j)/float64(chains), tick, j)
+		}
+		sim.Run()
+	}
+	run(10_000) // reach the steady state: arena and heap at peak size
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N + chains)
+}
+
 func mustParse(b *testing.B, text string) *source.Program {
 	b.Helper()
 	prog, err := source.Parse(text)

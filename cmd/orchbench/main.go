@@ -26,10 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, or all (native is wall-clock and never part of all)")
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, hotpath, or all (native and hotpath are wall-clock and never part of all)")
 	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
 	flag.Parse()
 
 	run := map[string]bool{}
@@ -38,7 +39,7 @@ func main() {
 		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
 			run[e] = true
 		}
-	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native":
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "hotpath":
 		run[*exp] = true
 	default:
 		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
@@ -114,6 +115,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d points to %s\n\n", len(points), *nativeOut)
+	}
+
+	if run["hotpath"] {
+		// Wall-clock hot-path measurements with before/after bookkeeping:
+		// the first run records the "before" series into -hotpath-out, a
+		// later run (after an optimization) fills "after" and prints the
+		// deltas. Parameters are fixed so the two series are comparable.
+		workers := []int{1}
+		if g := runtime.GOMAXPROCS(0); g > 1 {
+			workers = append(workers, g)
+		}
+		fmt.Printf("=== Hot-path: native backend + sim event loop (GOMAXPROCS=%d) ===\n\n", runtime.GOMAXPROCS(0))
+		rep := experiment.Hotpath(size(1024), *seed, workers, 2000, 1_000_000)
+		fmt.Print(experiment.FormatNative(rep.Native))
+		fmt.Printf("\nsim event loop: %d events, %.1f ns/event, %.3f allocs/event\n\n",
+			rep.SimEvents.Events, rep.SimEvents.NsPerEvent, rep.SimEvents.AllocsPerEvent)
+		var file struct {
+			Before *experiment.HotpathReport `json:"before,omitempty"`
+			After  *experiment.HotpathReport `json:"after,omitempty"`
+		}
+		if data, err := os.ReadFile(*hotpathOut); err == nil {
+			if err := json.Unmarshal(data, &file); err != nil {
+				fmt.Fprintf(os.Stderr, "orchbench: %s: %v\n", *hotpathOut, err)
+				os.Exit(1)
+			}
+		}
+		if file.Before == nil {
+			file.Before = &rep
+			fmt.Printf("recorded the before series in %s\n\n", *hotpathOut)
+		} else {
+			file.After = &rep
+			fmt.Print(experiment.FormatHotpathDelta(*file.Before, rep))
+			fmt.Printf("\nrecorded the after series in %s\n\n", *hotpathOut)
+		}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*hotpathOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	if run["ablations"] {

@@ -16,10 +16,16 @@
 // such as "n", resolved with the -n flag) when present, else from
 // -tasks.
 //
+// Profiling: -cpuprofile and -memprofile write runtime/pprof profiles
+// of the run. With the native backend, profiling also enables pprof
+// goroutine labels on the workers (worker=<id>, op=<name>), so
+// `go tool pprof -tagfocus` can slice samples by operator.
+//
 // Usage:
 //
 //	orchrun [-p procs] [-backend sim|native] [-mode static|taper|split|all]
-//	        [-tasks n] [-cv x] [-seed s] [-unitwork w] file.graph
+//	        [-tasks n] [-cv x] [-seed s] [-unitwork w]
+//	        [-cpuprofile f] [-memprofile f] file.graph
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"orchestra/internal/core"
@@ -73,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cv := fs.Float64("cv", 1.0, "coefficient of variation of task times")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	unitWork := fs.Int("unitwork", 4000, "native backend: floating-point iterations per task-time unit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +101,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "orchrun: unknown backend %q (valid: %s)\n",
 			*backend, strings.Join(core.BackendNames(), ", "))
 		return 2
+	}
+	profiling := *cpuprofile != "" || *memprofile != ""
+	if nb, ok := be.(*native.Backend); ok && profiling {
+		// Label worker goroutines so profiles can be sliced by operator.
+		nb.Labels = true
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 	text, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -140,6 +168,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
 			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 1
+		}
 	}
 	return 0
 }

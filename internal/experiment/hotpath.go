@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"orchestra/internal/machine"
+)
+
+// SimEventStats is one measurement of the simulator's event-loop
+// throughput: wall-clock nanoseconds and heap allocations per executed
+// event, over a run large enough to reach the arena's steady state.
+type SimEventStats struct {
+	Events         int64   `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// HotpathReport bundles the two wall-clock measurements the hot-path
+// work targets: the native backend's makespans and the simulator's
+// event-loop throughput. orchbench writes a before/after pair of these
+// to BENCH_hotpath.json.
+type HotpathReport struct {
+	Native    []NativePoint `json:"native"`
+	SimEvents SimEventStats `json:"sim_events"`
+}
+
+// Hotpath runs the hot-path measurement suite: the native Psirrfan
+// sweep (real CPU-spinning tasks on goroutine workers) plus a
+// simEvents-event simulator run driven through the allocation-free
+// AfterFn path. Every point is the fastest of three runs — the usual
+// guard against OS-scheduler noise in wall-clock microbenchmarks —
+// so before/after series taken on the same host are comparable.
+func Hotpath(tasks int, seed uint64, workers []int, unitWork, simEvents int) HotpathReport {
+	const repeats = 3
+	var rep HotpathReport
+	for r := 0; r < repeats; r++ {
+		pts := NativeSweep(tasks, seed, workers, unitWork)
+		sim := MeasureSimEvents(simEvents)
+		if r == 0 {
+			rep = HotpathReport{Native: pts, SimEvents: sim}
+			continue
+		}
+		for i := range pts {
+			if pts[i].Makespan < rep.Native[i].Makespan {
+				rep.Native[i] = pts[i]
+			}
+		}
+		if sim.NsPerEvent < rep.SimEvents.NsPerEvent {
+			rep.SimEvents = sim
+		}
+	}
+	return rep
+}
+
+// MeasureSimEvents times a simulator run of approximately the given
+// number of events: 64 self-rescheduling callbacks (one per simulated
+// processor) that each re-arm until the budget is spent — the same
+// shape as a steady-state executor, so the measurement reflects the
+// event loop, not setup.
+func MeasureSimEvents(events int) SimEventStats {
+	const procs = 64
+	sim := machine.NewSim(machine.DefaultConfig(procs))
+	left := events
+	var tick func(int)
+	tick = func(j int) {
+		if left > 0 {
+			left--
+			sim.AfterFn(1, tick, j)
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for j := 0; j < procs; j++ {
+		sim.AfterFn(1, tick, j)
+	}
+	sim.Run()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	n := sim.Events()
+	return SimEventStats{
+		Events:         n,
+		NsPerEvent:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+	}
+}
+
+// FormatHotpathDelta renders a before/after comparison: per-mode native
+// makespan change and the sim event-loop change. Negative percentages
+// are improvements.
+func FormatHotpathDelta(before, after HotpathReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s %8s\n", "mode", "workers", "before(s)", "after(s)", "delta")
+	for _, ap := range after.Native {
+		for _, bp := range before.Native {
+			if bp.Mode == ap.Mode && bp.Workers == ap.Workers {
+				d := 100 * (ap.Makespan - bp.Makespan) / bp.Makespan
+				fmt.Fprintf(&b, "%-14s %8d %14.6f %14.6f %+7.1f%%\n",
+					ap.Mode, ap.Workers, bp.Makespan, ap.Makespan, d)
+			}
+		}
+	}
+	sb, sa := before.SimEvents, after.SimEvents
+	if sb.Events > 0 && sa.Events > 0 {
+		fmt.Fprintf(&b, "sim events: %.1f -> %.1f ns/event (%+.1f%%), %.3f -> %.3f allocs/event\n",
+			sb.NsPerEvent, sa.NsPerEvent, 100*(sa.NsPerEvent-sb.NsPerEvent)/sb.NsPerEvent,
+			sb.AllocsPerEvent, sa.AllocsPerEvent)
+	}
+	return b.String()
+}

@@ -8,10 +8,17 @@
 // communication and scheduling overhead as the processor count grows —
 // which the cost model reproduces; absolute times are arbitrary units
 // (one unit ≈ the cost of a small task).
+//
+// The event core is allocation-free in steady state: events live in a
+// pooled arena with free-list reuse, ordered by an intrusive 4-ary
+// indexed heap, and the AtFn/AfterFn scheduling path takes a reusable
+// func(int) plus an integer argument so callers need not box a fresh
+// closure per event. After the arena reaches the peak number of
+// outstanding events, scheduling and running events performs no heap
+// allocation at all.
 package machine
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/bits"
@@ -69,41 +76,37 @@ func (c Config) BroadcastTime(p int, bytes int64) float64 {
 	return depth * (c.MsgOverhead + c.HopLatency + float64(bytes)*c.ByteCost)
 }
 
-// event is one scheduled callback.
+// event is one scheduled callback, pooled in the Sim's arena. Exactly
+// one of fn and cfn is set. The next field threads the free list.
 type event struct {
 	time float64
 	seq  int64
 	fn   func()
+	cfn  func(int)
+	arg  int
+	next int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// nilEvent marks the end of the free list.
+const nilEvent = int32(-1)
 
 // Sim is a discrete-event simulator. The zero value is not usable; use
 // NewSim.
 type Sim struct {
-	cfg    Config
-	events eventHeap
-	now    float64
-	seq    int64
-	ran    int64
+	cfg Config
+	// arena pools every event ever scheduled; freed slots are chained
+	// through event.next and reused, so steady-state scheduling does
+	// not allocate.
+	arena []event
+	free  int32
+	// heap is a 4-ary min-heap of arena indices ordered by (time, seq).
+	// 4-ary halves the tree depth vs binary, trading slightly more
+	// comparisons per level for fewer cache lines touched per sift —
+	// the usual win for simulation event loops.
+	heap []int32
+	now  float64
+	seq  int64
+	ran  int64
 }
 
 // NewSim creates a simulator over the given machine.
@@ -111,7 +114,7 @@ func NewSim(cfg Config) *Sim {
 	if cfg.Processors < 1 {
 		panic("machine: need at least one processor")
 	}
-	return &Sim{cfg: cfg}
+	return &Sim{cfg: cfg, free: nilEvent}
 }
 
 // Config returns the machine description.
@@ -123,38 +126,156 @@ func (s *Sim) Now() float64 { return s.now }
 // Events reports how many events have executed.
 func (s *Sim) Events() int64 { return s.ran }
 
-// At schedules fn at absolute time t (>= Now). Events at equal times
-// run in scheduling order, keeping the simulation deterministic.
-func (s *Sim) At(t float64, fn func()) {
+// Pending reports how many events are currently scheduled.
+func (s *Sim) Pending() int { return len(s.heap) }
+
+// alloc takes an event slot off the free list, growing the arena only
+// when no freed slot is available.
+func (s *Sim) alloc(t float64) int32 {
 	if t < s.now {
 		panic(fmt.Sprintf("machine: scheduling into the past (%g < %g)", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+	var id int32
+	if s.free != nilEvent {
+		id = s.free
+		s.free = s.arena[id].next
+	} else {
+		s.arena = append(s.arena, event{})
+		id = int32(len(s.arena) - 1)
+	}
+	e := &s.arena[id]
+	e.time = t
+	e.seq = s.seq
+	return id
+}
+
+// release returns an event slot to the free list, dropping callback
+// references so the arena does not pin dead closures.
+func (s *Sim) release(id int32) {
+	e := &s.arena[id]
+	e.fn = nil
+	e.cfn = nil
+	e.next = s.free
+	s.free = id
+}
+
+// At schedules fn at absolute time t (>= Now). Events at equal times
+// run in scheduling order, keeping the simulation deterministic.
+// Each call boxes the supplied closure; hot paths that would otherwise
+// create a fresh closure per event should use AtFn.
+func (s *Sim) At(t float64, fn func()) {
+	id := s.alloc(t)
+	s.arena[id].fn = fn
+	s.push(id)
 }
 
 // After schedules fn delay units from now.
 func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
 
+// AtFn schedules fn(arg) at absolute time t (>= Now). Unlike At, the
+// callback is a long-lived function value plus an integer argument
+// (typically a processor id), so scheduling allocates nothing: callers
+// build one callback per purpose and reuse it for every event.
+func (s *Sim) AtFn(t float64, fn func(int), arg int) {
+	id := s.alloc(t)
+	e := &s.arena[id]
+	e.cfn = fn
+	e.arg = arg
+	s.push(id)
+}
+
+// AfterFn schedules fn(arg) delay units from now, allocation-free.
+func (s *Sim) AfterFn(delay float64, fn func(int), arg int) { s.AtFn(s.now+delay, fn, arg) }
+
+// less orders events by (time, seq): deterministic FIFO at equal times.
+func (s *Sim) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+// push inserts an arena index into the 4-ary heap.
+func (s *Sim) push(id int32) {
+	s.heap = append(s.heap, id)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest event's arena index.
+func (s *Sim) popMin() int32 {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	s.heap = h[:last]
+	h = s.heap
+	// Sift down: promote the smallest of up to four children.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !s.less(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// dispatch pops the earliest event, recycles its slot, and runs it.
+// The slot is freed before the callback executes, so an event that
+// schedules a successor reuses its own slot — the steady-state regime
+// where the arena stops growing entirely.
+func (s *Sim) dispatch() {
+	id := s.popMin()
+	e := &s.arena[id]
+	s.now = e.time
+	s.ran++
+	fn, cfn, arg := e.fn, e.cfn, e.arg
+	s.release(id)
+	if cfn != nil {
+		cfn(arg)
+	} else {
+		fn()
+	}
+}
+
 // Run executes events until none remain, returning the final time.
 func (s *Sim) Run() float64 {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
-		s.now = e.time
-		s.ran++
-		e.fn()
+	for len(s.heap) > 0 {
+		s.dispatch()
 	}
 	return s.now
 }
 
 // Step executes a single event; it reports false when none remain.
 func (s *Sim) Step() bool {
-	if len(s.events) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
-	s.now = e.time
-	s.ran++
-	e.fn()
+	s.dispatch()
 	return true
 }

@@ -138,6 +138,66 @@ func TestSimStep(t *testing.T) {
 	}
 }
 
+func TestSimAtFnOrdering(t *testing.T) {
+	s := NewSim(DefaultConfig(4))
+	var order []int
+	rec := func(i int) { order = append(order, i) }
+	s.AtFn(5, rec, 2)
+	s.AtFn(1, rec, 0)
+	s.AtFn(3, rec, 1)
+	if end := s.Run(); end != 5 {
+		t.Fatalf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestSimMixedEventKinds interleaves closure events (At) with
+// callback+arg events (AtFn) so freed arena slots are reused across
+// the two kinds; release must have cleared the other kind's callback.
+func TestSimMixedEventKinds(t *testing.T) {
+	s := NewSim(DefaultConfig(2))
+	var got []int
+	s.At(1, func() { got = append(got, -1) })
+	s.Run()
+	s.AtFn(2, func(i int) { got = append(got, i) }, 7)
+	s.Run()
+	s.At(3, func() { got = append(got, -2) })
+	s.Run()
+	if len(got) != 3 || got[0] != -1 || got[1] != 7 || got[2] != -2 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+// TestSimSteadyStateAllocFree checks the arena/free-list contract: once
+// the arena has grown to the peak number of outstanding events, running
+// any number of further events through the AfterFn path allocates
+// nothing.
+func TestSimSteadyStateAllocFree(t *testing.T) {
+	s := NewSim(DefaultConfig(4))
+	const chains = 32
+	left := 0
+	var tick func(int)
+	tick = func(j int) {
+		if left > 0 {
+			left--
+			s.AfterFn(1, tick, j)
+		}
+	}
+	run := func() {
+		left = 1000
+		for j := 0; j < chains; j++ {
+			s.AfterFn(float64(j)/float64(chains), tick, j)
+		}
+		s.Run()
+	}
+	run() // grow the arena and heap to their peak
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Errorf("steady-state events allocated %v per run, want 0", allocs)
+	}
+}
+
 func TestMsgTimeSymmetry(t *testing.T) {
 	cfg := DefaultConfig(256)
 	if err := quick.Check(func(a, b uint8, bytes uint16) bool {

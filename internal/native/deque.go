@@ -1,6 +1,8 @@
 package native
 
-import "sync"
+import (
+	"sync/atomic"
+)
 
 // segment is a contiguous range [lo, hi) of one operator's tasks, the
 // unit of work the scheduler moves between workers. Workers carve
@@ -13,64 +15,145 @@ type segment struct {
 
 func (s segment) len() int { return s.hi - s.lo }
 
-// deque is one worker's double-ended work queue. The owner pushes and
-// pops at the bottom (LIFO — the most recently split remainder, still
-// cache-warm), while thieves steal at the top (FIFO — the oldest and
-// typically largest segment, so a single steal moves a substantial
-// amount of work). A mutex guards the buffer: segments are coarse
-// (chunks, not tasks), so operations are rare relative to task
-// execution and contention on the lock is negligible.
+// Deque slots hold segments packed into one uint64 so the buffer can
+// be read and written with single atomic operations — the property the
+// lock-free protocol depends on (a torn read of a multi-word slot
+// would be unrecoverable). The packing budgets 16 bits for the
+// operator index and 24 bits for each bound.
+const (
+	// maxOps bounds the number of operators a graph may have.
+	maxOps = 1 << 16
+	// maxTasks bounds the task count of one operator.
+	maxTasks = 1 << 24
+)
+
+func packSegment(s segment) uint64 {
+	return uint64(s.op)<<48 | uint64(s.lo)<<24 | uint64(s.hi)
+}
+
+func unpackSegment(v uint64) segment {
+	return segment{
+		op: int(v >> 48),
+		lo: int(v >> 24 & (maxTasks - 1)),
+		hi: int(v & (maxTasks - 1)),
+	}
+}
+
+// ring is one immutable-capacity circular buffer generation of a
+// deque. Growth allocates a doubled ring and atomically swings the
+// deque's buffer pointer; thieves still holding the old generation
+// read valid slots, because the owner never overwrites a slot of a
+// retired ring.
+type ring struct {
+	mask  uint64
+	slots []atomic.Uint64
+}
+
+func newRing(capacity int) *ring {
+	return &ring{mask: uint64(capacity - 1), slots: make([]atomic.Uint64, capacity)}
+}
+
+// deque is one worker's double-ended work queue: the lock-free
+// Chase–Lev work-stealing deque. The owner pushes and pops at the
+// bottom (LIFO — the most recently split remainder, still cache-warm);
+// thieves steal at the top (FIFO — the oldest and typically largest
+// segment, so a single steal moves substantial work). Only the owner
+// writes bottom; top advances only by compare-and-swap, which
+// arbitrates thief-vs-thief and thief-vs-owner races over the last
+// element. Go's sync/atomic operations are sequentially consistent,
+// which subsumes the fences of the weak-memory formulation (Lê et al.,
+// PPoPP '13); the ordering argument is written out in DESIGN.md.
 type deque struct {
-	mu   sync.Mutex
-	head int
-	buf  []segment
+	bottom atomic.Int64
+	top    atomic.Int64
+	buf    atomic.Pointer[ring]
 }
 
-// push adds a segment at the bottom (owner end).
+// initialDequeCap is the starting ring size; it must be a power of two.
+const initialDequeCap = 16
+
+// init sizes the empty deque; it must be called before use, while the
+// deque is not yet shared.
+func (d *deque) init() {
+	d.buf.Store(newRing(initialDequeCap))
+}
+
+// push adds a segment at the bottom. Only the owning worker may call
+// it (single-writer bottom is what makes the fast path fence-free in
+// the classic algorithm; here it keeps push CAS-free).
 func (d *deque) push(s segment) {
-	d.mu.Lock()
-	d.buf = append(d.buf, s)
-	d.mu.Unlock()
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.buf.Load()
+	if b-t >= int64(len(r.slots)) {
+		r = d.grow(r, b, t)
+	}
+	r.slots[uint64(b)&r.mask].Store(packSegment(s))
+	d.bottom.Store(b + 1)
 }
 
-// pop removes the bottom segment (owner end, LIFO).
+// grow doubles the ring, copying the live window [t, b). Owner-only.
+func (d *deque) grow(old *ring, b, t int64) *ring {
+	nr := newRing(2 * len(old.slots))
+	for i := t; i < b; i++ {
+		nr.slots[uint64(i)&nr.mask].Store(old.slots[uint64(i)&old.mask].Load())
+	}
+	d.buf.Store(nr)
+	return nr
+}
+
+// pop removes the bottom segment (owner end, LIFO). Only the owning
+// worker may call it. When one element remains the owner races thieves
+// for it with a CAS on top; losing means the deque emptied under us.
 func (d *deque) pop() (segment, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head == len(d.buf) {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical bottom == top state.
+		d.bottom.Store(t)
 		return segment{}, false
 	}
-	s := d.buf[len(d.buf)-1]
-	d.buf = d.buf[:len(d.buf)-1]
-	d.reset()
-	return s, true
+	v := r.slots[uint64(b)&r.mask].Load()
+	if t == b {
+		// Last element: win it from any concurrent thief.
+		if !d.top.CompareAndSwap(t, t+1) {
+			d.bottom.Store(b + 1)
+			return segment{}, false
+		}
+		d.bottom.Store(b + 1)
+	}
+	return unpackSegment(v), true
 }
 
-// steal removes the top segment (thief end, FIFO).
+// steal removes the top segment (thief end, FIFO). Any worker may call
+// it. The slot is read before the CAS on top; a successful CAS
+// validates the read, because the owner cannot recycle that slot
+// until top has moved past it (push requires bottom-top < capacity,
+// and a wrapped bottom aliasing slot t implies top advanced first,
+// which would fail this CAS).
 func (d *deque) steal() (segment, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.head == len(d.buf) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
 		return segment{}, false
 	}
-	s := d.buf[d.head]
-	d.head++
-	d.reset()
-	return s, true
-}
-
-// size reports the number of queued segments.
-func (d *deque) size() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.buf) - d.head
-}
-
-// reset reclaims the buffer once it empties so a long run does not
-// accumulate dead head space. Called with mu held.
-func (d *deque) reset() {
-	if d.head == len(d.buf) {
-		d.head = 0
-		d.buf = d.buf[:0]
+	r := d.buf.Load()
+	v := r.slots[uint64(t)&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return segment{}, false
 	}
+	return unpackSegment(v), true
+}
+
+// size reports the number of queued segments. It is exact for the
+// owner between its own operations and a racy approximation for
+// anyone else.
+func (d *deque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }

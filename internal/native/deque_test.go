@@ -8,6 +8,7 @@ import (
 
 func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
 	var d deque
+	d.init()
 	for i := 0; i < 3; i++ {
 		d.push(segment{op: i, lo: 0, hi: 1})
 	}
@@ -40,6 +41,7 @@ func TestDequeStealContention(t *testing.T) {
 		items   = 2000
 	)
 	var d deque
+	d.init()
 	seen := make([]atomic.Int32, items)
 	var consumed atomic.Int64
 	record := func(s segment) {

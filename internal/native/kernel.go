@@ -76,12 +76,13 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 		}
 		nodeID := float64(idx)
 		w := work
+		ins := inputs
 		body := func(i int) float64 {
 			v := 0.0
 			for r := 0; r < w; r++ {
 				v += interp.DefaultFunc([]float64{float64(i), nodeID, float64(r)})
 			}
-			for _, in := range inputs {
+			for _, in := range ins {
 				var j int
 				if in.pipelined {
 					// Prefix-safe read (contract rule 3).
@@ -94,12 +95,35 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 			arr[i] = v
 			return 1
 		}
+		// Fused variant: identical writes to per-task body calls, but
+		// one call per chunk with the task loop inlined, so a chunk
+		// costs no per-task closure dispatch.
+		bodyRange := func(lo, hi int) float64 {
+			for i := lo; i < hi; i++ {
+				v := 0.0
+				for r := 0; r < w; r++ {
+					v += interp.DefaultFunc([]float64{float64(i), nodeID, float64(r)})
+				}
+				for _, in := range ins {
+					var j int
+					if in.pipelined {
+						j = i * len(in.arr) / n
+					} else {
+						j = (i*31 + 7) % len(in.arr)
+					}
+					v += in.arr[j]
+				}
+				arr[i] = v
+			}
+			return float64(hi - lo)
+		}
 		specs[nd.Name] = rts.OpSpec{
 			Op: sched.Op{
-				Name:  nd.Name,
-				N:     n,
-				Time:  body,
-				Bytes: 8,
+				Name:      nd.Name,
+				N:         n,
+				Time:      body,
+				TimeRange: bodyRange,
+				Bytes:     8,
 			},
 			Mu: 1,
 		}
@@ -140,6 +164,14 @@ func SpinBinder(g *delirium.Graph, count func(node *delirium.Node) int, cv float
 			Time: func(i int) float64 {
 				spin(int(t[i] * float64(uw)))
 				return t[i]
+			},
+			TimeRange: func(lo, hi int) float64 {
+				sum := 0.0
+				for i := lo; i < hi; i++ {
+					spin(int(t[i] * float64(uw)))
+					sum += t[i]
+				}
+				return sum
 			},
 			Hint: func(i int) float64 { return t[i] },
 		}}

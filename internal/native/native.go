@@ -12,10 +12,18 @@
 //   - barrier-free DAG execution mirrors rts.ExecuteDAG: operators
 //     enable as their dataflow predecessors complete, and pipelined
 //     edges deliver producer progress to consumers in granularity
-//     batches over channels;
+//     batches;
 //   - the trace is captured from real clocks: per-worker busy time,
 //     wall-clock makespan, chunk/steal/batch counts, reported through
 //     the same trace.Result the simulator fills.
+//
+// The hot paths are engineered to keep orchestration overhead small
+// relative to task work (the paper's central requirement): per-worker
+// lock-free Chase–Lev deques instead of mutex queues, direct release
+// of newly enabled tasks from the completing worker instead of
+// per-operator gater goroutines, chunk-amortized clock reads, and a
+// futex-style parker (atomic idle count plus per-worker wake channels)
+// instead of a global condition variable.
 //
 // The backend consumes the same rts.Binder the simulator does: an
 // operation's Time function is treated as the executable body of task
@@ -26,8 +34,11 @@
 package native
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +58,11 @@ type Backend struct {
 	// Pin locks each worker goroutine to an OS thread, reducing
 	// scheduler migration on machines with spare cores.
 	Pin bool
+	// Labels annotates worker goroutines with runtime/pprof labels
+	// (worker id and current operator) so profiles attribute samples
+	// to operators. Labelling costs an allocation per operator switch,
+	// so it is off unless a profile is being taken.
+	Labels bool
 }
 
 // Name implements rts.Backend.
@@ -66,13 +82,16 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 	if err != nil {
 		return trace.Result{}, err
 	}
+	if len(order) > maxOps {
+		return trace.Result{}, fmt.Errorf("native: %d operators exceed the deque packing limit %d", len(order), maxOps)
+	}
 	if p <= 0 {
 		p = b.Workers
 	}
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	e := &engine{p: p, pin: b.Pin}
+	e := &engine{p: p, pin: b.Pin, labels: b.Labels}
 	switch mode {
 	case rts.ModeStatic:
 		// fixed blocks, no adaptation
@@ -83,7 +102,6 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 	default:
 		return trace.Result{}, fmt.Errorf("native: unknown mode %d", int(mode))
 	}
-	e.parkCond = sync.NewCond(&e.parkMu)
 	e.finished = make(chan struct{})
 
 	// Operator states, in topological order.
@@ -91,9 +109,12 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 	total := 0
 	for i, nd := range order {
 		spec := bind(nd.Name)
-		o := &opState{name: nd.Name, n: spec.Op.N, body: spec.Op.Time}
+		o := &opState{name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange}
 		if o.body == nil {
 			o.n = 0
+		}
+		if o.n > maxTasks {
+			return trace.Result{}, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
 		}
 		o.taper = sched.Taper{UseCostFunction: true}
 		o.stats = sched.NewTaskStats(maxInt(o.n, 1))
@@ -133,7 +154,11 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 
 	e.workers = make([]*worker, p)
 	for i := range e.workers {
-		e.workers[i] = &worker{id: i, rng: stats.NewRNG(uint64(i)*0x9e3779b97f4a7c15 + 0x1d)}
+		w := &worker{id: i, rng: stats.NewRNG(uint64(i)*0x9e3779b97f4a7c15 + 0x1d)}
+		w.dq.init()
+		w.pk.init()
+		w.labelOp = -1
+		e.workers[i] = w
 	}
 
 	start := time.Now()
@@ -141,22 +166,19 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 		close(e.finished)
 	}
 
-	// Gaters: one goroutine per operator with dataflow inputs. Each
-	// consumes batch-progress notifications over its channel and
-	// releases the newly enabled task prefix to the worker deques.
+	// Initial releases, still single-threaded (the worker goroutines
+	// launch below, so these plain deque pushes are safely published).
+	// Source operators release everything; gated operators take one
+	// gate evaluation, which releases ops whose producers are already
+	// trivially complete (zero-task operators).
 	for oi, o := range e.ops {
 		if len(o.in) == 0 {
 			if o.n > 0 {
-				e.release(oi, 0, o.n)
+				e.release(nil, oi, 0, o.n)
 			}
 			continue
 		}
-		o.notify = make(chan struct{}, 1)
-		e.wg.Add(1)
-		go e.runGater(oi, o)
-		// Initial kick so gates that are already open (zero-task or
-		// absent producers) release without waiting for an event.
-		o.notify <- struct{}{}
+		e.tryRelease(oi, nil)
 	}
 
 	for _, w := range e.workers {
@@ -209,16 +231,23 @@ type opState struct {
 	n    int
 	// body executes task i; the returned simulated cost is ignored.
 	body func(i int) float64
-	in   []inEdge
-	out  []*outEdge
+	// bodyRange, when non-nil, executes tasks [lo, hi) in one fused
+	// call, saving a closure invocation per task on chunk-timed chunks.
+	bodyRange func(lo, hi int) float64
+	in        []inEdge
+	out       []*outEdge
 
 	// unsched counts tasks not yet taken into any chunk.
 	unsched atomic.Int64
 	// done counts completed tasks (any order).
 	done atomic.Int64
 	// prefixA mirrors the contiguous completed prefix for lock-free
-	// reads by consumers' gaters.
+	// reads by consumers' gate evaluations.
 	prefixA atomic.Int64
+	// released counts tasks handed to the worker deques; release
+	// ranges are claimed by CAS, so concurrent completing workers
+	// never double-release.
+	released atomic.Int64
 
 	// statsMu guards stats and taper.
 	statsMu sync.Mutex
@@ -230,35 +259,67 @@ type opState struct {
 	progressMu sync.Mutex
 	doneMark   []bool
 	prefix     int
-
-	// notify wakes the operator's gater; nil for source operators.
-	notify chan struct{}
 }
 
 // worker is one goroutine of the pool.
 type worker struct {
 	id  int
 	dq  deque
+	pk  parker
 	rng *stats.RNG
+	// inbox receives segments released by other workers: Chase–Lev
+	// bottoms are single-writer, so cross-worker releases cannot push
+	// into the target's deque directly. The owner drains its inbox
+	// into its deque before popping. inboxN allows a lock-free
+	// emptiness check on the hot path.
+	inboxMu sync.Mutex
+	inbox   []segment
+	inboxN  atomic.Int32
 	// busy accumulates measured task-execution seconds; written only
 	// by the owning goroutine, read after the pool joins.
 	busy float64
+	// wakeBuf is completion-path scratch for consumer operator indices.
+	wakeBuf []int
+	// labelOp is the operator currently named in this goroutine's
+	// pprof labels, or -1.
+	labelOp int
+}
+
+// postInbox hands a segment to this worker from another goroutine.
+func (w *worker) postInbox(s segment) {
+	w.inboxMu.Lock()
+	w.inbox = append(w.inbox, s)
+	w.inboxMu.Unlock()
+	w.inboxN.Add(1)
+}
+
+// drainInbox moves posted segments into the worker's own deque.
+// Owner-only.
+func (w *worker) drainInbox() {
+	w.inboxMu.Lock()
+	segs := w.inbox
+	w.inbox = w.inbox[:0]
+	w.inboxN.Add(int32(-len(segs)))
+	for _, s := range segs {
+		w.dq.push(s)
+	}
+	w.inboxMu.Unlock()
 }
 
 // engine is the per-execution scheduler state.
 type engine struct {
 	p                          int
 	adaptive, steal, pipelined bool
-	pin                        bool
+	pin, labels                bool
 	ops                        []*opState
 	workers                    []*worker
 
-	parkMu   sync.Mutex
-	parkCond *sync.Cond
-	parked   int
+	// idle counts workers that have published themselves as parked;
+	// releasers skip the wake scan entirely while it is zero.
+	idle atomic.Int32
 
-	// queued approximates the number of segments across all deques;
-	// workers park when it reaches zero.
+	// queued approximates the number of segments across all deques and
+	// inboxes; workers park when it reaches zero.
 	queued      atomic.Int64
 	outstanding atomic.Int64
 	finished    chan struct{}
@@ -273,16 +334,16 @@ type engine struct {
 }
 
 // sampleEach is the chunk size below which tasks are timed one by one
-// (true per-task variance); larger chunks are timed as a whole and
-// folded in via TaskStats.ObserveChunk.
+// (true per-task variance); larger chunks are timed as a whole — two
+// clock reads per chunk — and folded in via TaskStats.ObserveChunk.
 const sampleEach = 16
 
 // batchSize picks the pipelined delivery granularity: a handful of
 // batches per worker, so consumers ramp up early without paying a
-// channel notification per task. (The simulator derives its
-// granularity from modelled message costs — rts.ChoosePairGranularity;
-// natively a notification costs nanoseconds, so only the pipeline-fill
-// consideration survives.)
+// release per task. (The simulator derives its granularity from
+// modelled message costs — rts.ChoosePairGranularity; natively a
+// release costs nanoseconds, so only the pipeline-fill consideration
+// survives.)
 func batchSize(n, p int) int {
 	b := n / (8 * p)
 	if b < 1 {
@@ -325,79 +386,135 @@ func (e *engine) gate(o *opState) int {
 	return en
 }
 
-// runGater consumes batch notifications for one operator and releases
-// newly enabled tasks to the worker deques.
-func (e *engine) runGater(oi int, o *opState) {
-	defer e.wg.Done()
-	released := 0
-	for released < o.n {
-		select {
-		case <-o.notify:
-		case <-e.finished:
+// tryRelease advances operator oi's released range to its current
+// gate. The CAS on released claims [rel, en) for exactly one caller,
+// so completing workers release consumers directly — no gater
+// goroutine, no channel hop — yet never double-release a task.
+func (e *engine) tryRelease(oi int, w *worker) {
+	o := e.ops[oi]
+	for {
+		rel := o.released.Load()
+		if rel >= int64(o.n) {
 			return
 		}
-		if en := e.gate(o); en > released {
-			e.release(oi, released, en)
-			released = en
+		en := int64(e.gate(o))
+		if en <= rel {
+			return
 		}
+		if o.released.CompareAndSwap(rel, en) {
+			e.release(w, oi, int(rel), int(en))
+			return
+		}
+		// Another completing worker advanced the gate first; re-check
+		// whether anything is left for us.
 	}
 }
 
 // release hands tasks [lo, hi) of op to the workers: a large range is
-// block-split across every deque (the owner-computes decomposition —
-// worker j owns block j), while a small pipelined delta goes whole to
-// the next worker round-robin.
-func (e *engine) release(op, lo, hi int) {
+// block-split across every worker (the owner-computes decomposition —
+// worker j owns block j), while a small pipelined delta stays with the
+// releasing worker (cache-warm, lock-free) when stealing can spread
+// it, else goes to the next worker round-robin. w is the releasing
+// worker, or nil during single-threaded setup (when plain deque
+// pushes are safe because the pool has not launched).
+func (e *engine) release(w *worker, op, lo, hi int) {
 	n := hi - lo
 	if n <= 0 {
 		return
 	}
-	if n >= 2*e.p {
+	if n >= 2*e.p && e.p > 1 {
 		for j := 0; j < e.p; j++ {
 			a, b := sched.BlockBounds(j, n, e.p)
-			if b > a {
-				e.workers[j].dq.push(segment{op: op, lo: lo + a, hi: lo + b})
-				e.queued.Add(1)
+			if b <= a {
+				continue
+			}
+			s := segment{op: op, lo: lo + a, hi: lo + b}
+			if w == nil || j == w.id {
+				e.workers[j].dq.push(s)
+			} else {
+				e.workers[j].postInbox(s)
+			}
+			e.queued.Add(1)
+		}
+		if e.steal {
+			e.signal(e.p)
+		} else {
+			for j := 0; j < e.p; j++ {
+				e.workers[j].pk.unpark()
 			}
 		}
-	} else {
-		j := int(e.rr.Add(1)-1) % e.p
-		e.workers[j].dq.push(segment{op: op, lo: lo, hi: hi})
+		return
+	}
+	s := segment{op: op, lo: lo, hi: hi}
+	if w != nil && e.steal {
+		w.dq.push(s)
 		e.queued.Add(1)
+		e.signal(1)
+		return
 	}
-	e.signal()
+	j := int(e.rr.Add(1)-1) % e.p
+	if w == nil || j == w.id {
+		e.workers[j].dq.push(s)
+	} else {
+		e.workers[j].postInbox(s)
+	}
+	e.queued.Add(1)
+	e.workers[j].pk.unpark()
 }
 
-// signal wakes parked workers after work becomes available.
-func (e *engine) signal() {
-	e.parkMu.Lock()
-	if e.parked > 0 {
-		e.parkCond.Broadcast()
+// signal wakes up to n parked workers after work became visible. The
+// idle count makes the common no-one-parked case a single atomic load.
+func (e *engine) signal(n int) {
+	if e.idle.Load() == 0 {
+		return
 	}
-	e.parkMu.Unlock()
+	for i := 0; i < e.p && n > 0; i++ {
+		if e.workers[i].pk.unpark() {
+			n--
+		}
+	}
 }
 
-// park blocks until work this worker could run may be available or
-// the run finishes; it reports whether the worker should exit. With
-// stealing enabled any queued segment anywhere is reachable; without
-// it only the worker's own deque counts (otherwise an idle worker
-// would spin on work it is not allowed to take).
-func (e *engine) park(w *worker) bool {
-	e.parkMu.Lock()
-	e.parked++
-	for !e.isFinished() && !e.reachableWork(w) {
-		e.parkCond.Wait()
-	}
-	e.parked--
-	e.parkMu.Unlock()
-	return e.isFinished()
-}
-
+// reachableWork reports whether work this worker could run may exist.
+// With stealing enabled any queued segment anywhere is reachable;
+// without it only the worker's own deque and inbox count (otherwise an
+// idle worker would spin on work it is not allowed to take).
 func (e *engine) reachableWork(w *worker) bool {
 	if e.steal {
 		return e.queued.Load() > 0
 	}
-	return w.dq.size() > 0
+	return w.dq.size() > 0 || w.inboxN.Load() > 0
+}
+
+// idleWait spins briefly and then parks until work this worker could
+// run may be available or the run finishes; it reports whether the
+// worker should exit. The park protocol publishes the parked state
+// before the final work re-check, so a release that lands in the gap
+// is never lost (see parker).
+func (e *engine) idleWait(w *worker) bool {
+	for i := 0; i < parkSpins; i++ {
+		if e.isFinished() {
+			return true
+		}
+		if e.reachableWork(w) {
+			return false
+		}
+		spinWait(i)
+	}
+	w.pk.prepare()
+	e.idle.Add(1)
+	if e.reachableWork(w) || e.isFinished() {
+		if !w.pk.cancel() {
+			// A releaser claimed us between prepare and cancel; its
+			// token is in flight and must be absorbed.
+			w.pk.consume()
+		}
+		e.idle.Add(-1)
+		return e.isFinished()
+	}
+	w.pk.block(e.finished)
+	e.idle.Add(-1)
+	return e.isFinished()
 }
 
 // stealFrom scans the other workers' deques from a random start and
@@ -420,6 +537,21 @@ func (e *engine) stealFrom(w *worker) (segment, bool) {
 	return segment{}, false
 }
 
+// findWork is the worker's acquisition order: drain the inbox into the
+// deque, pop local work, else steal.
+func (e *engine) findWork(w *worker) (segment, bool) {
+	if w.inboxN.Load() > 0 {
+		w.drainInbox()
+	}
+	if s, ok := w.dq.pop(); ok {
+		return s, true
+	}
+	if e.steal {
+		return e.stealFrom(w)
+	}
+	return segment{}, false
+}
+
 // runWorker is the worker loop: pop local work, else steal, else park.
 func (e *engine) runWorker(w *worker) {
 	defer e.wg.Done()
@@ -427,13 +559,13 @@ func (e *engine) runWorker(w *worker) {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
+	if e.labels {
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	for {
-		seg, ok := w.dq.pop()
-		if !ok && e.steal {
-			seg, ok = e.stealFrom(w)
-		}
+		seg, ok := e.findWork(w)
 		if !ok {
-			if e.park(w) {
+			if e.idleWait(w) {
 				return
 			}
 			continue
@@ -443,9 +575,25 @@ func (e *engine) runWorker(w *worker) {
 	}
 }
 
+// setLabels tags the goroutine with its worker id and current
+// operator, so CPU/heap profiles attribute samples per operator.
+// Only called when profiling labels are enabled.
+func (e *engine) setLabels(w *worker, op int) {
+	w.labelOp = op
+	ctx := pprof.WithLabels(context.Background(),
+		pprof.Labels("worker", strconv.Itoa(w.id), "op", e.ops[op].name))
+	pprof.SetGoroutineLabels(ctx)
+}
+
 // runSegment executes one chunk off the segment's front and returns
 // the remainder to the worker's deque (where thieves can see it while
 // the chunk runs).
+//
+// Clock discipline: a chunk of k ≤ sampleEach tasks is boundary-timed
+// (k+1 clock reads give exact per-task durations while chunks are
+// small and variance information matters most); a larger chunk costs
+// two clock reads total, and its aggregate time is folded into the
+// statistics as k observations of the chunk mean via ObserveChunk.
 func (e *engine) runSegment(w *worker, seg segment) {
 	o := e.ops[seg.op]
 	k := seg.len()
@@ -459,32 +607,39 @@ func (e *engine) runSegment(w *worker, seg segment) {
 		c = o.taper.ScaleChunk(c, seg.lo, o.stats)
 		o.statsMu.Unlock()
 		if c < k {
-			e.workers[w.id].dq.push(segment{op: seg.op, lo: seg.lo + c, hi: seg.hi})
+			w.dq.push(segment{op: seg.op, lo: seg.lo + c, hi: seg.hi})
 			e.queued.Add(1)
-			e.signal()
+			e.signal(1)
 			k = c
 		}
 	}
 	hi := seg.lo + k
 	o.unsched.Add(-int64(k))
+	if e.labels && w.labelOp != seg.op {
+		e.setLabels(w, seg.op)
+	}
 
-	begin := time.Now()
 	if k <= sampleEach {
-		var times [sampleEach]float64
+		var marks [sampleEach + 1]time.Time
+		marks[0] = time.Now()
 		for i := seg.lo; i < hi; i++ {
-			t0 := time.Now()
 			o.body(i)
-			times[i-seg.lo] = time.Since(t0).Seconds()
+			marks[i-seg.lo+1] = time.Now()
 		}
-		w.busy += time.Since(begin).Seconds()
+		w.busy += marks[k].Sub(marks[0]).Seconds()
 		o.statsMu.Lock()
-		for i := seg.lo; i < hi; i++ {
-			o.stats.Observe(i, times[i-seg.lo])
+		for i := 0; i < k; i++ {
+			o.stats.Observe(seg.lo+i, marks[i+1].Sub(marks[i]).Seconds())
 		}
 		o.statsMu.Unlock()
 	} else {
-		for i := seg.lo; i < hi; i++ {
-			o.body(i)
+		begin := time.Now()
+		if o.bodyRange != nil {
+			o.bodyRange(seg.lo, hi)
+		} else {
+			for i := seg.lo; i < hi; i++ {
+				o.body(i)
+			}
 		}
 		elapsed := time.Since(begin).Seconds()
 		w.busy += elapsed
@@ -493,17 +648,18 @@ func (e *engine) runSegment(w *worker, seg segment) {
 		o.statsMu.Unlock()
 	}
 	e.chunks.Add(1)
-	e.complete(o, seg.lo, hi)
+	e.complete(w, o, seg.lo, hi)
 }
 
 // complete records the chunk [lo, hi) as done, advances the
-// contiguous prefix, and delivers progress to consumers: pipelined
-// edges receive a notification whenever a new granularity batch of the
-// prefix completes, ordinary edges only on full completion.
-func (e *engine) complete(o *opState, lo, hi int) {
+// contiguous prefix, and releases newly enabled consumer tasks
+// directly from this worker: pipelined edges whenever a new
+// granularity batch of the prefix completes, ordinary edges only on
+// full completion.
+func (e *engine) complete(w *worker, o *opState, lo, hi int) {
 	k := hi - lo
 	full := int(o.done.Add(int64(k))) == o.n
-	var wake []*opState
+	wake := w.wakeBuf[:0]
 	if len(o.out) > 0 {
 		o.progressMu.Lock()
 		prefix := o.n
@@ -530,23 +686,18 @@ func (e *engine) complete(o *opState, lo, hi int) {
 				trigger = true
 			}
 			if trigger {
-				wake = append(wake, e.ops[oe.to])
+				wake = append(wake, oe.to)
 			}
 		}
 		o.progressMu.Unlock()
 	}
-	for _, c := range wake {
+	w.wakeBuf = wake
+	for _, ci := range wake {
 		e.batches.Add(1)
-		select {
-		case c.notify <- struct{}{}:
-		default: // a wake-up is already pending
-		}
+		e.tryRelease(ci, w)
 	}
 	if e.outstanding.Add(-int64(k)) == 0 {
 		e.finishOnce.Do(func() { close(e.finished) })
-		e.parkMu.Lock()
-		e.parkCond.Broadcast()
-		e.parkMu.Unlock()
 	}
 }
 

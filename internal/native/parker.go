@@ -1,0 +1,96 @@
+package native
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parker is one worker's idle-state machine: a futex-style replacement
+// for a shared mutex/condvar. A worker that finds no work publishes
+// itself as parked (an atomic state word) and then blocks on its own
+// wake channel; a releaser that makes work visible claims at most one
+// parked worker by CAS and hands it exactly one token. Because state
+// transitions are CAS-arbitrated, a token is sent if and only if one
+// parker will consume it — no lost wakeups and no stale tokens — and
+// because every worker has its own channel, a steal storm of idle
+// workers parks and wakes without hammering one lock.
+//
+// The lost-wakeup-free protocol is the usual publish-then-recheck
+// dance: the parker stores "parked" and then re-checks for work; the
+// releaser publishes work and then reads the state. Both sides use
+// sequentially consistent atomics, so at least one of them observes
+// the other and the handoff cannot be missed.
+type parker struct {
+	// state is pActive or pParked. The owner sets pParked before its
+	// final work re-check; whoever transitions it back to pActive
+	// (owner on self-cancel, releaser on wake) owns the transition.
+	state atomic.Int32
+	// wake carries exactly one token per successful releaser claim.
+	wake chan struct{}
+}
+
+const (
+	pActive int32 = iota
+	pParked
+)
+
+func (pk *parker) init() { pk.wake = make(chan struct{}, 1) }
+
+// prepare publishes intent to park. The caller must re-check for work
+// after this call and before block.
+func (pk *parker) prepare() { pk.state.Store(pParked) }
+
+// cancel retracts a prepare after the re-check found work. It reports
+// whether the owner won the state back; on false a releaser claimed
+// this worker concurrently and its token must be consumed (consume).
+func (pk *parker) cancel() bool { return pk.state.CompareAndSwap(pParked, pActive) }
+
+// consume absorbs the token of a releaser that won the cancel race.
+func (pk *parker) consume() { <-pk.wake }
+
+// block sleeps until a releaser's token or abort. It reports true when
+// woken by a token. The caller transitions back to running either way;
+// a token left unconsumed on abort is harmless because the worker is
+// exiting.
+func (pk *parker) block(abort <-chan struct{}) bool {
+	select {
+	case <-pk.wake:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// unpark claims the worker if it is parked and hands it the wake
+// token, reporting whether a claim was made. The send cannot block:
+// the CAS guarantees exactly one in-flight token per claim, and the
+// channel holds one.
+func (pk *parker) unpark() bool {
+	if pk.state.Load() != pParked {
+		return false
+	}
+	if !pk.state.CompareAndSwap(pParked, pActive) {
+		return false
+	}
+	pk.wake <- struct{}{}
+	return true
+}
+
+// parkSpins bounds the spin phase before a worker publishes itself as
+// parked: a short burst of yielding re-checks rides out the common
+// case where a running worker is about to release more work, without
+// burning a core for long on an empty machine.
+const parkSpins = 32
+
+// spinWait is one bounded-backoff spin iteration: early iterations
+// just yield the OS thread's logical processor politely; later ones
+// block in the scheduler, giving releasers cycles on small machines.
+func spinWait(i int) {
+	if i < 4 {
+		for j := 0; j < 8<<uint(i); j++ {
+			_ = j
+		}
+		return
+	}
+	runtime.Gosched()
+}

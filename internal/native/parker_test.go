@@ -1,0 +1,144 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParkerTokenAccounting checks the CAS arbitration invariants
+// sequentially: a claim succeeds exactly once per park, and a token is
+// in flight if and only if a claim was made.
+func TestParkerTokenAccounting(t *testing.T) {
+	var pk parker
+	pk.init()
+	if pk.unpark() {
+		t.Fatal("unpark claimed an active worker")
+	}
+	pk.prepare()
+	if !pk.unpark() {
+		t.Fatal("unpark failed to claim a parked worker")
+	}
+	if pk.unpark() {
+		t.Fatal("second unpark claimed the same park")
+	}
+	// The claim's token is waiting, so block returns immediately.
+	if !pk.block(nil) {
+		t.Fatal("block did not receive the claim's token")
+	}
+	// Owner-side cancel wins the state back; no token may follow.
+	pk.prepare()
+	if !pk.cancel() {
+		t.Fatal("uncontended cancel lost")
+	}
+	if pk.unpark() {
+		t.Fatal("unpark claimed a cancelled park")
+	}
+}
+
+// TestParkerNoLostWakeups drives thousands of release/park cycles
+// through the full publish-then-recheck protocol with one worker and
+// one releaser racing. If a wakeup were ever lost the worker would
+// block forever with work outstanding and the test would time out.
+// Run with -race: the atomics make every handoff a synchronization.
+func TestParkerNoLostWakeups(t *testing.T) {
+	const rounds = 20000
+	var pk parker
+	pk.init()
+	var work atomic.Int64
+	var consumed atomic.Int64
+	abort := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for consumed.Load() < rounds {
+			if work.Load() > 0 {
+				work.Add(-1)
+				consumed.Add(1)
+				continue
+			}
+			pk.prepare()
+			if work.Load() > 0 {
+				if !pk.cancel() {
+					pk.consume()
+				}
+				continue
+			}
+			if !pk.block(abort) {
+				return
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		work.Add(1)
+		pk.unpark()
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		close(abort)
+		t.Fatalf("worker stalled at %d/%d rounds: lost wakeup", consumed.Load(), rounds)
+	}
+	if got := consumed.Load(); got != rounds {
+		t.Fatalf("consumed %d work items, want %d", got, rounds)
+	}
+}
+
+// TestParkerConcurrentReleasers repeats the no-lost-wakeup check with
+// several releasers hammering one parker concurrently, so claim CASes
+// race each other as well as the owner's cancel.
+func TestParkerConcurrentReleasers(t *testing.T) {
+	const (
+		releasers   = 4
+		perReleaser = 5000
+	)
+	const total = releasers * perReleaser
+	var pk parker
+	pk.init()
+	var work atomic.Int64
+	var consumed atomic.Int64
+	abort := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for consumed.Load() < total {
+			if work.Load() > 0 {
+				work.Add(-1)
+				consumed.Add(1)
+				continue
+			}
+			pk.prepare()
+			if work.Load() > 0 {
+				if !pk.cancel() {
+					pk.consume()
+				}
+				continue
+			}
+			if !pk.block(abort) {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < releasers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perReleaser; i++ {
+				work.Add(1)
+				pk.unpark()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		close(abort)
+		t.Fatalf("worker stalled at %d/%d rounds: lost wakeup", consumed.Load(), total)
+	}
+	if got := consumed.Load(); got != total {
+		t.Fatalf("consumed %d work items, want %d", got, total)
+	}
+}

@@ -77,6 +77,20 @@ func ExecuteConcurrent(cfg machine.Config, specs []OpSpec, alloc []int, factory 
 	}
 
 	var next func(g int)
+	// Per-processor pending-chunk context: a processor has at most one
+	// chunk in flight, so completion state lives in these slots instead
+	// of a per-event closure (the allocation-free AfterFn path).
+	pendOp := make([]int, totalP)
+	pendK := make([]int, totalP)
+	pendTotal := make([]float64, totalP)
+	chunkDone := func(g int) {
+		o := pendOp[g]
+		if o == opOfProc[g] {
+			done[o][localIdx[g]] += pendK[g]
+			spent[o][localIdx[g]] += pendTotal[g]
+		}
+		next(g)
+	}
 	execChunk := func(g, o int, tasks []int, transferCost float64) {
 		spec := specs[o]
 		total := transferCost
@@ -90,14 +104,8 @@ func ExecuteConcurrent(cfg machine.Config, specs []OpSpec, alloc []int, factory 
 		res.Busy[g] += total
 		remaining[o] -= len(tasks)
 		res.Chunks++
-		k := len(tasks)
-		sim.After(total, func() {
-			if o == opOfProc[g] {
-				done[o][localIdx[g]] += k
-				spent[o][localIdx[g]] += total
-			}
-			next(g)
-		})
+		pendOp[g], pendK[g], pendTotal[g] = o, len(tasks), total
+		sim.AfterFn(total, chunkDone, g)
 	}
 	// steal finds the most loaded processor of op o (by estimated
 	// remaining time) and re-assigns a chunk to global processor g. It
@@ -165,8 +173,7 @@ func ExecuteConcurrent(cfg machine.Config, specs []OpSpec, alloc []int, factory 
 	}
 
 	for g := 0; g < totalP; g++ {
-		g := g
-		sim.After(0, func() { next(g) })
+		sim.AfterFn(0, next, g)
 	}
 	sim.Run()
 

@@ -174,8 +174,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		w := idle
 		idle = nil
 		for _, gp := range w {
-			gp := gp
-			sim.After(0, func() { next(gp) })
+			sim.AfterFn(0, next, gp)
 		}
 	}
 	done := make([][]int, nOps)
@@ -186,6 +185,32 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	}
 	tokenCost := 0.2 * cfg.MsgOverhead
 
+	// Each processor has at most one chunk in flight, so its completion
+	// context lives in a per-processor slot instead of a per-event
+	// closure — the allocation-free AfterFn scheduling path.
+	type pendChunk struct {
+		o, k         int
+		start, total float64
+	}
+	pend := make([]pendChunk, p)
+	chunkDone := func(gp int) {
+		pc := pend[gp]
+		if DagChunkDone != nil {
+			DagChunkDone(order[pc.o].Name, pc.start, pc.total, pc.k)
+		}
+		doneTasks[pc.o] += pc.k
+		totalOutstanding -= pc.k
+		if j := ownQueue(gp, pc.o); j >= 0 {
+			done[pc.o][j] += pc.k
+			spent[pc.o][j] += pc.total
+		}
+		if doneTasks[pc.o] == specs[pc.o].Op.N && DagOpFinish != nil {
+			DagOpFinish(order[pc.o].Name, sim.Now())
+		}
+		// Progress may open successors' gates.
+		wake()
+		next(gp)
+	}
 	execChunk := func(gp, o int, tasks []int, transferCost float64) {
 		total := transferCost
 		for _, i := range tasks {
@@ -199,24 +224,8 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		res.Chunks++
 		k := len(tasks)
 		unsched[o] -= k
-		start := sim.Now()
-		sim.After(total, func() {
-			if DagChunkDone != nil {
-				DagChunkDone(order[o].Name, start, total, k)
-			}
-			doneTasks[o] += k
-			totalOutstanding -= k
-			if j := ownQueue(gp, o); j >= 0 {
-				done[o][j] += k
-				spent[o][j] += total
-			}
-			if doneTasks[o] == specs[o].Op.N && DagOpFinish != nil {
-				DagOpFinish(order[o].Name, sim.Now())
-			}
-			// Progress may open successors' gates.
-			wake()
-			next(gp)
-		})
+		pend[gp] = pendChunk{o: o, k: k, start: sim.Now(), total: total}
+		sim.AfterFn(total, chunkDone, gp)
 	}
 
 	// tryDispatch attempts to hand processor gp a chunk of op o,
@@ -334,8 +343,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	}
 
 	for gp := 0; gp < p; gp++ {
-		gp := gp
-		sim.After(0, func() { next(gp) })
+		sim.AfterFn(0, next, gp)
 	}
 	sim.Run()
 	if totalOutstanding != 0 {

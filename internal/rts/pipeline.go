@@ -74,7 +74,25 @@ func ExecutePipelined(cfg machine.Config, prod, cons OpSpec, pProd, pCons, batch
 		}
 		res.Chunks++
 		res.Busy[pProd+(g-pProd)] += total
-		sim.After(total, func() { consLoop(g) })
+		sim.AfterFn(total, consLoop, g)
+	}
+	// arrive lands batch b on the consumer side. The item range is
+	// recomputed from b so the arrival event carries only the batch
+	// index (closure-free AfterFn scheduling).
+	arrive := func(b int) {
+		items := batch
+		if (b+1)*batch > n {
+			items = n - b*batch
+		}
+		for i := b * batch; i < b*batch+items; i++ {
+			ready = append(ready, i)
+		}
+		// Wake idle consumers.
+		woken := idleCons
+		idleCons = nil
+		for _, g := range woken {
+			sim.AfterFn(0, consLoop, g)
+		}
 	}
 	deliver := func(b, sender int) {
 		// The batch's items travel producer → consumer side; the
@@ -88,18 +106,7 @@ func ExecutePipelined(cfg machine.Config, prod, cons OpSpec, pProd, pCons, batch
 		}
 		cost := cfg.MsgTime(0, pProd, int64(items)*prod.Op.Bytes+32)
 		res.Messages++
-		sim.After(cost, func() {
-			for i := b * batch; i < b*batch+items; i++ {
-				ready = append(ready, i)
-			}
-			// Wake idle consumers.
-			woken := idleCons
-			idleCons = nil
-			for _, g := range woken {
-				g := g
-				sim.After(0, func() { consLoop(g) })
-			}
-		})
+		sim.AfterFn(cost, arrive, b)
 	}
 
 	// Producer side: tasks are drained in index order from a shared
@@ -119,6 +126,18 @@ func ExecutePipelined(cfg machine.Config, prod, cons OpSpec, pProd, pCons, batch
 			deliver(b, sender)
 		}
 	}
+	// Each producer has at most one chunk in flight, so the chunk
+	// bounds live in per-processor slots rather than a per-event
+	// closure.
+	pendLo := make([]int, pProd)
+	pendK := make([]int, pProd)
+	prodDone := func(j int) {
+		lo, k := pendLo[j], pendK[j]
+		for i := lo; i < lo+k; i++ {
+			completeTask(i, j)
+		}
+		prodLoop(j)
+	}
 	prodLoop = func(j int) {
 		if pos >= n {
 			finish[j] = sim.Now()
@@ -137,26 +156,26 @@ func ExecutePipelined(cfg machine.Config, prod, cons OpSpec, pProd, pCons, batch
 		pos += k
 		// Index ranges are pre-distributed in batch-grained slabs, so a
 		// dispatch costs only the local scheduling event plus the
-		// completion token (accounted in runChunkProd); one message
-		// carries the slab handoff.
+		// completion token; one message carries the slab handoff.
 		res.Messages++
-		debt := sendDebt[j]
+		total := sendDebt[j] + cfg.SchedOverhead
 		sendDebt[j] = 0
-		runChunkProd(sim, cfg, &res, j, lo, k, debt, prod, prodStats, func() {
-			for i := lo; i < lo+k; i++ {
-				completeTask(i, j)
-			}
-			prodLoop(j)
-		})
+		for i := lo; i < lo+k; i++ {
+			t := prod.Op.Time(i)
+			prodStats.Observe(i, t)
+			total += t
+		}
+		res.Chunks++
+		res.Busy[j] += total
+		pendLo[j], pendK[j] = lo, k
+		sim.AfterFn(total, prodDone, j)
 	}
 
 	for j := 0; j < pProd; j++ {
-		j := j
-		sim.After(0, func() { prodLoop(j) })
+		sim.AfterFn(0, prodLoop, j)
 	}
 	for g := pProd; g < pProd+pCons; g++ {
-		g := g
-		sim.After(0, func() { consLoop(g) })
+		sim.AfterFn(0, consLoop, g)
 	}
 	sim.Run()
 	max := 0.0
@@ -167,19 +186,6 @@ func ExecutePipelined(cfg machine.Config, prod, cons OpSpec, pProd, pCons, batch
 	}
 	res.Makespan = max + cfg.BroadcastTime(pProd+pCons, 8)
 	return res
-}
-
-// runChunkProd executes one producer chunk and then invokes done.
-func runChunkProd(sim *machine.Sim, cfg machine.Config, res *trace.Result, j, lo, k int, extra float64, spec OpSpec, st *sched.TaskStats, done func()) {
-	total := extra + cfg.SchedOverhead
-	for i := lo; i < lo+k; i++ {
-		t := spec.Op.Time(i)
-		st.Observe(i, t)
-		total += t
-	}
-	res.Chunks++
-	res.Busy[j] += total
-	sim.After(total, done)
 }
 
 // ExecuteBarrier runs the pair with a full synchronization between

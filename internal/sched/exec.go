@@ -12,6 +12,12 @@ type Op struct {
 	N    int
 	// Time gives the execution time of task i.
 	Time func(i int) float64
+	// TimeRange, when non-nil, executes tasks [lo, hi) in one fused
+	// call and returns their summed time. It must be observationally
+	// identical to calling Time for each i in [lo, hi); a wall-clock
+	// executor uses it to avoid a closure invocation per task on
+	// chunk-timed chunks. The simulator ignores it.
+	TimeRange func(lo, hi int) float64
 	// Bytes is the data volume associated with one task; moving a task
 	// off its owner costs a message of this size.
 	Bytes int64
@@ -132,26 +138,29 @@ func ExecuteCentral(cfg machine.Config, op Op, procs []int, factory Factory) tra
 			}
 		}
 		res.Busy[j] += total
-		sim.After(total, func() { request(j) })
+		sim.AfterFn(total, request, j)
+	}
+	// grant runs at the queue owner once processor j's request round
+	// trip lands; it carries only j (closure-free AfterFn scheduling).
+	grant := func(j int) {
+		remaining := op.N - next
+		if remaining <= 0 {
+			finish[j] = sim.Now()
+			return
+		}
+		k := policy.NextChunk(remaining, p, ts)
+		if t, ok := policy.(*Taper); ok {
+			k = clamp(t.ScaleChunk(k, next, ts), remaining)
+		}
+		lo := next
+		next += k
+		res.Chunks++
+		execChunk(j, lo, k)
 	}
 	request = func(j int) {
 		cost := 2*cfg.MsgTime(procs[j], qOwner, 16) + cfg.SchedOverhead
 		res.Messages += 2
-		sim.After(cost, func() {
-			remaining := op.N - next
-			if remaining <= 0 {
-				finish[j] = sim.Now()
-				return
-			}
-			k := policy.NextChunk(remaining, p, ts)
-			if t, ok := policy.(*Taper); ok {
-				k = clamp(t.ScaleChunk(k, next, ts), remaining)
-			}
-			lo := next
-			next += k
-			res.Chunks++
-			execChunk(j, lo, k)
-		})
+		sim.AfterFn(cost, grant, j)
 	}
 	for j := 0; j < p; j++ {
 		request(j)
@@ -320,6 +329,15 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 	tokenCost := 0.2 * cfg.MsgOverhead
 
 	var next func(j int)
+	// Per-processor pending-chunk context (one chunk in flight per
+	// processor) for the allocation-free AfterFn scheduling path.
+	pendK := make([]int, p)
+	pendTotal := make([]float64, p)
+	chunkDone := func(j int) {
+		done[j] += pendK[j]
+		spent[j] += pendTotal[j]
+		next(j)
+	}
 	execChunk := func(j int, tasks []int, transferCost float64) {
 		total := transferCost
 		for _, i := range tasks {
@@ -332,12 +350,8 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 		res.Busy[j] += total
 		remainingGlobal -= len(tasks)
 		res.Chunks++
-		k := len(tasks)
-		sim.After(total, func() {
-			done[j] += k
-			spent[j] += total
-			next(j)
-		})
+		pendK[j], pendTotal[j] = len(tasks), total
+		sim.AfterFn(total, chunkDone, j)
 	}
 	next = func(j int) {
 		if remainingGlobal <= 0 {
@@ -400,8 +414,7 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 		execChunk(j, tasks, cost)
 	}
 	for j := 0; j < p; j++ {
-		j := j
-		sim.After(0, func() { next(j) })
+		sim.AfterFn(0, next, j)
 	}
 	sim.Run()
 	max := 0.0

@@ -49,22 +49,24 @@ func (ts *TaskStats) Observe(i int, t float64) {
 // ObserveChunk records a chunk-level timing: total execution time for
 // the k tasks covering [lo, lo+k), measured as one aggregate (the form
 // a wall-clock executor produces when timing individual tasks would
-// cost more than the tasks themselves). The chunk mean enters the
-// global statistics as a single observation — chunk means understate
-// per-task variance, so executors should observe individual tasks
-// while chunks are small and switch to ObserveChunk once they grow.
+// cost more than the tasks themselves). The aggregate enters the
+// statistics as k observations of the chunk mean (Welford.AddChunk),
+// so the global mean stays exact under amortized timing; the variance
+// only sees the between-chunk component, which understates per-task
+// variance — executors should observe individual tasks while chunks
+// are small and switch to ObserveChunk once they grow.
 func (ts *TaskStats) ObserveChunk(lo, k int, total float64) {
 	if k <= 0 {
 		return
 	}
 	mean := total / float64(k)
-	ts.Global.Add(mean)
+	ts.Global.AddChunk(k, mean)
 	mid := lo + k/2
 	b := mid / ts.binSize
 	if b >= len(ts.bins) {
 		b = len(ts.bins) - 1
 	}
-	ts.bins[b].Add(mean)
+	ts.bins[b].AddChunk(k, mean)
 }
 
 // RegionMean estimates the mean task time in [lo, hi) using the cost

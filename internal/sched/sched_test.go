@@ -50,10 +50,16 @@ func TestPolicyChunkBounds(t *testing.T) {
 
 func TestObserveChunk(t *testing.T) {
 	ts := NewTaskStats(1000)
-	ts.ObserveChunk(0, 10, 30)   // mean 3 in the first bin
-	ts.ObserveChunk(900, 50, 50) // mean 1 in the last bin
-	if got := ts.Global.Mean(); math.Abs(got-2) > 1e-12 {
-		t.Fatalf("global mean after two chunk observations = %v, want 2", got)
+	ts.ObserveChunk(0, 10, 30)   // 10 tasks of mean 3 in the first bin
+	ts.ObserveChunk(900, 50, 50) // 50 tasks of mean 1 in the last bin
+	// The aggregate enters as k observations of the chunk mean, so the
+	// global mean is the task-weighted mean (30+50)/60, exactly what
+	// per-task Observe calls would have produced.
+	if got := ts.Global.Mean(); math.Abs(got-80.0/60.0) > 1e-12 {
+		t.Fatalf("global mean after two chunk observations = %v, want %v", got, 80.0/60.0)
+	}
+	if got := ts.Global.N(); got != 60 {
+		t.Fatalf("N after two chunk observations = %v, want 60", got)
 	}
 	if lo := ts.RegionMean(0, 100); math.Abs(lo-3) > 1e-12 {
 		t.Errorf("RegionMean(0,100) = %v, want 3 (chunk midpoint bin)", lo)
@@ -63,7 +69,7 @@ func TestObserveChunk(t *testing.T) {
 	}
 	// Degenerate chunks must not observe anything.
 	ts.ObserveChunk(0, 0, 5)
-	if got := ts.Global.N(); got != 2 {
+	if got := ts.Global.N(); got != 60 {
 		t.Fatalf("zero-length chunk was recorded: N = %v", got)
 	}
 }

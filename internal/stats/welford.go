@@ -34,6 +34,21 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
+// AddChunk folds an aggregate observation — k samples whose individual
+// values were not recorded, only their mean — into the accumulator.
+// The count and mean advance exactly as if the chunk mean had been
+// added k times; the spread term grows only by the between-chunk
+// component, since within-chunk variance is unobservable from an
+// aggregate timing. Callers that alternate per-sample Add with
+// AddChunk therefore get an exact mean and a variance that is a lower
+// bound, tightest when chunks are internally homogeneous.
+func (w *Welford) AddChunk(k int, mean float64) {
+	if k <= 0 {
+		return
+	}
+	w.Merge(Welford{n: k, mean: mean, min: mean, max: mean})
+}
+
 // Merge folds another accumulator into this one (parallel Welford).
 func (w *Welford) Merge(o Welford) {
 	if o.n == 0 {
