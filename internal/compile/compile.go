@@ -75,6 +75,19 @@ type Unit struct {
 	emit []source.Stmt
 }
 
+// Emit reports what the unit contributes to the transformed source
+// program: its emit override when set (the AI part of a pipelined loop
+// re-wraps the divided body into the original loop statement, while the
+// AD/AM parts contribute nothing), else its statements. Runtime
+// binders use the AI unit's emitted loop to recover the iteration
+// space shared by all three parts of a pipelined loop.
+func (u Unit) Emit() []source.Stmt {
+	if u.emit != nil {
+		return u.emit
+	}
+	return u.Stmts
+}
+
 // Output is the compilation result.
 type Output struct {
 	Program *source.Program
@@ -241,8 +254,14 @@ func Compile(p *source.Program, opts Options) (*Output, error) {
 			if flow || anti {
 				pipelined := units[j].Pipelined && sameSplitGroup(units[i], units[j])
 				// The third transformation: a CD unit consumes its
-				// producer's per-iteration output incrementally.
-				if units[j].pipelineFrom != "" && units[j].pipelineFrom == baseName(units[i].Name) {
+				// producer's per-iteration output incrementally. The
+				// split records only that the units interfere; the edge
+				// may be pipelined only when the consumer's accesses are
+				// provably pointwise against the producer's writes —
+				// e.g. a consumer that reads the producer's whole output
+				// vector in every iteration must wait for all of it.
+				if units[j].pipelineFrom != "" && units[j].pipelineFrom == baseName(units[i].Name) &&
+					pointwisePipelined(units[i], units[j]) {
 					pipelined = true
 				}
 				g.AddEdge(&delirium.Edge{
@@ -261,6 +280,178 @@ func Compile(p *source.Program, opts Options) (*Output, error) {
 	}
 	out.Graph = g
 	return out, nil
+}
+
+// pointwisePipelined verifies the claim a pipelined edge makes: that
+// task t of the consumer needs data only from tasks <= t of the
+// producer, so the runtime may dispatch the consumer against a partial
+// prefix of the producer's output. The check is structural and
+// conservative. Both units must be single loops over identical
+// iteration spaces; the producer must write no scalars; every producer
+// write to an array must index one fixed dimension with exactly the
+// producer's induction variable; and every consumer access to such an
+// array must index that same dimension with the consumer's induction
+// variable or that variable minus a non-negative constant. Anything
+// else — a whole-array read under an inner loop, a forward offset, a
+// computed subscript, a subroutine call — means prefix delivery could
+// hand the consumer elements the producer has not written yet, so the
+// edge stays an ordinary fully-ordered one.
+func pointwisePipelined(prod, cons Unit) bool {
+	pl, okp := singleLoop(prod)
+	cl, okc := singleLoop(cons)
+	if !okp || !okc || !sameIterSpace(pl, cl) {
+		return false
+	}
+	// Producer side: map each written array to the dimension indexed by
+	// the loop variable in all of its writes.
+	prodDim := map[string]int{}
+	safe := true
+	source.WalkStmts(pl.Body, func(s source.Stmt) {
+		switch s := s.(type) {
+		case *source.Assign:
+			switch lhs := s.LHS.(type) {
+			case *source.Ident:
+				// A scalar has no prefix: any consumer of it needs the
+				// final value.
+				safe = false
+			case *source.ArrayRef:
+				d := -1
+				for k, ix := range lhs.Index {
+					if id, ok := ix.(*source.Ident); ok && id.Name == pl.Var {
+						d = k
+						break
+					}
+				}
+				if prev, seen := prodDim[lhs.Name]; d < 0 || (seen && prev != d) {
+					safe = false
+				} else {
+					prodDim[lhs.Name] = d
+				}
+			}
+		case *source.Do:
+			if s.Var == pl.Var {
+				safe = false // rebinding makes the subscript match meaningless
+			}
+		case *source.CallStmt:
+			safe = false
+		}
+	})
+	if !safe || len(prodDim) == 0 {
+		return false
+	}
+	// Consumer side: every reference to a produced array, anywhere an
+	// expression can appear (assignments, guards, conditions, inner
+	// loop bounds), must stay at or behind the current iteration.
+	check := func(e source.Expr) {
+		source.WalkExpr(e, func(x source.Expr) {
+			ar, ok := x.(*source.ArrayRef)
+			if !ok {
+				return
+			}
+			d, tracked := prodDim[ar.Name]
+			if !tracked {
+				return
+			}
+			if d >= len(ar.Index) || !prefixSafeIndex(ar.Index[d], cl.Var) {
+				safe = false
+			}
+		})
+	}
+	if cl.Where != nil {
+		check(cl.Where)
+	}
+	source.WalkStmts(cl.Body, func(s source.Stmt) {
+		switch s := s.(type) {
+		case *source.Assign:
+			check(s.LHS)
+			check(s.RHS)
+		case *source.Do:
+			if s.Var == cl.Var {
+				safe = false
+			}
+			for _, r := range s.Ranges {
+				check(r.Lo)
+				check(r.Hi)
+				if r.Step != nil {
+					check(r.Step)
+				}
+			}
+			if s.Where != nil {
+				check(s.Where)
+			}
+		case *source.If:
+			check(s.Cond)
+		case *source.CallStmt:
+			safe = false
+		}
+	})
+	return safe
+}
+
+// prefixSafeIndex reports whether a subscript expression is iv or
+// iv - c for a non-negative integer constant c: the accessed element is
+// then produced by a task at or before the same position.
+func prefixSafeIndex(e source.Expr, iv string) bool {
+	if id, ok := e.(*source.Ident); ok {
+		return id.Name == iv
+	}
+	b, ok := e.(*source.Bin)
+	if !ok || b.Op != "-" {
+		return false
+	}
+	id, ok := b.L.(*source.Ident)
+	if !ok || id.Name != iv {
+		return false
+	}
+	n, ok := b.R.(*source.Num)
+	return ok && !n.IsReal && n.Int >= 0
+}
+
+// sameIterSpace reports whether two loops have structurally identical
+// iteration spaces, so task t of one corresponds to task t of the
+// other.
+func sameIterSpace(a, b *source.Do) bool {
+	if len(a.Ranges) != len(b.Ranges) {
+		return false
+	}
+	for i := range a.Ranges {
+		ra, rb := a.Ranges[i], b.Ranges[i]
+		if !boundEqual(ra.Lo, rb.Lo) || !boundEqual(ra.Hi, rb.Hi) {
+			return false
+		}
+		sa, sb := ra.Step, rb.Step
+		if (sa == nil) != (sb == nil) || (sa != nil && !boundEqual(sa, sb)) {
+			return false
+		}
+	}
+	return true
+}
+
+// boundEqual is structural equality over the scalar expressions loop
+// bounds are built from; any node kind it does not recognize compares
+// unequal (conservative).
+func boundEqual(a, b source.Expr) bool {
+	switch a := a.(type) {
+	case *source.Num:
+		bn, ok := b.(*source.Num)
+		if !ok || a.IsReal != bn.IsReal {
+			return false
+		}
+		if a.IsReal {
+			return a.Text == bn.Text
+		}
+		return a.Int == bn.Int
+	case *source.Ident:
+		bi, ok := b.(*source.Ident)
+		return ok && a.Name == bi.Name
+	case *source.Bin:
+		bb, ok := b.(*source.Bin)
+		return ok && a.Op == bb.Op && boundEqual(a.L, bb.L) && boundEqual(a.R, bb.R)
+	case *source.Un:
+		bu, ok := b.(*source.Un)
+		return ok && a.Op == bu.Op && boundEqual(a.X, bu.X)
+	}
+	return false
 }
 
 // singleLoop reports whether a unit is exactly one do-loop.

@@ -1,0 +1,81 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"orchestra/internal/source"
+)
+
+var corpusSeedRe = regexp.MustCompile(`!\s*seed:\s*(\d+)`)
+
+// corpusEntries loads every minimized reproducer committed under
+// testdata/fuzz-corpus. Each file is a program the differential oracle
+// once flagged — minimized with Minimize while the divergence still
+// reproduced — plus a header comment recording the bug and the
+// generator seed (the seed fixes the initial memory image).
+func corpusEntries(t *testing.T) map[string]struct {
+	prog *source.Program
+	seed uint64
+} {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz-corpus", "*.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make(map[string]struct {
+		prog *source.Program
+		seed uint64
+	})
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := corpusSeedRe.FindSubmatch(text)
+		if m == nil {
+			t.Fatalf("%s: no '! seed: N' header", f)
+		}
+		seed, err := strconv.ParseUint(string(m[1]), 10, 64)
+		if err != nil {
+			t.Fatalf("%s: bad seed: %v", f, err)
+		}
+		prog, err := source.Parse(string(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f, err)
+		}
+		entries[filepath.Base(f)] = struct {
+			prog *source.Program
+			seed uint64
+		}{prog, seed}
+	}
+	return entries
+}
+
+// TestCorpusReproducers replays every committed reproducer through the
+// full differential oracle. Each of these programs diverged under a
+// bug this package's campaign surfaced; any of them failing again
+// means an orchestration regression, with the file's header comment
+// naming the original defect.
+func TestCorpusReproducers(t *testing.T) {
+	entries := corpusEntries(t)
+	if len(entries) < 5 {
+		t.Fatalf("corpus has %d reproducers, want at least 5", len(entries))
+	}
+	for name, e := range entries {
+		e := e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep := CheckProgram(e.prog, e.seed)
+			if rep.Skip != "" {
+				t.Fatalf("reproducer no longer checkable: %s", rep.Skip)
+			}
+			if rep.Failed() {
+				t.Fatalf("regression:\n%s", rep)
+			}
+		})
+	}
+}

@@ -1,0 +1,566 @@
+package fuzz
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"orchestra/internal/interp"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+	"orchestra/internal/source"
+)
+
+// Instance is one run's memory image: fresh version buffers over the
+// lowering's immutable plan. A single Instance must see exactly one
+// graph execution (backends may execute each task several times — the
+// simulator's settling pass — but version buffers are write-once per
+// element, so re-execution is idempotent).
+type Instance struct {
+	low *Lowered
+
+	aVals   [][]float64
+	aFlag   [][]bool
+	aWriter [][]int32
+	// aGen records which execution (the task's call number) wrote each
+	// element. Backends may run a task several times — the simulator
+	// settles every op once before scheduling — and a kernel that reads
+	// elements it later overwrites must not see a previous execution's
+	// writes, or re-execution diverges from the first run. Reads ignore
+	// own-task elements stamped by an earlier call, restoring each
+	// execution's view to "nothing written yet by me".
+	aGen [][]int32
+	sVal []float64
+	sSet []bool
+	sGen []int32
+
+	ops []opRun
+
+	// checkSim enables the execution-order oracle. It is sound only for
+	// the simulator's ModeSplit runs: there every op's tasks are first
+	// executed once by the upfront settling pass (call 1) and then once
+	// by the scheduled dataflow execution (call ≥ 2), all on a single
+	// goroutine, so per-task call counts distinguish the phases and
+	// scheduled-completion marks are exact.
+	checkSim bool
+
+	mu         sync.Mutex
+	failure    string
+	violations []string
+}
+
+type opRun struct {
+	calls []int32
+	mark  []uint32
+	pfx   int
+}
+
+// prefix returns the length of the contiguous completed prefix of the
+// op's scheduled-phase tasks. Marks only ever get set, so the cached
+// pointer just advances.
+func (o *opRun) prefix() int {
+	i := o.pfx
+	for i < len(o.mark) && atomic.LoadUint32(&o.mark[i]) != 0 {
+		i++
+	}
+	o.pfx = i
+	return i
+}
+
+// NewInstance materializes fresh buffers for one execution.
+func (l *Lowered) NewInstance(checkSim bool) *Instance {
+	in := &Instance{
+		low:      l,
+		checkSim: checkSim,
+		aVals:    make([][]float64, len(l.aPlans)),
+		aFlag:    make([][]bool, len(l.aPlans)),
+		aWriter:  make([][]int32, len(l.aPlans)),
+		aGen:     make([][]int32, len(l.aPlans)),
+		sVal:     make([]float64, len(l.sPlans)),
+		sSet:     make([]bool, len(l.sPlans)),
+		sGen:     make([]int32, len(l.sPlans)),
+		ops:      make([]opRun, len(l.kernels)),
+	}
+	for id, p := range l.aPlans {
+		n := l.sizes[p.name]
+		in.aVals[id] = make([]float64, n)
+		in.aFlag[id] = make([]bool, n)
+		in.aWriter[id] = make([]int32, n)
+		in.aGen[id] = make([]int32, n)
+	}
+	for i, k := range l.kernels {
+		in.ops[i] = opRun{calls: make([]int32, k.n), mark: make([]uint32, k.n)}
+	}
+	return in
+}
+
+// Binder exposes the instance to a backend. Task costs are a
+// deterministic hash of (op, task) so every backend and processor
+// count sees identical cost structure — enough spread to exercise
+// TAPER's adaptation without making runs irreproducible.
+func (in *Instance) Binder() rts.Binder {
+	return func(name string) rts.OpSpec {
+		k := in.low.byName[name]
+		if k == nil {
+			// Unknown names only arise from backend bugs; surface them
+			// as an empty op rather than a panic inside the engine.
+			return rts.OpSpec{Op: sched.Op{Name: name}}
+		}
+		spec := rts.OpSpec{
+			Op:         sched.Op{Name: name, N: k.n, Bytes: 8},
+			Mu:         1.5,
+			Sigma:      0.6,
+			SetupBytes: 64,
+		}
+		kk := k
+		spec.Op.Time = func(i int) float64 { return in.runTask(kk, i) }
+		return spec
+	}
+}
+
+// RunSequential executes every kernel's tasks once, in graph node
+// order (which the lowering keeps topological). This is the lowered
+// baseline the backends are compared against bitwise: any backend
+// divergence from it is an orchestration bug, not a lowering bug.
+func (in *Instance) RunSequential() error {
+	for _, k := range in.low.kernels {
+		for t := 0; t < k.n; t++ {
+			in.runTask(k, t)
+		}
+		if f := in.Failure(); f != "" {
+			return fmt.Errorf("fuzz: sequential run: %s", f)
+		}
+	}
+	return nil
+}
+
+// Failure returns the first task runtime error, if any.
+func (in *Instance) Failure() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.failure
+}
+
+// Violations returns the recorded execution-order violations.
+func (in *Instance) Violations() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.violations...)
+}
+
+func (in *Instance) recordFailure(op string, task int, msg string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.failure == "" {
+		in.failure = fmt.Sprintf("%s task %d: %s", op, task, msg)
+	}
+}
+
+func (in *Instance) violate(format string, args ...interface{}) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.violations) < 16 {
+		in.violations = append(in.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// FinalArray resolves an array's final contents: the initial image
+// with each version's written elements applied in creation order.
+func (in *Instance) FinalArray(name string) []float64 {
+	out := append([]float64(nil), in.low.initA[name]...)
+	for _, id := range in.low.chainA[name] {
+		vals, flag := in.aVals[id], in.aFlag[id]
+		for i, f := range flag {
+			if f {
+				out[i] = vals[i]
+			}
+		}
+	}
+	return out
+}
+
+// FinalScalar resolves a scalar's final value.
+func (in *Instance) FinalScalar(name string) float64 {
+	v := in.low.initS[name]
+	for _, id := range in.low.chainS[name] {
+		if in.sSet[id] {
+			v = in.sVal[id]
+		}
+	}
+	return v
+}
+
+// taskError aborts one task's evaluation (mirrors the interpreter's
+// runtime failures: bad subscripts, division by zero, step limits).
+type taskError struct{ msg string }
+
+func (ec *evalCtx) bail(format string, args ...interface{}) {
+	panic(&taskError{fmt.Sprintf(format, args...)})
+}
+
+// runTask executes one task of one kernel and returns its simulated
+// cost. It never panics into the calling engine: evaluation failures
+// (and any internal bug) are recorded on the instance, and the
+// differential oracle reports them as divergences.
+func (in *Instance) runTask(k *kernel, t int) float64 {
+	op := &in.ops[k.idx]
+	c := atomic.AddInt32(&op.calls[t], 1)
+	scheduled := !in.checkSim || c >= 2
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(*taskError); ok {
+				in.recordFailure(k.name, t, te.msg)
+			} else {
+				in.recordFailure(k.name, t, fmt.Sprintf("internal panic: %v", r))
+			}
+		}
+		if scheduled && in.checkSim {
+			atomic.StoreUint32(&op.mark[t], 1)
+		}
+	}()
+	ec := &evalCtx{in: in, k: k, task: t, call: c, phase2: scheduled && in.checkSim, env: map[string]float64{}}
+	switch k.kind {
+	case kParallel:
+		iv := k.iters[t]
+		ec.env[k.loop.Var] = float64(iv)
+		if k.loop.Where == nil || truthy(ec.eval(k.loop.Where)) {
+			ec.execStmts(k.loop.Body)
+		}
+	case kReduction:
+		iv := k.iters[t]
+		ec.env[k.loop.Var] = float64(iv)
+		if k.loop.Where == nil || truthy(ec.eval(k.loop.Where)) {
+			v := ec.eval(k.redExpr)
+			in.aVals[k.contrib][t] = v
+			in.aWriter[k.contrib][t] = int32(t)
+			in.aGen[k.contrib][t] = c
+			in.aFlag[k.contrib][t] = true
+		}
+	case kMerge:
+		red := in.low.kernels[k.srcOp]
+		sum := ec.loadScalar(k.redVar)
+		vals, flag := in.aVals[red.contrib], in.aFlag[red.contrib]
+		for i := 0; i < red.n; i++ {
+			if flag[i] {
+				if ec.phase2 {
+					ec.checkProducer(red.idx, in.aWriter[red.contrib][i])
+				}
+				sum += vals[i]
+			}
+		}
+		ec.storeScalar(k.redVar, sum)
+	case kSerial:
+		ec.execStmts(k.stmts)
+	}
+	return taskCost(k.idx, t)
+}
+
+func taskCost(op, i int) float64 {
+	h := (uint64(op)+1)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0x2545f4914f6cdd1d
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return 0.5 + float64(h&2047)/1024.0
+}
+
+// checkProducer verifies that reading a value produced by another op's
+// task is legal at this point of the scheduled execution: the engine
+// must already have completed that producer task (through a pipelined
+// edge's delivered prefix, or the producer entirely for ordinary
+// edges). Values are always present thanks to the settling pass, so
+// this — not the value diff — is what catches gating bugs in the
+// simulator's dataflow execution.
+//
+// Completion marks are set when a task's body returns, which precedes
+// the engine's own completion accounting; the marked prefix therefore
+// never lags what a correct engine has completed, and a violation here
+// is a true ordering error, not a measurement artifact.
+func (ec *evalCtx) checkProducer(owner int, writer int32) {
+	k, in := ec.k, ec.in
+	if owner == k.idx {
+		return
+	}
+	P := in.low.kernels[owner]
+	pfx := in.ops[owner].prefix()
+	cls, direct := k.inE[owner]
+	switch {
+	case direct && cls == 2:
+		if int(writer) >= pfx {
+			in.violate("%s read task %d of pipelined producer %s, but only %d/%d delivered",
+				k.name, writer, P.name, pfx, P.n)
+		}
+	case direct:
+		if pfx < P.n {
+			in.violate("%s read producer %s before completion (%d/%d done)",
+				k.name, P.name, pfx, P.n)
+		}
+	case in.low.plainAnc[k.idx][owner]:
+		if pfx < P.n {
+			in.violate("%s read transitive producer %s before completion (%d/%d done)",
+				k.name, P.name, pfx, P.n)
+		}
+	case in.low.anyAnc[k.idx][owner]:
+		// Reachable only through a pipelined edge: the transitive
+		// prefix bound is not expressible per element, so skip.
+	default:
+		in.violate("%s read a value written by %s with no dataflow path between them",
+			k.name, P.name)
+	}
+}
+
+// evalCtx evaluates statements and expressions for one task against
+// the versioned memory, bit-for-bit mirroring internal/interp (same
+// literal parsing, rounding, short-circuiting, division check, default
+// external function) so the lowered baseline matches the interpreter
+// exactly. env holds induction variables, which shadow memory as the
+// interpreter's single namespace would.
+type evalCtx struct {
+	in     *Instance
+	k      *kernel
+	task   int
+	call   int32 // which execution of this task (see Instance.aGen)
+	phase2 bool
+	env    map[string]float64
+	steps  int
+}
+
+const maxTaskSteps = 10_000_000
+
+func (ec *evalCtx) step() {
+	ec.steps++
+	if ec.steps > maxTaskSteps {
+		ec.bail("step limit exceeded (%d)", maxTaskSteps)
+	}
+}
+
+func (ec *evalCtx) execStmts(body []source.Stmt) {
+	for _, s := range body {
+		ec.execStmt(s)
+	}
+}
+
+func (ec *evalCtx) execStmt(s source.Stmt) {
+	ec.step()
+	switch s := s.(type) {
+	case *source.Assign:
+		v := ec.eval(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *source.Ident:
+			ec.storeScalar(lhs.Name, v)
+		case *source.ArrayRef:
+			ec.storeArray(lhs, v)
+		default:
+			ec.bail("bad assignment target %T", s.LHS)
+		}
+	case *source.Do:
+		ec.execDo(s)
+	case *source.If:
+		if truthy(ec.eval(s.Cond)) {
+			ec.execStmts(s.Then)
+		} else {
+			ec.execStmts(s.Else)
+		}
+	case *source.CallStmt:
+		for _, a := range s.Args {
+			ec.eval(a)
+		}
+	default:
+		ec.bail("unknown statement %T", s)
+	}
+}
+
+func (ec *evalCtx) execDo(d *source.Do) {
+	outer, had := ec.env[d.Var]
+	for _, r := range d.Ranges {
+		lo := int(math.Round(ec.eval(r.Lo)))
+		hi := int(math.Round(ec.eval(r.Hi)))
+		stepBy := 1
+		if r.Step != nil {
+			stepBy = int(math.Round(ec.eval(r.Step)))
+			if stepBy < 1 {
+				ec.bail("non-positive do step %d", stepBy)
+			}
+		}
+		for i := lo; i <= hi; i += stepBy {
+			ec.step()
+			ec.env[d.Var] = float64(i)
+			if d.Where != nil && !truthy(ec.eval(d.Where)) {
+				continue
+			}
+			ec.execStmts(d.Body)
+		}
+	}
+	if had {
+		ec.env[d.Var] = outer
+	} else {
+		delete(ec.env, d.Var)
+	}
+}
+
+func (ec *evalCtx) loadScalar(name string) float64 {
+	if v, ok := ec.env[name]; ok {
+		return v
+	}
+	in := ec.in
+	if id, ok := ec.k.verS[name]; ok {
+		for ; id >= 0; id = in.low.sPlans[id].prev {
+			if in.sSet[id] {
+				if in.low.sPlans[id].owner == ec.k.idx {
+					if in.sGen[id] != ec.call {
+						continue // stale write from a previous execution
+					}
+				} else if ec.phase2 {
+					ec.checkProducer(in.low.sPlans[id].owner, 0)
+				}
+				return in.sVal[id]
+			}
+		}
+	}
+	v, ok := in.low.initS[name]
+	if !ok {
+		ec.bail("unbound scalar %s", name)
+	}
+	return v
+}
+
+func (ec *evalCtx) storeScalar(name string, v float64) {
+	if _, ok := ec.env[name]; ok {
+		ec.env[name] = v
+		return
+	}
+	id, ok := ec.k.writeS[name]
+	if !ok {
+		ec.bail("scalar %s written without a version (classifier bug)", name)
+	}
+	ec.in.sVal[id] = v
+	ec.in.sGen[id] = ec.call
+	ec.in.sSet[id] = true
+}
+
+// offset mirrors the interpreter's subscript evaluation and bounds
+// checking, returning the column-major flat index.
+func (ec *evalCtx) offset(ref *source.ArrayRef) int {
+	dims, ok := ec.in.low.dims[ref.Name]
+	if !ok {
+		ec.bail("undeclared array %s", ref.Name)
+	}
+	if len(ref.Index) != len(dims) {
+		ec.bail("array %s: %d subscripts for %d dims", ref.Name, len(ref.Index), len(dims))
+	}
+	off := 0
+	stride := 1
+	for k, ix := range ref.Index {
+		i := int(math.Round(ec.eval(ix)))
+		if i < 1 || i > dims[k] {
+			ec.bail("array %s: subscript %d = %d out of [1,%d]", ref.Name, k+1, i, dims[k])
+		}
+		off += (i - 1) * stride
+		stride *= dims[k]
+	}
+	return off
+}
+
+func (ec *evalCtx) loadArray(ref *source.ArrayRef) float64 {
+	off := ec.offset(ref)
+	in := ec.in
+	if id, ok := ec.k.verA[ref.Name]; ok {
+		for ; id >= 0; id = in.low.aPlans[id].prev {
+			if in.aFlag[id][off] {
+				if in.low.aPlans[id].owner == ec.k.idx {
+					if in.aWriter[id][off] == int32(ec.task) && in.aGen[id][off] != ec.call {
+						continue // stale write from a previous execution
+					}
+				} else if ec.phase2 {
+					ec.checkProducer(in.low.aPlans[id].owner, in.aWriter[id][off])
+				}
+				return in.aVals[id][off]
+			}
+		}
+	}
+	buf, ok := in.low.initA[ref.Name]
+	if !ok {
+		ec.bail("undeclared array %s", ref.Name)
+	}
+	return buf[off]
+}
+
+func (ec *evalCtx) storeArray(ref *source.ArrayRef, v float64) {
+	id, ok := ec.k.writeA[ref.Name]
+	if !ok {
+		ec.bail("array %s written without a version (classifier bug)", ref.Name)
+	}
+	off := ec.offset(ref)
+	in := ec.in
+	in.aVals[id][off] = v
+	in.aWriter[id][off] = int32(ec.task)
+	in.aGen[id][off] = ec.call
+	in.aFlag[id][off] = true
+}
+
+func (ec *evalCtx) eval(e source.Expr) float64 {
+	switch e := e.(type) {
+	case *source.Num:
+		return numValue(e)
+	case *source.Ident:
+		return ec.loadScalar(e.Name)
+	case *source.ArrayRef:
+		return ec.loadArray(e)
+	case *source.FuncCall:
+		args := make([]float64, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ec.eval(a)
+		}
+		return interp.DefaultFunc(args)
+	case *source.Un:
+		if e.Op == "-" {
+			return -ec.eval(e.X)
+		}
+		ec.bail("unknown unary %q", e.Op)
+	case *source.Bin:
+		switch e.Op {
+		case "&&":
+			return b2f(truthy(ec.eval(e.L)) && truthy(ec.eval(e.R)))
+		case "||":
+			return b2f(truthy(ec.eval(e.L)) || truthy(ec.eval(e.R)))
+		}
+		l, r := ec.eval(e.L), ec.eval(e.R)
+		switch e.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			if r == 0 {
+				ec.bail("division by zero")
+			}
+			return l / r
+		case "==":
+			return b2f(l == r)
+		case "!=":
+			return b2f(l != r)
+		case "<":
+			return b2f(l < r)
+		case "<=":
+			return b2f(l <= r)
+		case ">":
+			return b2f(l > r)
+		case ">=":
+			return b2f(l >= r)
+		}
+		ec.bail("unknown operator %q", e.Op)
+	}
+	ec.bail("unknown expression %T", e)
+	return 0
+}
+
+func truthy(v float64) bool { return v != 0 }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

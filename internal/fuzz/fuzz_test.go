@@ -1,0 +1,92 @@
+package fuzz
+
+import (
+	"testing"
+
+	"orchestra/internal/compile"
+	"orchestra/internal/interp"
+	"orchestra/internal/source"
+)
+
+// TestCampaignSmoke runs a small slice of the differential campaign on
+// every `go test`. The full campaign lives in cmd/orchfuzz (and the CI
+// fuzz job); this keeps a canary in the ordinary test run without
+// making it slow.
+func TestCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign smoke is not short")
+	}
+	cfg := DefaultGenConfig()
+	for seed := uint64(1); seed <= 25; seed++ {
+		rep, prog := CheckSeed(seed, cfg)
+		if rep.Failed() {
+			t.Fatalf("seed %d diverged:\n%s\nprogram:\n%s", seed, rep, source.Format(prog))
+		}
+	}
+}
+
+// FuzzPipeline drives the full differential ladder — reference
+// interpreter, compiled-program interpreter, lowered sequential run,
+// and the whole simulator/native backend matrix — from a single seed.
+// The seed determines both the generated program and its initial
+// memory image, so every crasher is replayable with
+// `orchfuzz -seed N` and minimizable with `orchfuzz -minimize N`.
+func FuzzPipeline(f *testing.F) {
+	// Seeds whose generated programs historically exercised real bugs
+	// (see testdata/fuzz-corpus), plus a spread of ordinary ones.
+	for _, seed := range []uint64{1, 2, 3, 7, 14, 18, 42, 100} {
+		f.Add(seed)
+	}
+	cfg := DefaultGenConfig()
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rep, prog := CheckSeed(seed, cfg)
+		if rep.Failed() {
+			t.Fatalf("seed %d diverged:\n%s\nprogram:\n%s", seed, rep, source.Format(prog))
+		}
+	})
+}
+
+// FuzzSplitEquivalence checks only the source-to-source layer: the
+// compiled (decomposed/split/pipelined) program must compute the same
+// observable state as the original under the reference interpreter.
+// It is much cheaper per execution than FuzzPipeline, so it explores
+// far more programs per second, and it isolates the transformation
+// pipeline from scheduling: a failure here is a compile bug by
+// construction, never a runtime one.
+func FuzzSplitEquivalence(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 3, 7, 14, 18, 42, 100} {
+		f.Add(seed)
+	}
+	cfg := DefaultGenConfig()
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		prog := NewGen(seed, cfg).Program()
+		img, err := buildImage(prog, seed)
+		if err != nil {
+			t.Skip(err)
+		}
+		arrays, scalars := observed(prog)
+
+		refSt, err := img.state(prog)
+		if err != nil {
+			t.Skip(err)
+		}
+		if err := interp.Run(source.CloneProgram(prog), refSt); err != nil {
+			t.Skip(err)
+		}
+
+		out, err := compile.Compile(source.CloneProgram(prog), compile.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\nprogram:\n%s", seed, err, source.Format(prog))
+		}
+		transSt, err := img.state(out.Program)
+		if err != nil {
+			t.Skip(err)
+		}
+		if err := interp.Run(out.Program, transSt); err != nil {
+			t.Fatalf("seed %d: transformed program faulted: %v\nprogram:\n%s", seed, err, source.Format(prog))
+		}
+		if d := diffFinal(interpFinal{refSt}, interpFinal{transSt}, arrays, scalars, false); d != "" {
+			t.Fatalf("seed %d: transformed program diverged: %s\nprogram:\n%s", seed, d, source.Format(prog))
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package fuzz
+
+import (
+	"orchestra/internal/source"
+)
+
+// maxMinimizeProbes bounds how many candidate programs a minimization
+// run may test; each probe runs the full differential oracle, so the
+// budget keeps pathological inputs from pinning a CPU for hours.
+const maxMinimizeProbes = 2000
+
+// Minimize shrinks a program while the keep predicate stays true —
+// for a diverging fuzz program, keep is "the divergence still
+// reproduces". It applies delta debugging at three levels: removing
+// runs of top-level statements, removing runs of statements inside
+// loop and branch bodies (plus dropping per-iteration where guards),
+// and pruning declarations the body no longer mentions. Every
+// candidate is printed and reparsed, so the result is always a valid
+// program in canonical form. The original program is returned
+// unchanged if it does not satisfy keep (nothing to preserve) or does
+// not survive a print/parse round trip.
+func Minimize(prog *source.Program, keep func(*source.Program) bool) *source.Program {
+	m := &minimizer{keep: keep}
+	cur := m.normalize(prog)
+	if cur == nil || !keep(cur) {
+		return prog
+	}
+	for changed := true; changed && m.probes < maxMinimizeProbes; {
+		changed = false
+		if next := m.reduceTop(cur); next != nil {
+			cur, changed = next, true
+		}
+		if next := m.reduceInner(cur); next != nil {
+			cur, changed = next, true
+		}
+		if next := m.pruneDecls(cur); next != nil {
+			cur, changed = next, true
+		}
+	}
+	return cur
+}
+
+type minimizer struct {
+	keep   func(*source.Program) bool
+	probes int
+}
+
+// normalize round-trips a program through the printer and parser,
+// producing an independent copy with analysis-ready internal state.
+func (m *minimizer) normalize(p *source.Program) *source.Program {
+	re, err := source.Parse(source.Format(p))
+	if err != nil {
+		return nil
+	}
+	return re
+}
+
+// try tests one candidate, charging the probe budget.
+func (m *minimizer) try(p *source.Program) *source.Program {
+	if m.probes >= maxMinimizeProbes {
+		return nil
+	}
+	m.probes++
+	cand := m.normalize(p)
+	if cand == nil || !m.keep(cand) {
+		return nil
+	}
+	return cand
+}
+
+// reduceTop removes runs of top-level statements, halving the run
+// length until single statements have been attempted. Returns the
+// reduced program, or nil when nothing could be removed.
+func (m *minimizer) reduceTop(p *source.Program) *source.Program {
+	best := p
+	improved := false
+	for chunk := len(best.Body); chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(best.Body); {
+			cand := source.CloneProgram(best)
+			cand.Body = append(cand.Body[:i], cand.Body[i+chunk:]...)
+			if len(cand.Body) == 0 {
+				i++
+				continue
+			}
+			if next := m.try(cand); next != nil {
+				best = next
+				improved = true
+				continue // same index now names the next run
+			}
+			i += chunk
+		}
+	}
+	if !improved {
+		return nil
+	}
+	return best
+}
+
+// doCount returns the number of Do statements in pre-order, and nthDo
+// the n-th of them, so a candidate clone can be edited at the position
+// found in the original.
+func doCount(body []source.Stmt) int {
+	n := 0
+	source.WalkStmts(body, func(s source.Stmt) {
+		if _, ok := s.(*source.Do); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func nthDo(body []source.Stmt, n int) *source.Do {
+	var found *source.Do
+	i := 0
+	source.WalkStmts(body, func(s source.Stmt) {
+		if d, ok := s.(*source.Do); ok {
+			if i == n {
+				found = d
+			}
+			i++
+		}
+	})
+	return found
+}
+
+// reduceInner shrinks loop bodies and drops where guards, loop by
+// loop. Returns the reduced program, or nil when nothing changed.
+func (m *minimizer) reduceInner(p *source.Program) *source.Program {
+	best := p
+	improved := false
+	for di := 0; di < doCount(best.Body); di++ {
+		// Guard removal first: it often unlocks body removals.
+		if nthDo(best.Body, di).Where != nil {
+			cand := source.CloneProgram(best)
+			nthDo(cand.Body, di).Where = nil
+			if next := m.try(cand); next != nil {
+				best = next
+				improved = true
+			}
+		}
+		for chunk := len(nthDo(best.Body, di).Body); chunk >= 1; chunk /= 2 {
+			for i := 0; ; {
+				d := nthDo(best.Body, di)
+				if i+chunk > len(d.Body) || len(d.Body) <= 1 {
+					break
+				}
+				cand := source.CloneProgram(best)
+				cd := nthDo(cand.Body, di)
+				cd.Body = append(cd.Body[:i], cd.Body[i+chunk:]...)
+				if next := m.try(cand); next != nil {
+					best = next
+					improved = true
+					continue
+				}
+				i += chunk
+			}
+		}
+	}
+	if !improved {
+		return nil
+	}
+	return best
+}
+
+// pruneDecls drops declarations one at a time while the predicate
+// holds. Returns the reduced program, or nil when nothing changed.
+func (m *minimizer) pruneDecls(p *source.Program) *source.Program {
+	best := p
+	improved := false
+	for i := 0; i < len(best.Decls); {
+		cand := source.CloneProgram(best)
+		cand.Decls = append(cand.Decls[:i], cand.Decls[i+1:]...)
+		if next := m.try(cand); next != nil {
+			best = next
+			improved = true
+			continue
+		}
+		i++
+	}
+	if !improved {
+		return nil
+	}
+	return best
+}

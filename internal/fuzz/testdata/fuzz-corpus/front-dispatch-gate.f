@@ -1,0 +1,23 @@
+! The gate said how MANY consumer tasks were enabled, but dispatch took each
+! queue's front task regardless of its index — a block-decomposed queue
+! holding tasks [7,14) handed out task 7 when only tasks [0,3) were enabled.
+! Dispatch must bound chunks by each queue's enabled task-index prefix.
+! seed: 14
+
+program fuzz
+  integer n
+  integer a
+  integer mask(n)
+  real u(n)
+  real r(n, n)
+  real s1
+  real s2
+  do i1 = 2, n - 1 where (mask(i1) != 0)
+    do i2 = 2, n - 1
+      r(i2, i1) = -(0.5 + 0.5)
+    end do
+  end do
+  do i3 = 2, n - 1
+    u(i3) = r(2, i3) + r(i3, i3)
+  end do
+end

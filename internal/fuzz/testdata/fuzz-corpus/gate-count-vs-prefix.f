@@ -1,0 +1,30 @@
+! The pipelined-edge gate enabled consumer tasks from the producer's
+! completion COUNT. Steals finish tasks out of order, so a count of k
+! completions can coexist with task 0 still queued; the consumer then reads
+! producer tasks that have not produced anything yet. The gate must use the
+! contiguous completed prefix.
+! seed: 7
+
+program fuzz
+  integer n
+  integer a
+  integer mask(n)
+  real w(n)
+  real q(n, n)
+  do i1 = 2, n - 1 where (mask(i1) != 0)
+    do i2 = 2, n - 1
+      q(i2, i1) = -v(3) * u(i2)
+    end do
+  end do
+  do i3 = 2, n - 1
+    w(i3) = q(2, i3) + q(i3, i3)
+  end do
+  do i7 = 2, n - 1 where (mask(i7) != 0)
+    do i8 = 2, n - 1
+      q(i8, i7) = 6
+    end do
+  end do
+  do i9 = 2, n - 1
+    w(i9) = q(2, i9) + q(i9, i9)
+  end do
+end

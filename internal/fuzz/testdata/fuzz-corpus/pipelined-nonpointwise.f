@@ -1,0 +1,27 @@
+! The compiler marked every CD-unit edge to its split producer as pipelined.
+! Here the consumer reads the producer's whole output vector in an inner
+! loop (u(i5) for all i5, per task), so prefix delivery hands it elements
+! the producer has not written yet: native backends compute wrong values at
+! every worker count. Pipelining requires provably pointwise consumption.
+! seed: 14
+
+program fuzz
+  integer n
+  integer mask(n)
+  real u(n)
+  real q(n, n)
+  real r(n, n)
+  do i1 = 2, n - 1 where (mask(i1) != 0)
+    do i2 = 2, n - 1
+      r(i2, i1) = -(0.5 + 0.5)
+    end do
+  end do
+  do i3 = 2, n - 1
+    u(i3) = r(2, i3) + r(i3, i3)
+  end do
+  do i4 = 2, n - 1 where (mask(i4) != 0)
+    do i5 = 2, n - 1
+      q(i5, i4) = (0.5 + u(i5)) / (2 * 3 + 2)
+    end do
+  end do
+end

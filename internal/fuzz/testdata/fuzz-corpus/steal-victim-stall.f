@@ -1,0 +1,21 @@
+! ExecuteDAG stalled at p=1: processor allocations can sum past p, so an
+! operator's only queue may belong to a processor that does not exist and is
+! reachable only by stealing. Victim selection required est > bestTime
+! strictly, which never fires while all time estimates are still zero
+! (no samples yet), so the operator was never dispatched.
+! seed: 1
+
+program fuzz
+  integer n
+  integer a
+  real u(n)
+  real v(n)
+  do i3 = 2, n - 1
+    v(i3) = r(2, i3) + r(i3, i3)
+  end do
+  if (a > 2) then
+    u(1) = 5 + 3.5
+  else
+    u(2) = 1 + 3.5
+  end if
+end

@@ -1,0 +1,20 @@
+! Same front-dispatch gating defect as front-dispatch-gate.f, minimized from
+! a different seed: a guarded matrix producer feeding a column-reading
+! consumer through a pipelined edge, with the consumer dispatched past the
+! delivered prefix.
+! seed: 18
+
+program fuzz
+  integer n
+  integer mask(n)
+  real w(n)
+  real q(n, n)
+  do i7 = 2, n - 1 where (mask(i7) != 0)
+    do i8 = 2, n - 1
+      q(i8, i7) = u(i8 + 1)
+    end do
+  end do
+  do i9 = 2, n - 1
+    w(i9) = q(2, i9) + q(i9, i9)
+  end do
+end

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -206,5 +207,67 @@ func TestMsgTimeSymmetry(t *testing.T) {
 		return x == y && x >= 0
 	}, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSimSlotReuseSameTime pins the dispatch/release protocol around
+// arena slot reuse. dispatch recycles an event's slot before running
+// its callback, so a callback that schedules a successor at the current
+// time writes the successor into the very slot the running event
+// occupied. That is only sound because dispatch copies fn/cfn/arg out
+// of the arena first — a dispatcher reading the slot after release
+// would fire the successor's callback (or a cleared one) in place of
+// the original's. The test drives that exact interleaving with both
+// callback kinds and checks order, arguments, and that reuse actually
+// happened (the arena must not grow for the successors).
+func TestSimSlotReuseSameTime(t *testing.T) {
+	s := NewSim(DefaultConfig(4))
+	var order []string
+	tick := func(arg int) {
+		order = append(order, fmt.Sprintf("fn(%d)", arg))
+	}
+	s.At(1, func() {
+		order = append(order, "a")
+		// Same-time successor of the opposite kind: reuses slot 0,
+		// which held a plain fn until a moment ago.
+		s.AtFn(1, tick, 7)
+	})
+	s.At(1, func() {
+		order = append(order, "b")
+		// And the symmetric case into slot 1: a plain fn over a slot
+		// that never held one.
+		s.At(1, func() { order = append(order, "c") })
+	})
+	grown := 0
+	s.At(1, func() { grown = len(s.arena) })
+	s.Run()
+	want := []string{"a", "b", "fn(7)", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if grown != 3 {
+		t.Errorf("arena grew to %d slots for same-time successors, want 3 (slot reuse)", grown)
+	}
+}
+
+// TestSimReleaseClearsCallbacks: recycled slots must not pin dead
+// closures — the arena lives as long as the simulation, and a retained
+// fn keeps its whole capture set reachable.
+func TestSimReleaseClearsCallbacks(t *testing.T) {
+	s := NewSim(DefaultConfig(4))
+	for i := 0; i < 8; i++ {
+		big := make([]byte, 1<<16)
+		s.At(float64(i), func() { _ = big })
+	}
+	s.Run()
+	for id := s.free; id != nilEvent; id = s.arena[id].next {
+		if s.arena[id].fn != nil || s.arena[id].cfn != nil {
+			t.Fatalf("freed slot %d retains a callback", id)
+		}
 	}
 }

@@ -23,7 +23,9 @@ func (s segment) len() int { return s.hi - s.lo }
 const (
 	// maxOps bounds the number of operators a graph may have.
 	maxOps = 1 << 16
-	// maxTasks bounds the task count of one operator.
+	// maxTasks bounds the task count of one operator, exclusive: the
+	// hi bound of a segment is one past the last task, so the largest
+	// representable operator has maxTasks-1 tasks.
 	maxTasks = 1 << 24
 )
 

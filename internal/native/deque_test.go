@@ -4,6 +4,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
 )
 
 func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
@@ -29,6 +33,160 @@ func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
 	}
 	if d.size() != 0 {
 		t.Fatalf("size = %d, want 0", d.size())
+	}
+}
+
+// TestSegmentPackingBounds pins the packing format at its edges: the
+// largest representable operator index and task bounds must round-trip
+// exactly. hi is an exclusive bound, so maxTasks-1 is the largest
+// value either bound can take (an operator of maxTasks tasks would
+// need hi = 1<<24, which does not fit 24 bits — the engine rejects it,
+// see TestExecuteRejectsOversizedOp).
+func TestSegmentPackingBounds(t *testing.T) {
+	cases := []segment{
+		{op: 0, lo: 0, hi: 0},
+		{op: 0, lo: 0, hi: maxTasks - 1},
+		{op: 0, lo: maxTasks - 1, hi: maxTasks - 1},
+		{op: maxOps - 1, lo: maxTasks - 2, hi: maxTasks - 1},
+		{op: maxOps - 1, lo: 12345, hi: 678910},
+	}
+	for _, s := range cases {
+		if got := unpackSegment(packSegment(s)); got != s {
+			t.Errorf("pack/unpack %+v = %+v", s, got)
+		}
+	}
+}
+
+// TestExecuteRejectsOversizedOp checks the guard that keeps an
+// operator's task count inside the segment packing budget. maxTasks
+// itself must be rejected: hi bounds are exclusive, so it would
+// overflow the 24-bit field and alias the lo field (this was a real
+// off-by-one — the guard used > instead of >=).
+func TestExecuteRejectsOversizedOp(t *testing.T) {
+	g := delirium.NewGraph("big")
+	if err := g.AddNode(&delirium.Node{Name: "a", Kind: delirium.Par}); err != nil {
+		t.Fatal(err)
+	}
+	bind := func(name string) rts.OpSpec {
+		return rts.OpSpec{Op: sched.Op{Name: name, N: maxTasks,
+			Time: func(i int) float64 { return 1 }}, Mu: 1}
+	}
+	be := &Backend{Workers: 1}
+	if _, err := be.Execute(g, bind, 1, rts.ModeSplit); err == nil {
+		t.Fatalf("Execute accepted an operator with %d tasks", maxTasks)
+	}
+}
+
+// TestDequeLastElementRace targets the CAS arbitration over a deque's
+// final segment: one owner pops while one thief steals, with exactly
+// one element present each round. Exactly one side must win every
+// round — a double grant corrupts task accounting, a double miss
+// loses the segment. Run with -race.
+func TestDequeLastElementRace(t *testing.T) {
+	const rounds = 20000
+	var d deque
+	d.init()
+	var popWins, stealWins atomic.Int64
+	ready := make(chan struct{})
+	taken := make(chan bool)
+	go func() {
+		for range ready {
+			_, ok := d.steal()
+			if ok {
+				stealWins.Add(1)
+			}
+			taken <- ok
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		d.push(segment{op: 0, lo: i, hi: i + 1})
+		ready <- struct{}{}
+		_, ok := d.pop()
+		if ok {
+			popWins.Add(1)
+		}
+		stole := <-taken
+		if ok == stole {
+			t.Fatalf("round %d: pop=%v steal=%v, want exactly one winner", i, ok, stole)
+		}
+	}
+	close(ready)
+	if popWins.Load()+stealWins.Load() != rounds {
+		t.Fatalf("wins %d+%d != %d rounds", popWins.Load(), stealWins.Load(), rounds)
+	}
+}
+
+// TestDequeGrowthUnderSteal forces repeated ring growth (bursts far
+// beyond the initial capacity) while thieves hold references to retired
+// ring generations, and checks exact-once consumption. Run with -race:
+// the hazard is the owner recycling a slot a thief is still validating.
+func TestDequeGrowthUnderSteal(t *testing.T) {
+	const (
+		thieves = 4
+		bursts  = 50
+		burst   = 200 // >> initialDequeCap, so every burst grows the ring
+	)
+	var d deque
+	d.init()
+	total := bursts * burst
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	record := func(s segment) {
+		if n := seen[s.lo].Add(1); n != 1 {
+			t.Errorf("segment %d consumed %d times", s.lo, n)
+		}
+		consumed.Add(1)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if s, ok := d.steal(); ok {
+					record(s)
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						s, ok := d.steal()
+						if !ok {
+							return
+						}
+						record(s)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	next := 0
+	for b := 0; b < bursts; b++ {
+		for i := 0; i < burst; i++ {
+			d.push(segment{op: 0, lo: next, hi: next + 1})
+			next++
+		}
+		// A few pops between bursts keep the owner end active while
+		// the ring is at its largest.
+		for i := 0; i < 8; i++ {
+			if s, ok := d.pop(); ok {
+				record(s)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	for {
+		s, ok := d.pop()
+		if !ok {
+			break
+		}
+		record(s)
+	}
+	if consumed.Load() != int64(total) {
+		t.Fatalf("consumed %d segments, want %d", consumed.Load(), total)
 	}
 }
 

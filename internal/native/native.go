@@ -63,6 +63,11 @@ type Backend struct {
 	// to operators. Labelling costs an allocation per operator switch,
 	// so it is off unless a profile is being taken.
 	Labels bool
+	// Omega overrides TAPER's imbalance tolerance parameter for every
+	// operator; zero keeps the scheduler's default. Exposed so parity
+	// and fuzz harnesses can sweep scheduling decisions without
+	// touching the policy package.
+	Omega float64
 }
 
 // Name implements rts.Backend.
@@ -113,10 +118,13 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 		if o.body == nil {
 			o.n = 0
 		}
-		if o.n > maxTasks {
+		// Strict: a segment's hi bound is exclusive, so an operator
+		// with exactly maxTasks tasks would pack hi = 1<<24 into a
+		// 24-bit field and alias the lo field's low bit.
+		if o.n >= maxTasks {
 			return trace.Result{}, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
 		}
-		o.taper = sched.Taper{UseCostFunction: true}
+		o.taper = sched.Taper{UseCostFunction: true, Omega: b.Omega}
 		o.stats = sched.NewTaskStats(maxInt(o.n, 1))
 		o.unsched.Store(int64(o.n))
 		index[nd.Name] = i

@@ -104,11 +104,22 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	policies := make([]sched.Policy, nOps)
 	unsched := make([]int, nOps)   // tasks not yet dispatched
 	doneTasks := make([]int, nOps) // tasks completed
+	doneMark := make([][]bool, nOps)
+	donePfx := make([]int, nOps) // contiguous completed prefix
 	for o := range specs {
-		queues[o] = sched.Decompose(specs[o].Op, alloc[o])
+		// The allocator can hand an operator a zero share when a level
+		// has more operators than processors; its tasks must still live
+		// in a queue (unowned, reached through the steal path) or they
+		// would be undispatchable and the run would stall.
+		qn := alloc[o]
+		if qn < 1 {
+			qn = 1
+		}
+		queues[o] = sched.Decompose(specs[o].Op, qn)
 		tstats[o] = sched.NewTaskStats(specs[o].Op.N)
 		policies[o] = &sched.Taper{UseCostFunction: true}
 		unsched[o] = specs[o].Op.N
+		doneMark[o] = make([]bool, specs[o].Op.N)
 	}
 	// ownQueue reports the queue index processor gp owns in op o, or -1.
 	ownQueue := func(gp, o int) int {
@@ -122,8 +133,14 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	// gate reports how many tasks of op o are executable given its
 	// predecessors' progress: min over incoming edges of the enabled
 	// prefix. Pipelined edges enable the consumer in proportion to the
-	// producer's completed batches; ordinary edges enable everything
+	// producer's delivered batches; ordinary edges enable everything
 	// only once the producer is fully done.
+	//
+	// Pipelined progress is the producer's contiguous completed prefix,
+	// not its completion count: steals finish tasks out of order, and a
+	// count of 50 completions may coexist with task 0 still queued — a
+	// consumer enabled from the count would read tasks that have not
+	// produced anything yet on a real machine.
 	gate := func(o int) int {
 		n := specs[o].Op.N
 		avail := n
@@ -133,8 +150,8 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 			if doneTasks[ie.from] >= pn {
 				en = n
 			} else if ie.pipelined && pn > 0 {
-				batches := doneTasks[ie.from] / ie.batch
-				en = int(float64(batches*ie.batch) / float64(pn) * float64(n))
+				delivered := donePfx[ie.from] / ie.batch * ie.batch
+				en = int(int64(delivered) * int64(n) / int64(pn))
 			} else {
 				en = 0
 			}
@@ -180,8 +197,8 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	done := make([][]int, nOps)
 	spent := make([][]float64, nOps)
 	for o := range specs {
-		done[o] = make([]int, alloc[o])
-		spent[o] = make([]float64, alloc[o])
+		done[o] = make([]int, len(queues[o]))
+		spent[o] = make([]float64, len(queues[o]))
 	}
 	tokenCost := 0.2 * cfg.MsgOverhead
 
@@ -191,6 +208,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	type pendChunk struct {
 		o, k         int
 		start, total float64
+		tasks        []int
 	}
 	pend := make([]pendChunk, p)
 	chunkDone := func(gp int) {
@@ -199,6 +217,12 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 			DagChunkDone(order[pc.o].Name, pc.start, pc.total, pc.k)
 		}
 		doneTasks[pc.o] += pc.k
+		for _, i := range pc.tasks {
+			doneMark[pc.o][i] = true
+		}
+		for pfx := donePfx[pc.o]; pfx < len(doneMark[pc.o]) && doneMark[pc.o][pfx]; pfx++ {
+			donePfx[pc.o] = pfx + 1
+		}
 		totalOutstanding -= pc.k
 		if j := ownQueue(gp, pc.o); j >= 0 {
 			done[pc.o][j] += pc.k
@@ -224,15 +248,18 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		res.Chunks++
 		k := len(tasks)
 		unsched[o] -= k
-		pend[gp] = pendChunk{o: o, k: k, start: sim.Now(), total: total}
+		pend[gp] = pendChunk{o: o, k: k, start: sim.Now(), total: total, tasks: tasks}
 		sim.AfterFn(total, chunkDone, gp)
 	}
 
 	// tryDispatch attempts to hand processor gp a chunk of op o,
 	// stealing from the most loaded owner when gp's own queue (if it
-	// belongs to o) is empty. Chunks respect the op's gate.
+	// belongs to o) is empty. Chunks respect the op's gate as a task
+	// -index prefix: a queue only contributes tasks whose indices the
+	// gate has enabled, never an equivalent count of later tasks.
 	tryDispatch := func(gp, o int) bool {
-		open := gate(o) - dispatched(o)
+		limit := gate(o)
+		open := limit - dispatched(o)
 		if open <= 0 || unsched[o] <= 0 {
 			return false
 		}
@@ -243,13 +270,16 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		// allocation.
 		if j := ownQueue(gp, o); j >= 0 {
 			q := &queues[o][j]
-			if q.Remaining() > 0 {
+			if en := q.EnabledPrefix(limit); en > 0 {
 				k := pol.NextChunk(unsched[o], p, tstats[o])
 				if t, ok := pol.(*sched.Taper); ok {
 					k = clampInt(t.ScaleChunk(k, q.NextTask(), tstats[o]), unsched[o])
 				}
 				if k > open {
 					k = open
+				}
+				if k > en {
+					k = en
 				}
 				// The chunk is budgeted in time, not tasks — the
 				// per-task-grained form of the paper's s = μg/μc chunk
@@ -266,6 +296,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		// Steal from the most loaded owner of o.
 		globalMean := tstats[o].Global.Mean()
 		victim := -1
+		victimEn := 0
 		bestTime := 0.0
 		opRemaining := 0.0
 		for v := range queues[o] {
@@ -278,9 +309,20 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 			}
 			est := queues[o][v].EstRemaining(rate)
 			opRemaining += est
-			if est > bestTime {
+			// A queue whose front task sits beyond the gate has nothing
+			// stealable right now, however much work it holds.
+			en := queues[o][v].EnabledPrefix(limit)
+			if en == 0 {
+				continue
+			}
+			// Any nonempty queue qualifies: before the first sample the
+			// time estimate is zero for every queue, and a strict
+			// greater-than would leave an untouched operator unstealable
+			// forever.
+			if victim < 0 || est > bestTime {
 				bestTime = est
 				victim = v
+				victimEn = en
 			}
 		}
 		if victim < 0 {
@@ -289,6 +331,9 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		k := pol.NextChunk(unsched[o], p, tstats[o])
 		if k > open {
 			k = open
+		}
+		if k > victimEn {
+			k = victimEn
 		}
 		// A thief takes at most a fair per-processor share of the
 		// operator's remaining work, and never more than half the

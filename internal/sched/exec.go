@@ -252,6 +252,21 @@ func (q *TaskQueue) Take(k int, hint func(int) float64) []int {
 	return out
 }
 
+// EnabledPrefix reports how many consecutive front tasks have index
+// below limit — the dispatchable run of this queue under a pipelined
+// gate that has enabled tasks [0, limit) of the operator. Queues hold
+// block decompositions, so a dispatcher must check each queue's actual
+// task indices against the gate: the gate is a task-index prefix, and
+// handing out an arbitrary count of tasks from arbitrary queue fronts
+// would run tasks the gate has not enabled.
+func (q *TaskQueue) EnabledPrefix(limit int) int {
+	c := 0
+	for i := q.pos; i < len(q.tasks) && q.tasks[i] < limit; i++ {
+		c++
+	}
+	return c
+}
+
 // EstRemaining estimates the queue's remaining execution time: the
 // hint sum when available, otherwise count times the supplied rate.
 func (q *TaskQueue) EstRemaining(rate float64) float64 {

@@ -33,6 +33,12 @@ func NewTaskStats(n int) *TaskStats {
 		nbins = 1
 	}
 	bs := (n + nbins - 1) / nbins
+	// A zero-task operation still gets a well-formed accumulator:
+	// binSize 0 would divide by zero on the first (defensive or
+	// erroneous) Observe call.
+	if bs < 1 {
+		bs = 1
+	}
 	return &TaskStats{bins: make([]stats.Welford, nbins), n: n, binSize: bs}
 }
 
@@ -61,12 +67,29 @@ func (ts *TaskStats) ObserveChunk(lo, k int, total float64) {
 	}
 	mean := total / float64(k)
 	ts.Global.AddChunk(k, mean)
-	mid := lo + k/2
-	b := mid / ts.binSize
-	if b >= len(ts.bins) {
-		b = len(ts.bins) - 1
+	// Credit each bin the chunk overlaps with its share of the tasks.
+	// Attributing the whole chunk to one bin (say the midpoint's) makes
+	// large chunks invisible to the regions they actually covered, so
+	// RegionMean would report untouched bins as unsampled and cost-
+	// scaled chunk sizing would keep extrapolating from stale data.
+	for b := lo / ts.binSize; b < len(ts.bins); b++ {
+		binLo, binHi := b*ts.binSize, (b+1)*ts.binSize
+		if b == len(ts.bins)-1 {
+			binHi = maxInt(binHi, lo+k)
+		}
+		ov := minInt(lo+k, binHi) - maxInt(lo, binLo)
+		if ov <= 0 {
+			break
+		}
+		ts.bins[b].AddChunk(ov, mean)
 	}
-	ts.bins[b].AddChunk(k, mean)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // RegionMean estimates the mean task time in [lo, hi) using the cost

@@ -309,3 +309,62 @@ func TestOwnerBlocks(t *testing.T) {
 		t.Fatalf("owners cover %d tasks, want %d", total, n)
 	}
 }
+
+// TestNewTaskStatsZeroTasks: a zero-task operation must still produce a
+// usable accumulator. binSize used to come out 0, so the first Observe
+// or ObserveChunk call — even a defensive one — divided by zero.
+func TestNewTaskStatsZeroTasks(t *testing.T) {
+	ts := NewTaskStats(0)
+	ts.Observe(0, 1)
+	ts.ObserveChunk(0, 1, 2)
+	if got := ts.Global.N(); got != 2 {
+		t.Fatalf("N = %d, want 2", got)
+	}
+	if m := ts.RegionMean(0, 1); math.Abs(m-1.5) > 1e-12 {
+		t.Fatalf("RegionMean = %v, want 1.5", m)
+	}
+	_ = ts.CostScale(0, 1)
+}
+
+// TestObserveChunkSpansBins: a chunk covering several bins must credit
+// each bin with its share of the tasks, not lump everything into one
+// bin and leave the others looking unsampled to RegionMean.
+func TestObserveChunkSpansBins(t *testing.T) {
+	ts := NewTaskStats(160) // 16 bins of 10
+	ts.ObserveChunk(5, 30, 60)
+	wantN := []int{5, 10, 10, 5}
+	for b, want := range wantN {
+		if got := ts.bins[b].N(); got != want {
+			t.Errorf("bin %d: N = %d, want %d", b, got, want)
+		}
+	}
+	for b := 4; b < len(ts.bins); b++ {
+		if ts.bins[b].N() != 0 {
+			t.Errorf("bin %d touched by chunk [5,35): N = %d", b, ts.bins[b].N())
+		}
+	}
+	if got := ts.Global.N(); got != 30 {
+		t.Fatalf("global N = %d, want 30", got)
+	}
+	if m := ts.RegionMean(0, 40); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("RegionMean(0,40) = %v, want 2", m)
+	}
+	// The last bin absorbs any overhang beyond n.
+	ts2 := NewTaskStats(160)
+	ts2.ObserveChunk(150, 20, 20)
+	if got := ts2.bins[15].N(); got != 20 {
+		t.Fatalf("overhanging chunk: last bin N = %d, want 20", got)
+	}
+}
+
+// TestObserveChunkSingleTask: a one-task chunk must be exactly an
+// Observe of that task.
+func TestObserveChunkSingleTask(t *testing.T) {
+	a := NewTaskStats(100)
+	b := NewTaskStats(100)
+	a.ObserveChunk(7, 1, 2.5)
+	b.Observe(7, 2.5)
+	if a.Global != b.Global || a.bins[0] != b.bins[0] {
+		t.Fatalf("ObserveChunk(7,1,2.5) != Observe(7,2.5): %+v vs %+v", a.Global, b.Global)
+	}
+}

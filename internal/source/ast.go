@@ -263,6 +263,21 @@ func CloneStmts(ss []Stmt) []Stmt {
 	return out
 }
 
+// CloneProgram deep-copies a whole program, declarations included, so
+// callers can hand one program to destructive passes (the compiler
+// rewrites bodies in place) while keeping the original.
+func CloneProgram(p *Program) *Program {
+	c := &Program{Name: p.Name, Body: CloneStmts(p.Body)}
+	for _, d := range p.Decls {
+		cd := &Decl{Name: d.Name, Type: d.Type, Pos: d.Pos}
+		for _, e := range d.Dims {
+			cd.Dims = append(cd.Dims, CloneExpr(e))
+		}
+		c.Decls = append(c.Decls, cd)
+	}
+	return c
+}
+
 // WalkExpr calls f on e and every sub-expression, pre-order.
 func WalkExpr(e Expr, f func(Expr)) {
 	if e == nil {

@@ -1,0 +1,127 @@
+package source
+
+// Structural AST equality, ignoring positions and nil-vs-empty slice
+// representation. The printer/parser round-trip law the fuzzer enforces
+// is EqualProgram(p, reparse(Format(p))): positions obviously differ
+// after a round trip, and the parser leaves absent else-branches and
+// empty bodies nil where a program builder may have produced empty
+// slices, so plain reflect.DeepEqual is the wrong comparison.
+
+// EqualProgram reports structural equality of two programs.
+func EqualProgram(a, b *Program) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || len(a.Decls) != len(b.Decls) {
+		return false
+	}
+	for i := range a.Decls {
+		if !equalDecl(a.Decls[i], b.Decls[i]) {
+			return false
+		}
+	}
+	return EqualStmts(a.Body, b.Body)
+}
+
+func equalDecl(a, b *Decl) bool {
+	if a.Name != b.Name || a.Type != b.Type || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if !EqualExpr(a.Dims[i], b.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualStmts reports structural equality of two statement lists,
+// treating nil and empty as equal.
+func EqualStmts(a, b []Stmt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !EqualStmt(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualStmt reports structural equality of two statements.
+func EqualStmt(a, b Stmt) bool {
+	switch a := a.(type) {
+	case *Assign:
+		b, ok := b.(*Assign)
+		return ok && EqualExpr(a.LHS, b.LHS) && EqualExpr(a.RHS, b.RHS)
+	case *Do:
+		b, ok := b.(*Do)
+		if !ok || a.Var != b.Var || len(a.Ranges) != len(b.Ranges) {
+			return false
+		}
+		for i := range a.Ranges {
+			ra, rb := a.Ranges[i], b.Ranges[i]
+			if !EqualExpr(ra.Lo, rb.Lo) || !EqualExpr(ra.Hi, rb.Hi) || !EqualExpr(ra.Step, rb.Step) {
+				return false
+			}
+		}
+		return EqualExpr(a.Where, b.Where) && EqualStmts(a.Body, b.Body)
+	case *If:
+		b, ok := b.(*If)
+		return ok && EqualExpr(a.Cond, b.Cond) && EqualStmts(a.Then, b.Then) && EqualStmts(a.Else, b.Else)
+	case *CallStmt:
+		b, ok := b.(*CallStmt)
+		return ok && a.Name == b.Name && equalExprs(a.Args, b.Args)
+	}
+	return false
+}
+
+func equalExprs(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !EqualExpr(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualExpr reports structural equality of two expressions (nil equals
+// nil). Numeric literals compare by value: integer literals by Int,
+// real literals by spelling, so 2.50 and 2.5 stay distinct — the
+// round trip preserves spelling and the distinction is free.
+func EqualExpr(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch a := a.(type) {
+	case *Num:
+		b, ok := b.(*Num)
+		if !ok || a.IsReal != b.IsReal {
+			return false
+		}
+		if a.IsReal {
+			return a.Text == b.Text
+		}
+		return a.Int == b.Int
+	case *Ident:
+		b, ok := b.(*Ident)
+		return ok && a.Name == b.Name
+	case *ArrayRef:
+		b, ok := b.(*ArrayRef)
+		return ok && a.Name == b.Name && equalExprs(a.Index, b.Index)
+	case *FuncCall:
+		b, ok := b.(*FuncCall)
+		return ok && a.Name == b.Name && equalExprs(a.Args, b.Args)
+	case *Bin:
+		b, ok := b.(*Bin)
+		return ok && a.Op == b.Op && EqualExpr(a.L, b.L) && EqualExpr(a.R, b.R)
+	case *Un:
+		b, ok := b.(*Un)
+		return ok && a.Op == b.Op && EqualExpr(a.X, b.X)
+	}
+	return false
+}

@@ -222,16 +222,18 @@ func (p *parser) parseDo() (Stmt, error) {
 	}
 	d := &Do{Var: varTok.Text, Pos: doTok.Pos}
 
-	r, hasStep, err := p.parseDoRange()
+	r, err := p.parseDoRange()
 	if err != nil {
 		return nil, err
 	}
 	d.Ranges = append(d.Ranges, r)
-	// Additional ranges joined by "and" (discontinuous iteration space);
-	// a stepped first range precludes additional segments.
-	for !hasStep && p.atKeyword("and") {
+	// Additional ranges joined by "and" (discontinuous iteration
+	// space). Every segment may carry its own step: "and" delimits
+	// segments unambiguously, so a stepped segment in any position —
+	// including the first — composes with further segments.
+	for p.atKeyword("and") {
 		p.next()
-		r, _, err := p.parseDoRange()
+		r, err := p.parseDoRange()
 		if err != nil {
 			return nil, err
 		}
@@ -274,31 +276,29 @@ func (p *parser) parseDo() (Stmt, error) {
 	return d, p.endOfStmt()
 }
 
-// parseDoRange parses "lo, hi [, step]". The step is only permitted on
-// a single-segment loop; the caller uses hasStep to enforce that.
-func (p *parser) parseDoRange() (DoRange, bool, error) {
+// parseDoRange parses "lo, hi [, step]".
+func (p *parser) parseDoRange() (DoRange, error) {
 	lo, err := p.parseExpr()
 	if err != nil {
-		return DoRange{}, false, err
+		return DoRange{}, err
 	}
 	if _, err := p.expectKind(TokComma); err != nil {
-		return DoRange{}, false, err
+		return DoRange{}, err
 	}
 	hi, err := p.parseExpr()
 	if err != nil {
-		return DoRange{}, false, err
+		return DoRange{}, err
 	}
 	r := DoRange{Lo: lo, Hi: hi}
 	if p.cur().Kind == TokComma {
 		p.next()
 		step, err := p.parseExpr()
 		if err != nil {
-			return DoRange{}, false, err
+			return DoRange{}, err
 		}
 		r.Step = step
-		return r, true, nil
 	}
-	return r, false, nil
+	return r, nil
 }
 
 func (p *parser) parseIf() (Stmt, error) {

@@ -1,0 +1,138 @@
+package source
+
+import "testing"
+
+// reparse formats p and parses the result back.
+func reparse(t *testing.T, p *Program) *Program {
+	t.Helper()
+	text := Format(p)
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nformatted source:\n%s", err, text)
+	}
+	return q
+}
+
+// TestRoundTripPrograms pins parser/printer round-trip fidelity on the
+// constructs the fuzzer generates, including the shapes that used to
+// break: a stepped first range followed by "and" segments (the parser
+// rejected what the printer emitted), and steps on non-first segments.
+func TestRoundTripPrograms(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"stepped first range with and", `
+program p
+  integer n
+  real u(n)
+  do i = 2, n - 1, 2 and n, n
+    u(i) = 1.5
+  end do
+end
+`},
+		{"steps on every segment", `
+program p
+  integer n
+  real u(n)
+  do i = 1, 4, 2 and 5, n, 3 and n, n
+    u(i) = 2.5
+  end do
+end
+`},
+		{"where guard with nested comparison", `
+program p
+  integer n, mask(n)
+  real u(n)
+  do i = 2, n - 1 where (mask(i) != 0 && i < n - 2)
+    u(i) = u(i - 1) + 1.5
+  end do
+end
+`},
+		{"precedence and unary", `
+program p
+  integer n
+  real u(n), v(n)
+  do i = 2, n - 1
+    u(i) = -(v(i) + 1.5) * (v(i) - v(i - 1)) / (v(i) * v(i) + 2)
+    v(i) = 1 - -u(i)
+  end do
+end
+`},
+		{"if else blocks and one-line if", `
+program p
+  integer n, a
+  real u(n)
+  if (a > 2) then
+    u(1) = 1.5
+  else
+    u(2) = 2.5
+  end if
+  if (a < 2) u(3) = 3.5
+end
+`},
+		{"discontinuous ranges at split point", `
+program p
+  integer n, a
+  real u(n)
+  do i = 2, a and a + 1, n - 1 where (u(i) > 0)
+    u(i) = u(i) * 2
+  end do
+end
+`},
+		{"func call vs array ref", `
+program p
+  integer n
+  real u(n)
+  do i = 2, n - 1
+    u(i) = f(u(i), g(i, 2)) + u(i - 1)
+  end do
+end
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p1, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			p2 := reparse(t, p1)
+			if !EqualProgram(p1, p2) {
+				t.Fatalf("round trip changed the program\nfirst:\n%s\nsecond:\n%s", Format(p1), Format(p2))
+			}
+		})
+	}
+}
+
+// TestRoundTripBuiltAST round-trips ASTs constructed directly (as the
+// fuzzer's generator and minimizer do), where else-branches may be
+// empty-but-non-nil and positions are zero.
+func TestRoundTripBuiltAST(t *testing.T) {
+	n := &Ident{Name: "n"}
+	u := func(ix Expr) *ArrayRef { return &ArrayRef{Name: "u", Index: []Expr{ix}} }
+	p := &Program{
+		Name: "built",
+		Decls: []*Decl{
+			{Name: "n", Type: Integer},
+			{Name: "u", Type: Real, Dims: []Expr{n}},
+		},
+		Body: []Stmt{
+			&Do{
+				Var: "i",
+				Ranges: []DoRange{
+					{Lo: &Num{Text: "2", Int: 2}, Hi: &Bin{Op: "-", L: n, R: &Num{Text: "1", Int: 1}}, Step: &Num{Text: "2", Int: 2}},
+					{Lo: n, Hi: n},
+				},
+				Body: []Stmt{
+					&Assign{LHS: u(&Ident{Name: "i"}), RHS: &Num{Text: "1.5", IsReal: true}},
+					&If{
+						Cond: &Bin{Op: ">", L: u(&Ident{Name: "i"}), R: &Num{Text: "0", Int: 0}},
+						Then: []Stmt{&Assign{LHS: u(&Num{Text: "1", Int: 1}), RHS: &Num{Text: "2.5", IsReal: true}}},
+						Else: []Stmt{}, // printed as absent, reparsed as nil
+					},
+				},
+			},
+		},
+	}
+	q := reparse(t, p)
+	if !EqualProgram(p, q) {
+		t.Fatalf("built AST round trip changed the program\nfirst:\n%s\nsecond:\n%s", Format(p), Format(q))
+	}
+}

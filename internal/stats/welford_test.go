@@ -163,3 +163,82 @@ func TestBimodalExtremes(t *testing.T) {
 		}
 	}
 }
+
+// TestAddChunkMatchesRepeatedAdd: folding an aggregate of k samples at
+// mean m must be indistinguishable from adding m k times — count, mean,
+// spread, and extrema. This is the contract ObserveChunk relies on for
+// exact global means under amortized timing.
+func TestAddChunkMatchesRepeatedAdd(t *testing.T) {
+	prop := func(kRaw uint8, mRaw int16) bool {
+		k := int(kRaw%50) + 1
+		m := float64(mRaw) / 128
+		var chunked, flat Welford
+		chunked.AddChunk(k, m)
+		for i := 0; i < k; i++ {
+			flat.Add(m)
+		}
+		return chunked.N() == flat.N() &&
+			almostEq(chunked.Mean(), flat.Mean(), 1e-12) &&
+			almostEq(chunked.Variance(), flat.Variance(), 1e-12) &&
+			chunked.Min() == flat.Min() && chunked.Max() == flat.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddChunkInterleaved: arbitrary interleavings of Add and AddChunk
+// must track the statistics of the expanded sample stream (each chunk
+// expanded to k copies of its mean) exactly.
+func TestAddChunkInterleaved(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := NewRNG(seed)
+		var w, ref Welford
+		for i := 0; i < 40; i++ {
+			x := math.Floor(r.Uniform(-4, 4)*16) / 16
+			if r.Bernoulli(0.5) {
+				k := 1 + int(r.Uint64()%9)
+				w.AddChunk(k, x)
+				for j := 0; j < k; j++ {
+					ref.Add(x)
+				}
+			} else {
+				w.Add(x)
+				ref.Add(x)
+			}
+		}
+		return w.N() == ref.N() &&
+			almostEq(w.Mean(), ref.Mean(), 1e-9*(1+math.Abs(ref.Mean()))) &&
+			almostEq(w.Variance(), ref.Variance(), 1e-9*(1+ref.Variance())) &&
+			w.Min() == ref.Min() && w.Max() == ref.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddChunkDegenerate pins the edge cases: non-positive counts are
+// no-ops, a single-task chunk is exactly Add, and zero-duration chunks
+// (mean 0) are legitimate observations, not errors.
+func TestAddChunkDegenerate(t *testing.T) {
+	var w Welford
+	w.AddChunk(0, 5)
+	w.AddChunk(-3, 5)
+	if w.N() != 0 {
+		t.Fatalf("non-positive chunk recorded: N = %d", w.N())
+	}
+	var a, b Welford
+	a.AddChunk(1, 2.5)
+	b.Add(2.5)
+	if a != b {
+		t.Fatalf("AddChunk(1, x) = %+v, Add(x) = %+v", a, b)
+	}
+	var z Welford
+	z.AddChunk(4, 0)
+	if z.N() != 4 || z.Mean() != 0 || z.Variance() != 0 || z.Min() != 0 || z.Max() != 0 {
+		t.Fatalf("zero-duration chunk mishandled: %+v", z)
+	}
+	if cv := z.CoefficientOfVariation(); cv != 0 || math.IsNaN(cv) {
+		t.Fatalf("CoefficientOfVariation on zero-mean = %v, want 0", cv)
+	}
+}
