@@ -26,6 +26,7 @@ import (
 	"orchestra/internal/experiment"
 	"orchestra/internal/machine"
 	"orchestra/internal/native"
+	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/source"
@@ -193,7 +194,7 @@ func BenchmarkSchedulerPolicies(b *testing.B) {
 		b.Run(pol.name, func(b *testing.B) {
 			var last trace.Result
 			for i := 0; i < b.N; i++ {
-				last = sched.ExecuteDistributed(cfg, spec.Op, procs, pol.factory)
+				last = sched.ExecuteDistributed(cfg, spec.Op, procs, pol.factory, obs.OpObs{})
 			}
 			b.ReportMetric(last.Makespan, "makespan")
 			b.ReportMetric(float64(last.Chunks), "chunks")
@@ -222,8 +223,8 @@ func BenchmarkNativeBackend(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				be := &native.Backend{Workers: workers}
-				last, err = be.Execute(out.Graph, bind, workers, mode)
+				last, err = native.Backend{}.Run(out.Graph, bind,
+					rts.RunOpts{Processors: workers, Mode: mode})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	orchbench [-exp fig6|table1|table2|ablations|native|all] [-n size] [-seed s]
+//	          [-modes static,taper,split|all]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"runtime"
 
 	"orchestra/internal/experiment"
+	"orchestra/internal/rts"
 	"orchestra/internal/trace"
 	"orchestra/internal/workload"
 )
@@ -31,7 +33,14 @@ func main() {
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
+	modesFlag := flag.String("modes", "all", "native experiment: modes to sweep (static, taper, split, all, or a comma list)")
 	flag.Parse()
+
+	modes, err := rts.ParseModes(*modesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orchbench:", err)
+		os.Exit(2)
+	}
 
 	run := map[string]bool{}
 	switch *exp {
@@ -103,9 +112,13 @@ func main() {
 		fmt.Printf("=== Native backend: Psirrfan topology on goroutines (GOMAXPROCS=%d) ===\n", runtime.GOMAXPROCS(0))
 		fmt.Println("wall-clock measurements; CPU-spinning log-normal tasks, cv 1")
 		fmt.Println()
-		points := experiment.NativeSweep(size(2048), *seed, workers, 2000)
+		points := experiment.NativeSweep(size(2048), *seed, workers, 2000, modes)
 		fmt.Print(experiment.FormatNative(points))
-		data, err := json.MarshalIndent(points, "", "  ")
+		file := struct {
+			Schema int                      `json:"schema"`
+			Points []experiment.NativePoint `json:"points"`
+		}{Schema: trace.SchemaVersion, Points: points}
+		data, err := json.MarshalIndent(file, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "orchbench:", err)
 			os.Exit(1)
@@ -132,15 +145,20 @@ func main() {
 		fmt.Printf("\nsim event loop: %d events, %.1f ns/event, %.3f allocs/event\n\n",
 			rep.SimEvents.Events, rep.SimEvents.NsPerEvent, rep.SimEvents.AllocsPerEvent)
 		var file struct {
+			Schema int                       `json:"schema"`
 			Before *experiment.HotpathReport `json:"before,omitempty"`
 			After  *experiment.HotpathReport `json:"after,omitempty"`
 		}
 		if data, err := os.ReadFile(*hotpathOut); err == nil {
-			if err := json.Unmarshal(data, &file); err != nil {
-				fmt.Fprintf(os.Stderr, "orchbench: %s: %v\n", *hotpathOut, err)
-				os.Exit(1)
+			// A file in an older (unversioned) format starts the
+			// before/after cycle over rather than failing the run.
+			if err := json.Unmarshal(data, &file); err != nil || file.Schema != trace.SchemaVersion {
+				fmt.Fprintf(os.Stderr, "orchbench: %s is not schema %d; starting a fresh before/after cycle\n",
+					*hotpathOut, trace.SchemaVersion)
+				file.Before, file.After = nil, nil
 			}
 		}
+		file.Schema = trace.SchemaVersion
 		if file.Before == nil {
 			file.Before = &rep
 			fmt.Printf("recorded the before series in %s\n\n", *hotpathOut)

@@ -12,6 +12,12 @@
 //	orchfuzz -seed 1 -count 1000        # campaign over seeds 1..1000
 //	orchfuzz -seed 14 -v                # one seed, print the program
 //	orchfuzz -minimize 14 -out repro.f  # shrink seed 14's divergence
+//	orchfuzz -seed 14 -trace-dir traces # export diverging schedules
+//
+// With -trace-dir, every diverging backend configuration is re-executed
+// with event tracing and its schedule written as a Chrome trace-event
+// file (seed<N>-<config>.json) into the directory, for inspection in
+// Perfetto alongside the divergence report.
 //
 // The exit status is nonzero when any checked program diverged.
 package main
@@ -20,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"orchestra/internal/fuzz"
+	"orchestra/internal/obs"
 	"orchestra/internal/source"
 )
 
@@ -33,6 +42,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print each program and verdict")
 		minimize = flag.Uint64("minimize", 0, "minimize the divergence at this seed and exit")
 		out      = flag.String("out", "", "write the minimized reproducer here instead of stdout")
+		traceDir = flag.String("trace-dir", "", "write Chrome traces of diverging configurations into this directory")
 	)
 	flag.Parse()
 	cfg := fuzz.DefaultGenConfig()
@@ -59,6 +69,9 @@ func main() {
 			failed++
 			fmt.Printf("seed %d: %s", s, rep)
 			fmt.Printf("--- program (seed %d) ---\n%s---\n", s, source.Format(prog))
+			if *traceDir != "" {
+				writeTraces(*traceDir, s, rep)
+			}
 		case *verbose:
 			fmt.Printf("seed %d: ok\n", s)
 			fmt.Print(source.Format(prog))
@@ -77,6 +90,38 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// writeTraces exports each diverging configuration's captured schedule
+// as a Chrome trace-event file under dir.
+func writeTraces(dir string, seed uint64, rep *fuzz.Report) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "orchfuzz:", err)
+		return
+	}
+	seen := map[string]bool{}
+	for _, d := range rep.Divs {
+		if d.Trace == nil || seen[d.Config] {
+			continue
+		}
+		seen[d.Config] = true
+		name := fmt.Sprintf("seed%d-%s.json", seed,
+			strings.NewReplacer("/", "_", "=", "").Replace(d.Config))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchfuzz:", err)
+			continue
+		}
+		err = obs.WriteChromeTrace(f, d.Trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchfuzz:", err)
+			continue
+		}
+		fmt.Printf("wrote trace %s\n", filepath.Join(dir, name))
 	}
 }
 

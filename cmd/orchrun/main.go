@@ -21,10 +21,19 @@
 // goroutine labels on the workers (worker=<id>, op=<name>), so
 // `go tool pprof -tagfocus` can slice samples by operator.
 //
+// Tracing: -trace out.json records the run's per-chunk spans, steals,
+// TAPER decisions, allocation estimates and pipeline-gate advances, and
+// writes them as a Chrome trace-event file loadable in Perfetto or
+// chrome://tracing (workers as tracks, steals as flow arrows, TAPER
+// grain as counter tracks). A .csv suffix writes the raw event rows
+// instead. -gantt prints a per-operator terminal summary of the same
+// trace. Both require a single -mode.
+//
 // Usage:
 //
 //	orchrun [-p procs] [-backend sim|native] [-mode static|taper|split|all]
 //	        [-tasks n] [-cv x] [-seed s] [-unitwork w]
+//	        [-trace out.json|out.csv] [-gantt]
 //	        [-cpuprofile f] [-memprofile f] file.graph
 package main
 
@@ -42,6 +51,7 @@ import (
 	"orchestra/internal/delirium"
 	"orchestra/internal/interp"
 	"orchestra/internal/native"
+	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/source"
@@ -50,22 +60,6 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// parseModes resolves the -mode flag; unknown values are an error, not
-// a silent default.
-func parseModes(mode string) ([]rts.Mode, error) {
-	switch strings.ToLower(mode) {
-	case "static":
-		return []rts.Mode{rts.ModeStatic}, nil
-	case "taper":
-		return []rts.Mode{rts.ModeTaper}, nil
-	case "split":
-		return []rts.Mode{rts.ModeSplit}, nil
-	case "all":
-		return []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}, nil
-	}
-	return nil, fmt.Errorf("unknown mode %q (valid: static, taper, split, all)", mode)
 }
 
 // run is main with its environment made explicit, so tests can drive
@@ -81,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cv := fs.Float64("cv", 1.0, "coefficient of variation of task times")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	unitWork := fs.Int("unitwork", 4000, "native backend: floating-point iterations per task-time unit")
+	traceOut := fs.String("trace", "", "write an execution trace to this file (Chrome trace-event JSON; CSV if the name ends in .csv)")
+	gantt := fs.Bool("gantt", false, "print a per-operator Gantt/summary of the execution trace")
+	omega := fs.Float64("omega", 0, "override TAPER's confidence width ω (0 = scheduler default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -91,9 +88,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: orchrun [flags] file.graph")
 		return 2
 	}
-	modes, err := parseModes(*mode)
+	modes, err := rts.ParseModes(*mode)
 	if err != nil {
 		fmt.Fprintln(stderr, "orchrun:", err)
+		return 2
+	}
+	tracing := *traceOut != "" || *gantt
+	if tracing && len(modes) != 1 {
+		fmt.Fprintln(stderr, "orchrun: -trace/-gantt need a single -mode, not a list")
 		return 2
 	}
 	be, err := core.NewBackend(*backend, *p)
@@ -103,10 +105,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	profiling := *cpuprofile != "" || *memprofile != ""
-	if nb, ok := be.(*native.Backend); ok && profiling {
-		// Label worker goroutines so profiles can be sliced by operator.
-		nb.Labels = true
-	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -161,13 +159,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		unit = " s"
 	}
 	for _, m := range modes {
-		r, err := be.Execute(g, bind, *p, m)
+		opts := rts.RunOpts{Processors: *p, Mode: m, Omega: *omega}
+		if *backend == "native" && profiling {
+			// Label worker goroutines so profiles can be sliced by operator.
+			opts.Labels = true
+		}
+		var col obs.Collector
+		if tracing {
+			opts.Sink = &col
+		}
+		r, err := be.Run(g, bind, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "orchrun:", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
 			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
+		if tracing {
+			if err := writeTrace(*traceOut, *gantt, col.Trace, stdout); err != nil {
+				fmt.Fprintln(stderr, "orchrun:", err)
+				return 1
+			}
+		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -183,6 +196,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// writeTrace delivers a collected trace: a Chrome trace-event file (or
+// CSV for .csv paths) when path is non-empty, and/or the terminal
+// summary when gantt is set.
+func writeTrace(path string, gantt bool, t *obs.Trace, stdout io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("no trace was collected")
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, ".csv") {
+			err = obs.WriteCSV(f, t)
+		} else {
+			err = obs.WriteChromeTrace(f, t)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if gantt {
+		fmt.Fprint(stdout, obs.Summary(t))
+	}
+	return nil
 }
 
 // simBinder binds every node to a synthetic operation whose task

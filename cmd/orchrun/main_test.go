@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,5 +96,78 @@ func TestRunNativeHappyPath(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), " s ") {
 		t.Errorf("native output should report wall-clock seconds:\n%s", out.String())
+	}
+}
+
+func TestRunTraceWritesChromeJSON(t *testing.T) {
+	for _, backend := range []string{"sim", "native"} {
+		out := filepath.Join(t.TempDir(), "out.json")
+		var stdout, errw strings.Builder
+		code := run([]string{"-backend", backend, "-p", "4", "-tasks", "64",
+			"-unitwork", "50", "-mode", "split", "-trace", out, writeGraph(t)}, &stdout, &errw)
+		if code != 0 {
+			t.Fatalf("%s: exit code = %d (stderr: %s)", backend, code, errw.String())
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s: trace is not valid JSON: %v", backend, err)
+		}
+		var spans int
+		for _, e := range doc.TraceEvents {
+			if e["ph"] == "X" {
+				spans++
+			}
+		}
+		if spans == 0 {
+			t.Errorf("%s: trace has no chunk spans among %d events", backend, len(doc.TraceEvents))
+		}
+	}
+}
+
+func TestRunTraceCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.csv")
+	var stdout, errw strings.Builder
+	code := run([]string{"-p", "4", "-tasks", "64", "-mode", "taper",
+		"-trace", out, writeGraph(t)}, &stdout, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, errw.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], "kind") {
+		t.Fatalf("CSV trace should have a header and rows, got %d lines", len(lines))
+	}
+}
+
+func TestRunGanttSummary(t *testing.T) {
+	var stdout, errw strings.Builder
+	code := run([]string{"-p", "4", "-tasks", "64", "-mode", "split",
+		"-gantt", writeGraph(t)}, &stdout, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(stdout.String(), "worker 0") {
+		t.Errorf("gantt output missing worker rows:\n%s", stdout.String())
+	}
+}
+
+func TestRunTraceRejectsModeList(t *testing.T) {
+	var stdout, errw strings.Builder
+	code := run([]string{"-mode", "all", "-trace",
+		filepath.Join(t.TempDir(), "out.json"), writeGraph(t)}, &stdout, &errw)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "single -mode") {
+		t.Errorf("stderr should explain the single-mode requirement: %s", errw.String())
 	}
 }

@@ -97,7 +97,7 @@ func main() {
 			}
 			return cons
 		}
-		r, err := rts.ExecuteDAG(cfg, g, bind, *p)
+		r, err := rts.ExecuteDAG(cfg, g, bind, rts.RunOpts{Processors: *p})
 		if err != nil {
 			panic(err)
 		}

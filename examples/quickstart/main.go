@@ -105,7 +105,7 @@ func main() {
 	bind := func(name string) rts.OpSpec { return specs[name] }
 	cfg := machine.DefaultConfig(p)
 	for _, mode := range []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit} {
-		res, err := rts.RunGraph(cfg, out.Graph, bind, p, mode)
+		res, err := rts.RunGraph(cfg, out.Graph, bind, rts.RunOpts{Processors: p, Mode: mode})
 		if err != nil {
 			log.Fatal(err)
 		}

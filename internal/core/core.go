@@ -5,8 +5,9 @@
 //
 // The typical flow mirrors the paper's toolchain:
 //
-//	out, err := core.CompileSource(text, core.DefaultOptions())  // §3: analysis + split
-//	res, err := core.Execute(out, bind, 512, core.ModeSplit)     // §4: adaptive runtime
+//	out, err := core.CompileSource(text, core.DefaultOptions())          // §3: analysis + split
+//	res, err := core.Execute(out, bind, rts.RunOpts{                     // §4: adaptive runtime
+//	        Processors: 512, Mode: core.ModeSplit})
 //
 // CompileSource runs the symbolic analysis pipeline, applies split and
 // pipelining, and returns the transformed program plus the Delirium
@@ -40,6 +41,9 @@ type Output = compile.Output
 // Mode re-exports the runtime execution mode.
 type Mode = rts.Mode
 
+// RunOpts re-exports the per-run options accepted by every backend.
+type RunOpts = rts.RunOpts
+
 // The three runtime configurations of the paper's evaluation.
 const (
 	ModeStatic = rts.ModeStatic
@@ -68,29 +72,33 @@ type Backend = rts.Backend
 func BackendNames() []string { return []string{"sim", "native"} }
 
 // NewBackend constructs a backend by name. For "sim", p sizes the
-// simulated machine's cost model; for "native", p <= 0 defaults the
-// worker count to GOMAXPROCS at Execute time.
+// simulated machine's cost model (and is the default processor count
+// when RunOpts.Processors is zero); the native backend ignores p —
+// its worker count comes from RunOpts at Run time.
 func NewBackend(name string, p int) (Backend, error) {
 	switch name {
 	case "sim":
 		return rts.NewSimBackend(machine.DefaultConfig(p)), nil
 	case "native":
-		return &native.Backend{Workers: p}, nil
+		return native.Backend{}, nil
 	}
 	return nil, fmt.Errorf("core: unknown backend %q (valid: sim, native)", name)
 }
 
 // Execute runs a compilation's dataflow graph on a simulated machine
-// with p processors under the given mode.
-func Execute(out *Output, bind rts.Binder, p int, mode Mode) (trace.Result, error) {
-	return ExecuteOn(rts.NewSimBackend(machine.DefaultConfig(p)), out, bind, p, mode)
+// under the given options. The machine is sized to opts.Processors.
+func Execute(out *Output, bind rts.Binder, opts RunOpts) (trace.Result, error) {
+	p := opts.Processors
+	if p < 1 {
+		p = 1
+	}
+	return ExecuteOn(rts.NewSimBackend(machine.DefaultConfig(p)), out, bind, opts)
 }
 
 // ExecuteOn runs a compilation's dataflow graph on the given backend
-// with p processors (simulated processors, or worker goroutines for
-// the native backend) under the given mode.
-func ExecuteOn(be Backend, out *Output, bind rts.Binder, p int, mode Mode) (trace.Result, error) {
-	return be.Execute(out.Graph, bind, p, mode)
+// under the given options.
+func ExecuteOn(be Backend, out *Output, bind rts.Binder, opts RunOpts) (trace.Result, error) {
+	return be.Run(out.Graph, bind, opts)
 }
 
 // BindUniform binds every graph node to an operation of n tasks with

@@ -41,7 +41,7 @@ func TestCompileAndExecuteAllModes(t *testing.T) {
 	bind := BindIrregular(1024, 1.2, 7)
 	var speedups []float64
 	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
-		r, err := Execute(out, bind, 128, mode)
+		r, err := Execute(out, bind, RunOpts{Processors: 128, Mode: mode})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -114,7 +114,7 @@ func TestExecuteOnBothBackends(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := ExecuteOn(be, out, BindUniform(128, 1), 4, ModeSplit)
+		r, err := ExecuteOn(be, out, BindUniform(128, 1), RunOpts{Processors: 4, Mode: ModeSplit})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

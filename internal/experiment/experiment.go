@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/trace"
@@ -26,7 +27,7 @@ func RunApp(app *workload.App, p int, mode rts.Mode) trace.Result {
 	if mode == rts.ModeSplit {
 		g = app.SplitGraph
 	}
-	r, err := rts.RunGraph(cfg, g, app.Bind, p, mode)
+	r, err := rts.RunGraph(cfg, g, app.Bind, rts.RunOpts{Processors: p, Mode: mode})
 	if err != nil {
 		panic(fmt.Sprintf("experiment: %s/%v: %v", app.Name, mode, err))
 	}
@@ -119,9 +120,9 @@ func AblationCostFunction(n, p int, seed uint64) (with, without trace.Result) {
 	cfg := machine.DefaultConfig(p)
 	procs := idents(p)
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
-	with = sched.ExecuteDistributed(cfg, spec.Op, procs, factory)
+	with = sched.ExecuteDistributed(cfg, spec.Op, procs, factory, obs.OpObs{})
 	without = sched.ExecuteDistributed(cfg, cold, procs,
-		func() sched.Policy { return &sched.Taper{UseCostFunction: false} })
+		func() sched.Policy { return &sched.Taper{UseCostFunction: false} }, obs.OpObs{})
 	return with, without
 }
 
@@ -133,7 +134,7 @@ func AblationAllocation(n, p int, seed uint64) (iterative, naive trace.Result) {
 	specs := []rts.OpSpec{app.Bind("cloud"), app.Bind("radI")}
 	cfg := machine.DefaultConfig(p)
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
-	alloc := rts.AllocateMany(cfg, specs, p)
+	alloc := rts.AllocateMany(cfg, specs, p, nil)
 	iterative = rts.ExecuteConcurrent(cfg, specs, alloc, factory)
 	naive = rts.ExecuteConcurrent(cfg, specs, []int{p / 2, p - p/2}, factory)
 	return iterative, naive
@@ -147,8 +148,8 @@ func AblationDistributed(n, p int, seed uint64) (distributed, central trace.Resu
 	spec := app.Bind("update")
 	cfg := machine.DefaultConfig(p)
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
-	distributed = sched.ExecuteDistributed(cfg, spec.Op, idents(p), factory)
-	central = sched.ExecuteCentral(cfg, spec.Op, idents(p), factory)
+	distributed = sched.ExecuteDistributed(cfg, spec.Op, idents(p), factory, obs.OpObs{})
+	central = sched.ExecuteCentral(cfg, spec.Op, idents(p), factory, obs.OpObs{})
 	return distributed, central
 }
 
@@ -197,7 +198,7 @@ func Iterated(app *workload.App, k, p int) (perStepTaper, perStepSplit, unrolled
 	if err != nil {
 		panic(fmt.Sprintf("experiment: unroll: %v", err))
 	}
-	unrolled, err = rts.ExecuteDAG(cfg, g, bind, p)
+	unrolled, err = rts.ExecuteDAG(cfg, g, bind, rts.RunOpts{Processors: p})
 	if err != nil {
 		panic(fmt.Sprintf("experiment: unrolled run: %v", err))
 	}
@@ -238,9 +239,9 @@ func Policies(n, p int, seed uint64) []PolicyRow {
 	for _, r := range rows {
 		var res trace.Result
 		if r.factory == nil {
-			res = sched.ExecuteStatic(cfg, spec.Op, procs)
+			res = sched.ExecuteStatic(cfg, spec.Op, procs, obs.OpObs{})
 		} else {
-			res = sched.ExecuteDistributed(cfg, spec.Op, procs, r.factory)
+			res = sched.ExecuteDistributed(cfg, spec.Op, procs, r.factory, obs.OpObs{})
 		}
 		out = append(out, PolicyRow{Policy: r.name, Result: res})
 	}

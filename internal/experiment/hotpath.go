@@ -37,14 +37,14 @@ func Hotpath(tasks int, seed uint64, workers []int, unitWork, simEvents int) Hot
 	const repeats = 3
 	var rep HotpathReport
 	for r := 0; r < repeats; r++ {
-		pts := NativeSweep(tasks, seed, workers, unitWork)
+		pts := NativeSweep(tasks, seed, workers, unitWork, nil)
 		sim := MeasureSimEvents(simEvents)
 		if r == 0 {
 			rep = HotpathReport{Native: pts, SimEvents: sim}
 			continue
 		}
 		for i := range pts {
-			if pts[i].Makespan < rep.Native[i].Makespan {
+			if pts[i].Result.Makespan < rep.Native[i].Result.Makespan {
 				rep.Native[i] = pts[i]
 			}
 		}
@@ -98,9 +98,9 @@ func FormatHotpathDelta(before, after HotpathReport) string {
 	for _, ap := range after.Native {
 		for _, bp := range before.Native {
 			if bp.Mode == ap.Mode && bp.Workers == ap.Workers {
-				d := 100 * (ap.Makespan - bp.Makespan) / bp.Makespan
+				d := 100 * (ap.Result.Makespan - bp.Result.Makespan) / bp.Result.Makespan
 				fmt.Fprintf(&b, "%-14s %8d %14.6f %14.6f %+7.1f%%\n",
-					ap.Mode, ap.Workers, bp.Makespan, ap.Makespan, d)
+					ap.Mode, ap.Workers, bp.Result.Makespan, ap.Result.Makespan, d)
 			}
 		}
 	}

@@ -7,23 +7,20 @@ import (
 	"orchestra/internal/delirium"
 	"orchestra/internal/native"
 	"orchestra/internal/rts"
+	"orchestra/internal/trace"
 	"orchestra/internal/workload"
 )
 
 // NativePoint is one measurement of the native-backend sweep:
 // real wall-clock execution of a paper workload's graph topology with
-// CPU-spinning tasks, on goroutine workers.
+// CPU-spinning tasks, on goroutine workers. The measurement itself is
+// the embedded trace.Result (versioned wire encoding); App, Mode and
+// Workers identify the configuration that produced it.
 type NativePoint struct {
-	App        string  `json:"app"`
-	Mode       string  `json:"mode"`
-	Workers    int     `json:"workers"`
-	Makespan   float64 `json:"makespan_s"`
-	SeqTime    float64 `json:"seq_time_s"`
-	Speedup    float64 `json:"speedup"`
-	Efficiency float64 `json:"efficiency"`
-	Chunks     int     `json:"chunks"`
-	Steals     int     `json:"steals"`
-	Messages   int     `json:"messages"`
+	App     string       `json:"app"`
+	Mode    string       `json:"mode"`
+	Workers int          `json:"workers"`
+	Result  trace.Result `json:"result"`
 }
 
 // NativeSweep runs the Psirrfan graph topology on the native goroutine
@@ -33,33 +30,30 @@ type NativePoint struct {
 // so TAPER's measured-time statistics face the same imbalance — but
 // here makespan, speedup, and steals are wall-clock measurements, not
 // simulator outputs.
-func NativeSweep(tasks int, seed uint64, workers []int, unitWork int) []NativePoint {
+// A nil modes slice sweeps all three modes.
+func NativeSweep(tasks int, seed uint64, workers []int, unitWork int, modes []rts.Mode) []NativePoint {
+	if modes == nil {
+		modes = []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}
+	}
 	app := workload.Psirrfan(workload.Config{N: tasks, Seed: seed})
 	count := func(*delirium.Node) int { return tasks }
 	var out []NativePoint
-	for _, mode := range []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit} {
+	for _, mode := range modes {
 		g := app.SeqGraph
 		if mode == rts.ModeSplit {
 			g = app.SplitGraph
 		}
 		bind := native.SpinBinder(g, count, 1.0, seed, unitWork)
 		for _, w := range workers {
-			be := &native.Backend{Workers: w}
-			r, err := be.Execute(g, bind, w, mode)
+			r, err := native.Backend{}.Run(g, bind, rts.RunOpts{Processors: w, Mode: mode})
 			if err != nil {
 				panic(fmt.Sprintf("experiment: native %v/p=%d: %v", mode, w, err))
 			}
 			out = append(out, NativePoint{
-				App:        "psirrfan",
-				Mode:       mode.String(),
-				Workers:    w,
-				Makespan:   r.Makespan,
-				SeqTime:    r.SeqTime,
-				Speedup:    r.Speedup(),
-				Efficiency: r.Efficiency(),
-				Chunks:     r.Chunks,
-				Steals:     r.Steals,
-				Messages:   r.Messages,
+				App:     "psirrfan",
+				Mode:    mode.String(),
+				Workers: w,
+				Result:  r,
 			})
 		}
 	}
@@ -73,8 +67,9 @@ func FormatNative(points []NativePoint) string {
 	fmt.Fprintf(&b, "%-12s %8s %12s %9s %12s %8s %8s\n",
 		"mode", "workers", "makespan(s)", "speedup", "efficiency%", "chunks", "steals")
 	for _, p := range points {
+		r := p.Result
 		fmt.Fprintf(&b, "%-12s %8d %12.4f %9.2f %12.1f %8d %8d\n",
-			p.Mode, p.Workers, p.Makespan, p.Speedup, 100*p.Efficiency, p.Chunks, p.Steals)
+			p.Mode, p.Workers, r.Makespan, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals)
 	}
 	return b.String()
 }

@@ -10,6 +10,7 @@ import (
 	"orchestra/internal/interp"
 	"orchestra/internal/machine"
 	"orchestra/internal/native"
+	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/source"
 	"orchestra/internal/stats"
@@ -36,6 +37,14 @@ type Divergence struct {
 	Config string // which rung/config disagreed
 	Kind   string // divergence taxonomy key (see DESIGN.md)
 	Detail string
+	// Trace, when non-nil, is an event trace of a re-execution of the
+	// diverging backend configuration — chunk spans, steals, TAPER
+	// decisions and gate advances — captured so the schedule that
+	// produced a divergence can be inspected (orchfuzz -trace-dir
+	// exports it as a Chrome trace). Re-execution is not replay: a
+	// nondeterministic native divergence may not recur in the traced
+	// run, but the gating/ordering structure is usually the same.
+	Trace *obs.Trace
 }
 
 func (d Divergence) String() string {
@@ -263,8 +272,7 @@ func diffFinal(a, b finalState, arrays, scalars []string, bitwise bool) string {
 type backendConfig struct {
 	name     string
 	backend  rts.Backend
-	p        int
-	mode     rts.Mode
+	opts     rts.RunOpts
 	checkSim bool
 }
 
@@ -280,8 +288,7 @@ func matrix() []backendConfig {
 			cfgs = append(cfgs, backendConfig{
 				name:     fmt.Sprintf("sim/p=%d/%s", p, m),
 				backend:  rts.NewSimBackend(machine.DefaultConfig(p)),
-				p:        p,
-				mode:     m,
+				opts:     rts.RunOpts{Processors: p, Mode: m},
 				checkSim: m == rts.ModeSplit,
 			})
 		}
@@ -290,18 +297,16 @@ func matrix() []backendConfig {
 		for _, m := range modes {
 			cfgs = append(cfgs, backendConfig{
 				name:    fmt.Sprintf("native/p=%d/%s", p, m),
-				backend: &native.Backend{Workers: p},
-				p:       p,
-				mode:    m,
+				backend: native.Backend{},
+				opts:    rts.RunOpts{Processors: p, Mode: m},
 			})
 		}
 	}
 	for _, omega := range []float64{0.5, 3} {
 		cfgs = append(cfgs, backendConfig{
 			name:    fmt.Sprintf("native/p=4/%s/omega=%g", rts.ModeSplit, omega),
-			backend: &native.Backend{Workers: 4, Omega: omega},
-			p:       4,
-			mode:    rts.ModeSplit,
+			backend: native.Backend{},
+			opts:    rts.RunOpts{Processors: 4, Mode: rts.ModeSplit, Omega: omega},
 		})
 	}
 	return cfgs
@@ -377,22 +382,45 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 	// lowered baseline.
 	for _, cfg := range matrix() {
 		in := low.NewInstance(cfg.checkSim)
-		if _, err := cfg.backend.Execute(low.Graph, in.Binder(), cfg.p, cfg.mode); err != nil {
+		before := len(rep.Divs)
+		if _, err := cfg.backend.Run(low.Graph, in.Binder(), cfg.opts); err != nil {
 			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-error", Detail: err.Error()})
 			continue
 		}
 		if f := in.Failure(); f != "" {
 			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-runtime", Detail: f})
-			continue
+		} else {
+			for _, v := range in.Violations() {
+				rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "order-violation", Detail: v})
+			}
+			if d := diffFinal(gseq, instFinal{in}, arrays, scalars, true); d != "" {
+				rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-value", Detail: d})
+			}
 		}
-		for _, v := range in.Violations() {
-			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "order-violation", Detail: v})
-		}
-		if d := diffFinal(gseq, instFinal{in}, arrays, scalars, true); d != "" {
-			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-value", Detail: d})
+		if len(rep.Divs) > before {
+			// Re-execute the diverging configuration with tracing so the
+			// divergence report carries the schedule.
+			if t := captureTrace(low, cfg); t != nil {
+				for i := before; i < len(rep.Divs); i++ {
+					rep.Divs[i].Trace = t
+				}
+			}
 		}
 	}
 	return rep
+}
+
+// captureTrace re-runs one matrix configuration with an event sink
+// attached and returns the collected trace (nil if the re-run errors).
+func captureTrace(low *Lowered, cfg backendConfig) *obs.Trace {
+	in := low.NewInstance(cfg.checkSim)
+	opts := cfg.opts
+	var col obs.Collector
+	opts.Sink = &col
+	if _, err := cfg.backend.Run(low.Graph, in.Binder(), opts); err != nil {
+		return nil
+	}
+	return col.Trace
 }
 
 // CheckSeed generates program #seed and checks it.

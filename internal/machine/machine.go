@@ -24,6 +24,14 @@ import (
 	"math/bits"
 )
 
+// SimUnitMicroseconds maps the simulator's clock onto the trace
+// exporters' timeline: one simulated time unit renders as this many
+// microseconds in a Chrome trace-event file. The simulator's units are
+// arbitrary (one unit ≈ a small task), so the mapping only fixes a
+// readable zoom level in Perfetto — spans keep their relative lengths
+// under any choice.
+const SimUnitMicroseconds = 1.0
+
 // Config describes the simulated machine.
 type Config struct {
 	Processors int

@@ -44,42 +44,34 @@ import (
 	"time"
 
 	"orchestra/internal/delirium"
+	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/stats"
 	"orchestra/internal/trace"
 )
 
-// Backend runs Delirium graphs on goroutine workers.
-type Backend struct {
-	// Workers is the default worker count when Execute is called with
-	// p <= 0; zero means GOMAXPROCS.
-	Workers int
-	// Pin locks each worker goroutine to an OS thread, reducing
-	// scheduler migration on machines with spare cores.
-	Pin bool
-	// Labels annotates worker goroutines with runtime/pprof labels
-	// (worker id and current operator) so profiles attribute samples
-	// to operators. Labelling costs an allocation per operator switch,
-	// so it is off unless a profile is being taken.
-	Labels bool
-	// Omega overrides TAPER's imbalance tolerance parameter for every
-	// operator; zero keeps the scheduler's default. Exposed so parity
-	// and fuzz harnesses can sweep scheduling decisions without
-	// touching the policy package.
-	Omega float64
-}
+// Backend runs Delirium graphs on goroutine workers. It is a stateless
+// value: every per-run knob (worker count, mode, TAPER ω, trace sink,
+// pinning, pprof labels) arrives in rts.RunOpts, so two concurrent Run
+// calls on the same Backend cannot interfere.
+type Backend struct{}
 
 // Name implements rts.Backend.
-func (*Backend) Name() string { return "native" }
+func (Backend) Name() string { return "native" }
 
-// Execute implements rts.Backend: it runs the graph on p worker
-// goroutines under the given mode. The modes parallel the simulator's:
-// ModeStatic uses a fixed block decomposition with no stealing and no
-// pipelining, ModeTaper adds measured-time TAPER chunking and work
-// stealing (operators still gate on fully completed predecessors), and
-// ModeSplit additionally overlaps pipelined producer/consumer pairs.
-func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mode) (trace.Result, error) {
+// Run implements rts.Backend: it runs the graph on opts.Processors
+// worker goroutines (GOMAXPROCS when zero) under opts.Mode. The modes
+// parallel the simulator's: ModeStatic uses a fixed block decomposition
+// with no stealing and no pipelining, ModeTaper adds measured-time
+// TAPER chunking and work stealing (operators still gate on fully
+// completed predecessors), and ModeSplit additionally overlaps
+// pipelined producer/consumer pairs. A non-nil opts.Sink receives the
+// run's event trace, timestamped from the wall clock.
+func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return trace.Result{}, err
+	}
 	if err := g.Validate(); err != nil {
 		return trace.Result{}, err
 	}
@@ -90,31 +82,34 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 	if len(order) > maxOps {
 		return trace.Result{}, fmt.Errorf("native: %d operators exceed the deque packing limit %d", len(order), maxOps)
 	}
-	if p <= 0 {
-		p = b.Workers
-	}
+	p := opts.Processors
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	e := &engine{p: p, pin: b.Pin, labels: b.Labels}
-	switch mode {
+	e := &engine{p: p, pin: opts.Pin, labels: opts.Labels}
+	switch opts.Mode {
 	case rts.ModeStatic:
 		// fixed blocks, no adaptation
 	case rts.ModeTaper:
 		e.adaptive, e.steal = true, true
 	case rts.ModeSplit:
 		e.adaptive, e.steal, e.pipelined = true, true, true
-	default:
-		return trace.Result{}, fmt.Errorf("native: unknown mode %d", int(mode))
 	}
 	e.finished = make(chan struct{})
+	if opts.Sink != nil {
+		names := make([]string, len(order))
+		for i, nd := range order {
+			names[i] = nd.Name
+		}
+		e.rec = obs.NewRecorder("native", "s", names, p)
+	}
 
 	// Operator states, in topological order.
 	index := map[string]int{}
 	total := 0
 	for i, nd := range order {
 		spec := bind(nd.Name)
-		o := &opState{name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange}
+		o := &opState{idx: i, name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange}
 		if o.body == nil {
 			o.n = 0
 		}
@@ -124,7 +119,7 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 		if o.n >= maxTasks {
 			return trace.Result{}, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
 		}
-		o.taper = sched.Taper{UseCostFunction: true, Omega: b.Omega}
+		o.taper = sched.Taper{UseCostFunction: true, Omega: opts.Omega}
 		o.stats = sched.NewTaskStats(maxInt(o.n, 1))
 		o.unsched.Store(int64(o.n))
 		index[nd.Name] = i
@@ -170,6 +165,7 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 	}
 
 	start := time.Now()
+	e.start = start
 	if total == 0 {
 		close(e.finished)
 	}
@@ -200,7 +196,7 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 		return trace.Result{}, fmt.Errorf("native: execution stalled with %d tasks outstanding", e.outstanding.Load())
 	}
 	res := trace.Result{
-		Name:       fmt.Sprintf("native-%s/%s", mode, g.Name),
+		Name:       fmt.Sprintf("native-%s/%s", opts.Mode, g.Name),
 		Processors: p,
 		Unit:       "s",
 		Makespan:   wall,
@@ -212,6 +208,9 @@ func (b *Backend) Execute(g *delirium.Graph, bind rts.Binder, p int, mode rts.Mo
 	for i, w := range e.workers {
 		res.Busy[i] = w.busy
 		res.SeqTime += w.busy
+	}
+	if opts.Sink != nil {
+		return res, opts.Sink.Consume(e.rec.Finish(res))
 	}
 	return res, nil
 }
@@ -235,6 +234,7 @@ type outEdge struct {
 
 // opState is one operator's runtime state.
 type opState struct {
+	idx  int
 	name string
 	n    int
 	// body executes task i; the returned simulated cost is ignored.
@@ -337,6 +337,12 @@ type engine struct {
 	chunks  atomic.Int64
 	steals  atomic.Int64
 	batches atomic.Int64
+
+	// rec, when non-nil, receives the run's event trace; start is the
+	// wall-clock origin its timestamps are relative to. Workers emit
+	// into per-worker rings, so recording needs no extra locking.
+	rec   *obs.Recorder
+	start time.Time
 
 	wg sync.WaitGroup
 }
@@ -539,6 +545,9 @@ func (e *engine) stealFrom(w *worker) (segment, bool) {
 		}
 		if s, ok := e.workers[v].dq.steal(); ok {
 			e.steals.Add(1)
+			if e.rec != nil {
+				e.rec.Steal(w.id, v, s.op, s.lo, s.len(), time.Since(e.start).Seconds())
+			}
 			return s, true
 		}
 	}
@@ -546,18 +555,20 @@ func (e *engine) stealFrom(w *worker) (segment, bool) {
 }
 
 // findWork is the worker's acquisition order: drain the inbox into the
-// deque, pop local work, else steal.
-func (e *engine) findWork(w *worker) (segment, bool) {
+// deque, pop local work, else steal. stolen reports whether the segment
+// came off another worker's deque.
+func (e *engine) findWork(w *worker) (seg segment, ok, stolen bool) {
 	if w.inboxN.Load() > 0 {
 		w.drainInbox()
 	}
 	if s, ok := w.dq.pop(); ok {
-		return s, true
+		return s, true, false
 	}
 	if e.steal {
-		return e.stealFrom(w)
+		s, ok := e.stealFrom(w)
+		return s, ok, ok
 	}
-	return segment{}, false
+	return segment{}, false, false
 }
 
 // runWorker is the worker loop: pop local work, else steal, else park.
@@ -571,7 +582,7 @@ func (e *engine) runWorker(w *worker) {
 		defer pprof.SetGoroutineLabels(context.Background())
 	}
 	for {
-		seg, ok := e.findWork(w)
+		seg, ok, stolen := e.findWork(w)
 		if !ok {
 			if e.idleWait(w) {
 				return
@@ -579,7 +590,7 @@ func (e *engine) runWorker(w *worker) {
 			continue
 		}
 		e.queued.Add(-1)
-		e.runSegment(w, seg)
+		e.runSegment(w, seg, stolen)
 	}
 }
 
@@ -602,7 +613,7 @@ func (e *engine) setLabels(w *worker, op int) {
 // small and variance information matters most); a larger chunk costs
 // two clock reads total, and its aggregate time is folded into the
 // statistics as k observations of the chunk mean via ObserveChunk.
-func (e *engine) runSegment(w *worker, seg segment) {
+func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 	o := e.ops[seg.op]
 	k := seg.len()
 	if e.adaptive {
@@ -613,6 +624,10 @@ func (e *engine) runSegment(w *worker, seg segment) {
 		o.statsMu.Lock()
 		c := o.taper.NextChunk(rem, e.p, o.stats)
 		c = o.taper.ScaleChunk(c, seg.lo, o.stats)
+		if e.rec != nil {
+			e.rec.Taper(w.id, seg.op, rem, c, o.stats.Global.N(),
+				o.stats.Global.Mean(), o.stats.Global.StdDev(), time.Since(e.start).Seconds())
+		}
 		o.statsMu.Unlock()
 		if c < k {
 			w.dq.push(segment{op: seg.op, lo: seg.lo + c, hi: seg.hi})
@@ -640,6 +655,10 @@ func (e *engine) runSegment(w *worker, seg segment) {
 			o.stats.Observe(seg.lo+i, marks[i+1].Sub(marks[i]).Seconds())
 		}
 		o.statsMu.Unlock()
+		if e.rec != nil {
+			e.rec.Chunk(w.id, seg.op, seg.lo, k,
+				marks[0].Sub(e.start).Seconds(), marks[k].Sub(e.start).Seconds(), stolen)
+		}
 	} else {
 		begin := time.Now()
 		if o.bodyRange != nil {
@@ -654,6 +673,10 @@ func (e *engine) runSegment(w *worker, seg segment) {
 		o.statsMu.Lock()
 		o.stats.ObserveChunk(seg.lo, k, elapsed)
 		o.statsMu.Unlock()
+		if e.rec != nil {
+			b := begin.Sub(e.start).Seconds()
+			e.rec.Chunk(w.id, seg.op, seg.lo, k, b, b+elapsed, stolen)
+		}
 	}
 	e.chunks.Add(1)
 	e.complete(w, o, seg.lo, hi)
@@ -672,6 +695,7 @@ func (e *engine) complete(w *worker, o *opState, lo, hi int) {
 		o.progressMu.Lock()
 		prefix := o.n
 		if o.doneMark != nil {
+			old := o.prefix
 			for i := lo; i < hi; i++ {
 				o.doneMark[i] = true
 			}
@@ -680,6 +704,9 @@ func (e *engine) complete(w *worker, o *opState, lo, hi int) {
 			}
 			prefix = o.prefix
 			o.prefixA.Store(int64(prefix))
+			if e.rec != nil && prefix != old {
+				e.rec.Gate(w.id, o.idx, old, prefix, time.Since(e.start).Seconds())
+			}
 		}
 		for _, oe := range o.out {
 			trigger := false

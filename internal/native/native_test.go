@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"orchestra/internal/delirium"
+	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 )
@@ -50,8 +51,8 @@ func TestExecuteRunsEveryTaskOnce(t *testing.T) {
 	for _, mode := range allModes() {
 		for _, workers := range []int{1, 4} {
 			counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-			be := &Backend{Workers: workers}
-			r, err := be.Execute(chainGraph(t, true), countBinder(n, counts), workers, mode)
+			r, err := (Backend{}).Run(chainGraph(t, true), countBinder(n, counts),
+				rts.RunOpts{Processors: workers, Mode: mode})
 			if err != nil {
 				t.Fatalf("%v/p=%d: %v", mode, workers, err)
 			}
@@ -94,7 +95,7 @@ func TestDependencyGating(t *testing.T) {
 			}
 			return rts.OpSpec{Op: sched.Op{Name: name, N: n, Time: body}, Mu: 1}
 		}
-		if _, err := (&Backend{}).Execute(chainGraph(t, false), bind, 4, mode); err != nil {
+		if _, err := (Backend{}).Run(chainGraph(t, false), bind, rts.RunOpts{Processors: 4, Mode: mode}); err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
 		if v := violations.Load(); v != 0 {
@@ -139,7 +140,7 @@ func TestPipelinedPrefixSafety(t *testing.T) {
 		}
 		return rts.OpSpec{Op: sched.Op{Name: name, N: n, Time: body}, Mu: 1}
 	}
-	if _, err := (&Backend{}).Execute(chainGraph(t, true), bind, 4, rts.ModeSplit); err != nil {
+	if _, err := (Backend{}).Run(chainGraph(t, true), bind, rts.RunOpts{Processors: 4, Mode: rts.ModeSplit}); err != nil {
 		t.Fatal(err)
 	}
 	if v := violations.Load(); v != 0 {
@@ -170,7 +171,7 @@ func TestStealsUnderImbalance(t *testing.T) {
 			},
 		}, Mu: 1}
 	}
-	r, err := (&Backend{}).Execute(g, bind, 4, rts.ModeTaper)
+	r, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 4, Mode: rts.ModeTaper})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for _, mode := range allModes() {
 		counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-		if _, err := (&Backend{}).Execute(chainGraph(t, true), countBinder(400, counts), 8, mode); err != nil {
+		if _, err := (Backend{}).Run(chainGraph(t, true), countBinder(400, counts), rts.RunOpts{Processors: 8, Mode: mode}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +219,7 @@ func TestShutdownWithInFlightTasks(t *testing.T) {
 			},
 		}, Mu: 1}
 	}
-	r, err := (&Backend{}).Execute(chainGraph(t, true), bind, 8, rts.ModeSplit)
+	r, err := (Backend{}).Run(chainGraph(t, true), bind, rts.RunOpts{Processors: 8, Mode: rts.ModeSplit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestZeroTaskOperator(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := (&Backend{}).Execute(g, bind, 2, rts.ModeSplit)
+		_, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeSplit})
 		done <- err
 	}()
 	select {
@@ -262,7 +263,7 @@ func TestZeroTaskOperator(t *testing.T) {
 // TestUnknownMode checks the error path.
 func TestUnknownMode(t *testing.T) {
 	counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-	_, err := (&Backend{}).Execute(chainGraph(t, false), countBinder(4, counts), 2, rts.Mode(99))
+	_, err := (Backend{}).Run(chainGraph(t, false), countBinder(4, counts), rts.RunOpts{Processors: 2, Mode: rts.Mode(99)})
 	if err == nil {
 		t.Fatal("expected an error for an unknown mode")
 	}
@@ -274,12 +275,12 @@ func TestUnknownMode(t *testing.T) {
 func TestAdaptiveChunking(t *testing.T) {
 	const n, workers = 4000, 4
 	counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-	rStatic, err := (&Backend{}).Execute(chainGraph(t, false), countBinder(n, counts), workers, rts.ModeStatic)
+	rStatic, err := (Backend{}).Run(chainGraph(t, false), countBinder(n, counts), rts.RunOpts{Processors: workers, Mode: rts.ModeStatic})
 	if err != nil {
 		t.Fatal(err)
 	}
 	counts = map[string]*atomic.Int64{"a": {}, "b": {}}
-	rTaper, err := (&Backend{}).Execute(chainGraph(t, false), countBinder(n, counts), workers, rts.ModeTaper)
+	rTaper, err := (Backend{}).Run(chainGraph(t, false), countBinder(n, counts), rts.RunOpts{Processors: workers, Mode: rts.ModeTaper})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,5 +289,70 @@ func TestAdaptiveChunking(t *testing.T) {
 	}
 	if rTaper.Chunks <= rStatic.Chunks {
 		t.Errorf("TAPER mode scheduled %d chunks, want more than static's %d", rTaper.Chunks, rStatic.Chunks)
+	}
+}
+
+// TestTraceCollection runs each mode with a trace sink and checks the
+// recorded timeline is structurally sound: chunk spans cover every
+// task exactly once per operator, taper decisions appear in the
+// adaptive modes, and gate advances appear for the pipelined edge.
+// Under -race this also stresses the per-worker ring discipline.
+func TestTraceCollection(t *testing.T) {
+	const n = 600
+	for _, mode := range allModes() {
+		counts := map[string]*atomic.Int64{"a": {}, "b": {}}
+		var col obs.Collector
+		r, err := (Backend{}).Run(chainGraph(t, true), countBinder(n, counts),
+			rts.RunOpts{Processors: 4, Mode: mode, Sink: &col})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		tr := col.Trace
+		if tr == nil {
+			t.Fatalf("%v: sink never received a trace", mode)
+		}
+		if tr.Backend != "native" || tr.Unit != "s" || tr.Workers != 4 {
+			t.Fatalf("%v: trace metadata %q/%q/%d", mode, tr.Backend, tr.Unit, tr.Workers)
+		}
+		covered := map[int32]map[int32]bool{}
+		var chunks, tapers, gates int
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case obs.KindChunk:
+				chunks++
+				if e.T1 < e.T0 {
+					t.Fatalf("%v: chunk span ends (%v) before it starts (%v)", mode, e.T1, e.T0)
+				}
+				m := covered[e.Op]
+				if m == nil {
+					m = map[int32]bool{}
+					covered[e.Op] = m
+				}
+				for i := e.Lo; i < e.Lo+e.N; i++ {
+					if m[i] {
+						t.Fatalf("%v: task %d of op %s traced twice", mode, i, tr.OpName(e.Op))
+					}
+					m[i] = true
+				}
+			case obs.KindTaper:
+				tapers++
+			case obs.KindGate:
+				gates++
+			}
+		}
+		if chunks != r.Chunks {
+			t.Errorf("%v: %d chunk spans, result counted %d", mode, chunks, r.Chunks)
+		}
+		for op, m := range covered {
+			if len(m) != n {
+				t.Errorf("%v: op %s has %d traced tasks, want %d", mode, tr.OpName(op), len(m), n)
+			}
+		}
+		if mode != rts.ModeStatic && tapers == 0 {
+			t.Errorf("%v: no taper decisions traced", mode)
+		}
+		if mode == rts.ModeSplit && gates == 0 {
+			t.Errorf("split: no gate advances traced for the pipelined edge")
+		}
 	}
 }

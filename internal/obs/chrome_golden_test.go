@@ -1,0 +1,119 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/machine"
+	"orchestra/internal/obs"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// figure1 is the paper's Figure 1 program — the same source
+// examples/quickstart compiles and runs.
+const figure1 = `
+program sample
+  integer n
+  integer mask(n)
+  real result(n), q(n, n), output(n, n), w(n)
+
+  do col = 1, n where (mask(col) != 0)
+    do i = 1, n
+      result(i) = 0
+      do j = 1, n
+        result(i) = result(i) + q(j, i) * w(j)
+      end do
+    end do
+    do i = 1, n
+      q(i, col) = result(i)
+    end do
+  end do
+
+  do i = 1, n
+    do j = 1, n
+      output(j, i) = f(q(j, i))
+    end do
+  end do
+end
+`
+
+// TestChromeTraceGolden pins the full export path end to end: compile
+// the quickstart program, execute its graph on the (deterministic)
+// simulator with tracing on, render the Chrome trace-event JSON, and
+// compare byte-for-byte against the committed golden file. Regenerate
+// with `go test ./internal/obs/ -run ChromeTraceGolden -update` after
+// an intentional format or scheduling change.
+func TestChromeTraceGolden(t *testing.T) {
+	out, err := core.CompileSource(figure1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, p = 48, 4
+	bind := func(name string) rts.OpSpec {
+		// Deterministic, mildly varying task times so TAPER makes
+		// non-trivial grain decisions without any randomness.
+		s := rts.OpSpec{Op: sched.Op{
+			Name:  name,
+			N:     n,
+			Time:  func(i int) float64 { return 1 + float64(i%7)/4 },
+			Bytes: 64,
+		}}
+		s.SampleStats(16)
+		return s
+	}
+	var col obs.Collector
+	_, err = rts.RunGraph(machine.DefaultConfig(p), out.Graph, bind,
+		rts.RunOpts{Processors: p, Mode: rts.ModeSplit, Sink: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, col.Trace); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural validity first, so a diff comes with context: the file
+	// must be one JSON object with a traceEvents array of phased events.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event without a phase: %v", e)
+		}
+		phases[ph]++
+	}
+	for _, ph := range []string{"M", "X", "C"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in the export (got %v)", ph, phases)
+		}
+	}
+
+	const golden = "testdata/quickstart_chrome.json"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from %s (%d bytes vs %d); "+
+			"rerun with -update if the change is intentional",
+			golden, buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders a Trace as one flat CSV table, one row per event,
+// with allocation estimates appended as kind=alloc rows. Times are in
+// the trace's native unit. The column set is stable: downstream
+// tooling may rely on the header line.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "worker", "op", "lo", "n", "arg", "t0", "t1", "v0", "v1"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, e := range t.Events {
+		if err := cw.Write([]string{
+			e.Kind.String(),
+			strconv.Itoa(int(e.Worker)),
+			t.OpName(e.Op),
+			strconv.Itoa(int(e.Lo)),
+			strconv.Itoa(int(e.N)),
+			strconv.Itoa(int(e.Arg)),
+			f(e.T0), f(e.T1), f(e.V0), f(e.V1),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, a := range t.Allocs {
+		chosen := 0
+		if a.Chosen {
+			chosen = 1
+		}
+		if err := cw.Write([]string{
+			"alloc",
+			strconv.Itoa(a.Round),
+			a.Op,
+			strconv.Itoa(a.Procs),
+			strconv.Itoa(chosen),
+			"0",
+			f(a.Setup), f(a.Compute), f(a.Lag), f(a.Comm),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if t.Dropped > 0 {
+		_, err := fmt.Fprintf(w, "# dropped %d events (ring overflow)\n", t.Dropped)
+		return err
+	}
+	return nil
+}

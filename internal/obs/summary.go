@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a terminal-friendly per-operator view of a trace: a
+// Gantt bar over the run's timespan (one row per operator, built from
+// its chunk spans), per-operator totals (busy time, chunks, steals,
+// TAPER grain range), and per-worker utilization. The bars answer the
+// paper's central question at a glance: do operators overlap (split,
+// pipelining) or execute in strict sequence (barriers)?
+func Summary(t *Trace) string {
+	const width = 60
+	var b strings.Builder
+	unit := t.Unit
+	if unit == "" {
+		unit = "units"
+	}
+
+	// Run span from the chunk events (fall back to the result).
+	t0, t1 := 0.0, t.Result.Makespan
+	for _, e := range t.Events {
+		if e.Kind == KindChunk && e.T1 > t1 {
+			t1 = e.T1
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	span := t1 - t0
+
+	type opRow struct {
+		cover              []bool
+		busy               float64
+		chunks, steals     int
+		minGrain, maxGrain int
+		start, end         float64
+	}
+	rows := make([]opRow, len(t.Ops))
+	for i := range rows {
+		rows[i] = opRow{cover: make([]bool, width), start: -1, minGrain: -1}
+	}
+	workerBusy := make([]float64, t.Workers)
+	cell := func(x float64) int {
+		c := int((x - t0) / span * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, e := range t.Events {
+		if e.Op < 0 || int(e.Op) >= len(rows) {
+			continue
+		}
+		r := &rows[e.Op]
+		switch e.Kind {
+		case KindChunk:
+			for c := cell(e.T0); c <= cell(e.T1); c++ {
+				r.cover[c] = true
+			}
+			r.busy += e.T1 - e.T0
+			r.chunks++
+			if r.start < 0 || e.T0 < r.start {
+				r.start = e.T0
+			}
+			if e.T1 > r.end {
+				r.end = e.T1
+			}
+			if int(e.Worker) >= 0 && int(e.Worker) < len(workerBusy) {
+				workerBusy[e.Worker] += e.T1 - e.T0
+			}
+		case KindSteal:
+			r.steals++
+		case KindTaper:
+			g := int(e.N)
+			if r.minGrain < 0 || g < r.minGrain {
+				r.minGrain = g
+			}
+			if g > r.maxGrain {
+				r.maxGrain = g
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%s  (%s, %d workers, makespan %.4g %s)\n",
+		t.Result.Name, t.Backend, t.Workers, t.Result.Makespan, unit)
+	nameW := 8
+	for _, n := range t.Ops {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for i, n := range t.Ops {
+		r := &rows[i]
+		bar := make([]byte, width)
+		for c := range bar {
+			if r.cover[c] {
+				bar[c] = '#'
+			} else {
+				bar[c] = '.'
+			}
+		}
+		grain := ""
+		if r.minGrain >= 0 {
+			grain = fmt.Sprintf("  grain %d..%d", r.minGrain, r.maxGrain)
+		}
+		fmt.Fprintf(&b, "  %-*s |%s| busy %8.4g  chunks %4d  steals %3d%s\n",
+			nameW, n, bar, r.busy, r.chunks, r.steals, grain)
+	}
+	for w := 0; w < t.Workers; w++ {
+		fmt.Fprintf(&b, "  worker %-3d utilization %5.1f%%\n", w, 100*workerBusy[w]/span)
+	}
+	if len(t.Allocs) > 0 {
+		fmt.Fprintf(&b, "  allocation estimates (setup+compute+lag+comm+sched):\n")
+		for _, a := range t.Allocs {
+			mark := " "
+			if a.Chosen {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "  %s round %d  %-*s p=%-4d %.4g = %.3g+%.3g+%.3g+%.3g+%.3g\n",
+				mark, a.Round, nameW, a.Op, a.Procs, a.Total(),
+				a.Setup, a.Compute, a.Lag, a.Comm, a.Sched)
+		}
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, "  (dropped %d events to ring overflow)\n", t.Dropped)
+	}
+	return b.String()
+}

@@ -1,6 +1,11 @@
 package rts
 
-import "orchestra/internal/machine"
+import (
+	"fmt"
+
+	"orchestra/internal/machine"
+	"orchestra/internal/obs"
+)
 
 // DefaultMaxCount bounds the allocation iterations; the paper: "in
 // practice, using a max_count of four has been sufficient."
@@ -97,12 +102,28 @@ func AllocateSpecs(cfg machine.Config, a, b OpSpec, p int) (p1, p2 int) {
 // an initial share proportional to estimated total work, refined by
 // pairwise application of the iterative algorithm between the
 // currently slowest and fastest operations.
-func AllocateMany(cfg machine.Config, specs []OpSpec, p int) []int {
+//
+// A non-nil rec receives one obs.AllocEstimate row per operation per
+// iteration — the five finishing-time terms the decision was based on
+// — with the final allocation re-emitted as Chosen rows. names, when
+// supplied, label the rows; otherwise operations appear as op0, op1, …
+func AllocateMany(cfg machine.Config, specs []OpSpec, p int, rec *obs.Recorder, names ...string) []int {
 	k := len(specs)
+	name := func(i int) string {
+		if i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("op%d", i)
+	}
 	if k == 0 {
 		return nil
 	}
 	if k == 1 {
+		if rec != nil {
+			e := FinishEstimate(cfg, specs[0], p)
+			rec.Alloc(obs.AllocEstimate{Op: name(0), Procs: p, Setup: e.Setup,
+				Compute: e.Compute, Lag: e.Lag, Comm: e.Comm, Sched: e.Sched, Chosen: true})
+		}
 		return []int{p}
 	}
 	// Initial proportional shares.
@@ -137,6 +158,21 @@ func AllocateMany(cfg machine.Config, specs []OpSpec, p int) []int {
 		alloc[largest] = 1
 	}
 
+	emitRound := 0
+	emit := func(chosen bool) {
+		if rec == nil {
+			return
+		}
+		for i := range specs {
+			e := FinishEstimate(cfg, specs[i], alloc[i])
+			rec.Alloc(obs.AllocEstimate{Op: name(i), Round: emitRound, Procs: alloc[i],
+				Setup: e.Setup, Compute: e.Compute, Lag: e.Lag, Comm: e.Comm,
+				Sched: e.Sched, Chosen: chosen})
+		}
+		emitRound++
+	}
+	emit(false) // initial proportional shares
+
 	// Pairwise refinement between extremes.
 	for round := 0; round < DefaultMaxCount; round++ {
 		est := make([]float64, k)
@@ -161,6 +197,8 @@ func AllocateMany(cfg machine.Config, specs []OpSpec, p int) []int {
 			func(q int) float64 { return FinishEstimate(cfg, specs[fast], q).Total() },
 			pool, DefaultMaxCount, DefaultEpsilon)
 		alloc[slow], alloc[fast] = p1, p2
+		emit(false)
 	}
+	emit(true)
 	return alloc
 }

@@ -14,12 +14,20 @@ import (
 // OpSpec.Op.Time as the executable body of task i — the simulator
 // charges its return value to the simulated clock, while the native
 // backend runs it for real and measures wall-clock time instead.
+//
+// Run is the only execution entry point: every per-run knob
+// (processor count, mode, TAPER ω, trace sink, worker pinning) lives
+// in RunOpts, so backends are stateless values and a run's
+// configuration is visible at the call site. (Earlier revisions used
+// a positional Execute(g, bind, p, mode) plus struct fields on the
+// backends for the remaining knobs; DESIGN.md's compatibility note
+// records the migration.)
 type Backend interface {
 	// Name identifies the backend ("sim" or "native").
 	Name() string
-	// Execute runs the graph on p processors (simulated processors or
-	// worker goroutines) under the given mode.
-	Execute(g *delirium.Graph, bind Binder, p int, mode Mode) (trace.Result, error)
+	// Run executes the graph under the given options. Implementations
+	// validate opts and apply backend defaults for zero fields.
+	Run(g *delirium.Graph, bind Binder, opts RunOpts) (trace.Result, error)
 }
 
 // SimBackend runs graphs on the simulated distributed-memory machine.
@@ -33,7 +41,8 @@ func NewSimBackend(cfg machine.Config) *SimBackend { return &SimBackend{Cfg: cfg
 // Name implements Backend.
 func (*SimBackend) Name() string { return "sim" }
 
-// Execute implements Backend via RunGraph.
-func (s *SimBackend) Execute(g *delirium.Graph, bind Binder, p int, mode Mode) (trace.Result, error) {
-	return RunGraph(s.Cfg, g, bind, p, mode)
+// Run implements Backend via RunGraph. A zero opts.Processors
+// defaults to the machine configuration's processor count.
+func (s *SimBackend) Run(g *delirium.Graph, bind Binder, opts RunOpts) (trace.Result, error) {
+	return RunGraph(s.Cfg, g, bind, opts)
 }

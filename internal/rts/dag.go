@@ -5,22 +5,10 @@ import (
 
 	"orchestra/internal/delirium"
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/sched"
 	"orchestra/internal/trace"
 )
-
-// DagOpFinish, when non-nil, is invoked with each operator's
-// completion time — a debugging/tracing hook used by tests and the
-// benchmark harness.
-var DagOpFinish func(name string, t float64)
-
-// DagChunk, when non-nil, observes every chunk dispatch (op name, sim
-// time, chunk size, stolen) — a tracing hook for tests.
-var DagChunk func(name string, t float64, k int, stolen bool)
-
-// DagChunkDone, when non-nil, observes chunk completions (op name,
-// start, duration, chunk size).
-var DagChunkDone func(name string, start, dur float64, k int)
 
 // ExecuteDAG executes an entire Delirium graph adaptively on p
 // processors: every operator is decomposed onto the processor subset
@@ -33,10 +21,46 @@ var DagChunkDone func(name string, start, dur float64, k int)
 // "uses the additional parallelism of one sub-computation to
 // compensate for communication constraints or load imbalance in the
 // other".
-func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trace.Result, error) {
+//
+// Only Processors, Omega and Sink of opts are consulted: ExecuteDAG
+// is the engine behind ModeSplit, so the mode field is ignored.
+func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) (trace.Result, error) {
+	opts.Mode = ModeSplit
+	if err := opts.Validate(); err != nil {
+		return trace.Result{}, err
+	}
 	if err := g.Validate(); err != nil {
 		return trace.Result{}, err
 	}
+	p := opts.processors(cfg.Processors)
+	if p < 1 {
+		p = 1
+	}
+	var rec *obs.Recorder
+	if opts.Sink != nil {
+		order, err := g.TopoOrder()
+		if err != nil {
+			return trace.Result{}, err
+		}
+		names := make([]string, len(order))
+		for i, n := range order {
+			names[i] = n.Name
+		}
+		rec = obs.NewRecorder("sim", "", names, p)
+	}
+	r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	if opts.Sink != nil {
+		return r, opts.Sink.Consume(rec.Finish(r))
+	}
+	return r, nil
+}
+
+// executeDAG is the barrier-free engine shared by ExecuteDAG and
+// RunGraph's ModeSplit path. rec may be nil.
+func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega float64, rec *obs.Recorder) (trace.Result, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return trace.Result{}, err
@@ -86,12 +110,14 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	procBase := make([]int, nOps)
 	for _, level := range levels {
 		lspecs := make([]OpSpec, len(level))
+		lnames := make([]string, len(level))
 		idxs := make([]int, len(level))
 		for i, n := range level {
 			idxs[i] = index[n.Name]
 			lspecs[i] = specs[idxs[i]]
+			lnames[i] = n.Name
 		}
-		shares := AllocateMany(cfg, lspecs, p)
+		shares := AllocateMany(cfg, lspecs, p, rec, lnames...)
 		base := 0
 		for i, o := range idxs {
 			alloc[o] = shares[i]
@@ -117,7 +143,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		}
 		queues[o] = sched.Decompose(specs[o].Op, qn)
 		tstats[o] = sched.NewTaskStats(specs[o].Op.N)
-		policies[o] = &sched.Taper{UseCostFunction: true}
+		policies[o] = &sched.Taper{UseCostFunction: true, Omega: omega}
 		unsched[o] = specs[o].Op.N
 		doneMark[o] = make([]bool, specs[o].Op.N)
 	}
@@ -213,29 +239,27 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 	pend := make([]pendChunk, p)
 	chunkDone := func(gp int) {
 		pc := pend[gp]
-		if DagChunkDone != nil {
-			DagChunkDone(order[pc.o].Name, pc.start, pc.total, pc.k)
-		}
 		doneTasks[pc.o] += pc.k
 		for _, i := range pc.tasks {
 			doneMark[pc.o][i] = true
 		}
-		for pfx := donePfx[pc.o]; pfx < len(doneMark[pc.o]) && doneMark[pc.o][pfx]; pfx++ {
+		oldPfx := donePfx[pc.o]
+		for pfx := oldPfx; pfx < len(doneMark[pc.o]) && doneMark[pc.o][pfx]; pfx++ {
 			donePfx[pc.o] = pfx + 1
+		}
+		if rec != nil && donePfx[pc.o] != oldPfx {
+			rec.Gate(gp, pc.o, oldPfx, donePfx[pc.o], sim.Now())
 		}
 		totalOutstanding -= pc.k
 		if j := ownQueue(gp, pc.o); j >= 0 {
 			done[pc.o][j] += pc.k
 			spent[pc.o][j] += pc.total
 		}
-		if doneTasks[pc.o] == specs[pc.o].Op.N && DagOpFinish != nil {
-			DagOpFinish(order[pc.o].Name, sim.Now())
-		}
 		// Progress may open successors' gates.
 		wake()
 		next(gp)
 	}
-	execChunk := func(gp, o int, tasks []int, transferCost float64) {
+	execChunk := func(gp, o int, tasks []int, transferCost float64, stolen bool) {
 		total := transferCost
 		for _, i := range tasks {
 			t := specs[o].Op.Time(i)
@@ -248,6 +272,9 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 		res.Chunks++
 		k := len(tasks)
 		unsched[o] -= k
+		if rec != nil {
+			rec.Chunk(gp, o, tasks[0], k, sim.Now(), sim.Now()+total, stolen)
+		}
 		pend[gp] = pendChunk{o: o, k: k, start: sim.Now(), total: total, tasks: tasks}
 		sim.AfterFn(total, chunkDone, gp)
 	}
@@ -275,6 +302,10 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 				if t, ok := pol.(*sched.Taper); ok {
 					k = clampInt(t.ScaleChunk(k, q.NextTask(), tstats[o]), unsched[o])
 				}
+				if rec != nil {
+					rec.Taper(gp, o, unsched[o], k, int(tstats[o].Global.N()),
+						tstats[o].Global.Mean(), tstats[o].Global.StdDev(), sim.Now())
+				}
 				if k > open {
 					k = open
 				}
@@ -286,10 +317,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 				// scaling — so a chunk never collects several expensive
 				// tasks whose combined time exceeds a fair share.
 				tasks := q.TakeBudget(k, chunkBudget(o), specs[o].Op.Hint)
-				if DagChunk != nil {
-					DagChunk(order[o].Name, sim.Now(), len(tasks), false)
-				}
-				execChunk(gp, o, tasks, 0)
+				execChunk(gp, o, tasks, 0, false)
 				return true
 			}
 		}
@@ -329,6 +357,10 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 			return false
 		}
 		k := pol.NextChunk(unsched[o], p, tstats[o])
+		if rec != nil {
+			rec.Taper(gp, o, unsched[o], k, int(tstats[o].Global.N()),
+				tstats[o].Global.Mean(), tstats[o].Global.StdDev(), sim.Now())
+		}
 		if k > open {
 			k = open
 		}
@@ -343,14 +375,14 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int) (trac
 			budget = half
 		}
 		tasks := queues[o][victim].TakeBudget(k, budget, specs[o].Op.Hint)
-		if DagChunk != nil {
-			DagChunk(order[o].Name, sim.Now(), len(tasks), true)
+		if rec != nil {
+			rec.Steal(gp, procBase[o]+victim, o, tasks[0], len(tasks), sim.Now())
 		}
 		res.Steals++
 		res.Messages += 3
 		cost := 2*cfg.MsgTime(gp, procBase[o], 16) +
 			cfg.MsgTime(procBase[o]+victim, gp, int64(len(tasks))*specs[o].Op.Bytes+32)
-		execChunk(gp, o, tasks, cost)
+		execChunk(gp, o, tasks, cost, true)
 		return true
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"orchestra/internal/delirium"
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/sched"
 )
 
@@ -27,7 +28,7 @@ func TestExecuteDAGChain(t *testing.T) {
 	g := dagGraph(t, [][2]string{{"a", "b"}, {"b", "c"}}, nil, "a", "b", "c")
 	bind := func(string) OpSpec { return uniformSpec(512, 1) }
 	cfg := machine.DefaultConfig(32)
-	r, err := ExecuteDAG(cfg, g, bind, 32)
+	r, err := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestExecuteDAGDiamondOverlap(t *testing.T) {
 		nil, "a", "b", "c", "d")
 	bind := func(string) OpSpec { return uniformSpec(1024, 1) }
 	cfg := machine.DefaultConfig(64)
-	r, err := ExecuteDAG(cfg, g, bind, 64)
+	r, err := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestExecuteDAGRespectsDependence(t *testing.T) {
 	g := dagGraph(t, [][2]string{{"a", "b"}}, nil, "a", "b")
 	bind := func(string) OpSpec { return uniformSpec(256, 1) }
 	cfg := machine.DefaultConfig(256)
-	r, err := ExecuteDAG(cfg, g, bind, 256)
+	r, err := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,24 +102,36 @@ func TestExecuteDAGPipelinedGateOverlaps(t *testing.T) {
 	cfg := machine.DefaultConfig(512)
 
 	// Observe when the consumer first dispatches and when the producer
-	// completes: with a plain edge the consumer is gated on the whole
-	// producer; with a pipelined edge it starts on partial data.
+	// completes — both read off the event trace: with a plain edge the
+	// consumer is gated on the whole producer; with a pipelined edge it
+	// starts on partial data.
 	run := func(g *delirium.Graph) (consStart, prodFinish, makespan float64) {
-		consStart = -1
-		DagChunk = func(name string, tm float64, k int, stolen bool) {
-			if name == "b" && consStart < 0 {
-				consStart = tm
-			}
-		}
-		DagOpFinish = func(name string, tm float64) {
-			if name == "a" {
-				prodFinish = tm
-			}
-		}
-		defer func() { DagChunk = nil; DagOpFinish = nil }()
-		r, err := ExecuteDAG(cfg, g, bind, 512)
+		var col obs.Collector
+		r, err := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 512, Sink: &col})
 		if err != nil {
 			t.Fatal(err)
+		}
+		opIdx := func(name string) int32 {
+			for i, n := range col.Trace.Ops {
+				if n == name {
+					return int32(i)
+				}
+			}
+			t.Fatalf("op %q not in trace", name)
+			return -1
+		}
+		a, b := opIdx("a"), opIdx("b")
+		consStart = -1
+		for _, e := range col.Trace.Events {
+			if e.Kind != obs.KindChunk {
+				continue
+			}
+			if e.Op == b && (consStart < 0 || e.T0 < consStart) {
+				consStart = e.T0
+			}
+			if e.Op == a && e.T1 > prodFinish {
+				prodFinish = e.T1
+			}
 		}
 		return consStart, prodFinish, r.Makespan
 	}
@@ -144,7 +157,7 @@ func TestExecuteDAGIndependentSources(t *testing.T) {
 	g := dagGraph(t, nil, nil, "a", "b", "c")
 	bind := func(string) OpSpec { return uniformSpec(512, 1) }
 	cfg := machine.DefaultConfig(48)
-	r, err := ExecuteDAG(cfg, g, bind, 48)
+	r, err := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +184,7 @@ func TestExecuteDAGAbsorbsIrregularity(t *testing.T) {
 	}
 	conc := dagGraph(t, nil, nil, "a", "b")
 	cfg := machine.DefaultConfig(512)
-	r, err := ExecuteDAG(cfg, conc, bindBoth, 512)
+	r, err := ExecuteDAG(cfg, conc, bindBoth, RunOpts{Processors: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,8 +193,8 @@ func TestExecuteDAGAbsorbsIrregularity(t *testing.T) {
 		procs[i] = i
 	}
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
-	sep := sched.ExecuteDistributed(cfg, irr.Op, procs, factory).Makespan +
-		sched.ExecuteDistributed(cfg, reg.Op, procs, factory).Makespan
+	sep := sched.ExecuteDistributed(cfg, irr.Op, procs, factory, obs.OpObs{}).Makespan +
+		sched.ExecuteDistributed(cfg, reg.Op, procs, factory, obs.OpObs{}).Makespan
 	if r.Makespan >= sep {
 		t.Fatalf("co-scheduling (%v) should beat separate phases (%v)", r.Makespan, sep)
 	}
@@ -191,8 +204,8 @@ func TestExecuteDAGDeterministic(t *testing.T) {
 	g := dagGraph(t, [][2]string{{"a", "b"}}, nil, "a", "b")
 	bind := func(name string) OpSpec { return irregularSpec(512, 5) }
 	cfg := machine.DefaultConfig(64)
-	r1, _ := ExecuteDAG(cfg, g, bind, 64)
-	r2, _ := ExecuteDAG(cfg, g, bind, 64)
+	r1, _ := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 64})
+	r2, _ := ExecuteDAG(cfg, g, bind, RunOpts{Processors: 64})
 	if r1.Makespan != r2.Makespan || r1.Steals != r2.Steals {
 		t.Fatal("DAG execution not deterministic")
 	}
@@ -204,7 +217,7 @@ func TestExecuteDAGInvalidGraph(t *testing.T) {
 	g.AddEdge(&delirium.Edge{From: "a", To: "ghost"})
 	if _, err := ExecuteDAG(machine.DefaultConfig(4), g, func(string) OpSpec {
 		return uniformSpec(4, 1)
-	}, 4); err == nil {
+	}, RunOpts{Processors: 4}); err == nil {
 		t.Fatal("invalid graph accepted")
 	}
 }

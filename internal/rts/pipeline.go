@@ -2,6 +2,7 @@ package rts
 
 import (
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/sched"
 	"orchestra/internal/trace"
 )
@@ -198,8 +199,8 @@ func ExecuteBarrier(cfg machine.Config, prod, cons OpSpec, p int, factory sched.
 	for i := range procs {
 		procs[i] = i
 	}
-	r1 := sched.ExecuteDistributed(cfg, prod.Op, procs, factory)
-	r2 := sched.ExecuteDistributed(cfg, cons.Op, procs, factory)
+	r1 := sched.ExecuteDistributed(cfg, prod.Op, procs, factory, obs.OpObs{})
+	r2 := sched.ExecuteDistributed(cfg, cons.Op, procs, factory, obs.OpObs{})
 	transfer := float64(prod.Op.Bytes) * float64(prod.Op.N) * cfg.ByteCost / float64(p)
 	res := trace.Result{
 		Name:       "barrier",

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/sched"
 	"orchestra/internal/stats"
 )
@@ -195,7 +196,7 @@ func TestAllocateMany(t *testing.T) {
 		uniformSpec(1024, 1),
 		irregularSpec(2048, 7),
 	}
-	alloc := AllocateMany(cfg, specs, 256)
+	alloc := AllocateMany(cfg, specs, 256, nil)
 	total := 0
 	for i, a := range alloc {
 		if a < 1 {
@@ -210,7 +211,7 @@ func TestAllocateMany(t *testing.T) {
 	if alloc[0] <= alloc[1] {
 		t.Fatalf("allocation not proportional: %v", alloc)
 	}
-	if len(AllocateMany(cfg, specs[:1], 64)) != 1 {
+	if len(AllocateMany(cfg, specs[:1], 64, nil)) != 1 {
 		t.Fatal("single op allocation")
 	}
 }
@@ -248,15 +249,15 @@ func TestExecuteConcurrentSmoothing(t *testing.T) {
 	reg := uniformSpec(2048, 2)
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
 
-	alloc := AllocateMany(cfg, []OpSpec{irr, reg}, 128)
+	alloc := AllocateMany(cfg, []OpSpec{irr, reg}, 128, nil)
 	conc := ExecuteConcurrent(cfg, []OpSpec{irr, reg}, alloc, factory)
 
 	procs := make([]int, 128)
 	for i := range procs {
 		procs[i] = i
 	}
-	b1 := sched.ExecuteDistributed(cfg, irr.Op, procs, factory)
-	b2 := sched.ExecuteDistributed(cfg, reg.Op, procs, factory)
+	b1 := sched.ExecuteDistributed(cfg, irr.Op, procs, factory, obs.OpObs{})
+	b2 := sched.ExecuteDistributed(cfg, reg.Op, procs, factory, obs.OpObs{})
 	barrier := b1.Makespan + b2.Makespan
 
 	if conc.Makespan >= barrier {
@@ -276,7 +277,7 @@ func TestExecuteConcurrentDeterministic(t *testing.T) {
 	cfg := machine.DefaultConfig(32)
 	specs := []OpSpec{irregularSpec(512, 13), uniformSpec(512, 1)}
 	factory := func() sched.Policy { return &sched.Taper{} }
-	alloc := AllocateMany(cfg, specs, 32)
+	alloc := AllocateMany(cfg, specs, 32, nil)
 	a := ExecuteConcurrent(cfg, specs, alloc, factory)
 	b := ExecuteConcurrent(cfg, specs, alloc, factory)
 	if a.Makespan != b.Makespan || a.Steals != b.Steals {
@@ -363,7 +364,7 @@ func TestFinishEstimateTracksReality(t *testing.T) {
 				procs[i] = i
 			}
 			actual := sched.ExecuteDistributed(cfg, tc.spec.Op, procs,
-				func() sched.Policy { return &sched.Taper{UseCostFunction: true} }).Makespan
+				func() sched.Policy { return &sched.Taper{UseCostFunction: true} }, obs.OpObs{}).Makespan
 			ratio := est / actual
 			if ratio < 0.4 || ratio > 2.5 {
 				t.Errorf("%s p=%d: estimate %v vs actual %v (ratio %.2f)",

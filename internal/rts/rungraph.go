@@ -2,9 +2,11 @@ package rts
 
 import (
 	"fmt"
+	"strings"
 
 	"orchestra/internal/delirium"
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/sched"
 	"orchestra/internal/trace"
 )
@@ -37,30 +39,122 @@ func (m Mode) String() string {
 	case ModeSplit:
 		return "TAPER+split"
 	}
-	return "?"
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode resolves a mode name, case-insensitively. It accepts both
+// the command-line spellings ("static", "taper", "split") and the
+// String() renderings ("TAPER", "TAPER+split"), so ParseMode(m.String())
+// round-trips for every valid mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return ModeStatic, nil
+	case "taper":
+		return ModeTaper, nil
+	case "split", "taper+split":
+		return ModeSplit, nil
+	}
+	return 0, fmt.Errorf("rts: unknown mode %q (valid: static, taper, split)", s)
+}
+
+// ParseModes resolves a -mode flag value: a single mode name, "all"
+// for every mode, or a comma-separated list. Both orchrun and
+// orchbench parse their mode flags through this helper.
+func ParseModes(s string) ([]Mode, error) {
+	if strings.EqualFold(s, "all") {
+		return []Mode{ModeStatic, ModeTaper, ModeSplit}, nil
+	}
+	var modes []Mode
+	for _, part := range strings.Split(s, ",") {
+		m, err := ParseMode(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("unknown mode %q (valid: static, taper, split, all, or a comma-separated list)", part)
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
 }
 
 // Binder resolves a graph node to its executable operation.
 type Binder func(name string) OpSpec
 
-// RunGraph executes a Delirium graph on p processors under the given
-// mode and returns the aggregate result. Non-pipelined edges charge a
-// data-transfer cost between operators; under ModeSplit, a level
-// consisting of one producer whose only consumer is the single node of
-// the next level and whose edge is pipelined executes as an overlapped
-// pair.
-func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, p int, mode Mode) (trace.Result, error) {
+// RunGraph executes a Delirium graph on the simulated machine under
+// the given options and returns the aggregate result. A zero
+// opts.Processors defaults to cfg.Processors. Non-pipelined edges
+// charge a data-transfer cost between operators; under ModeSplit, the
+// whole graph executes as barrier-free dataflow (ExecuteDAG). With a
+// Sink set, the simulated clock provides every event timestamp, so
+// exported spans are exact.
+func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) (trace.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return trace.Result{}, err
+	}
 	if err := g.Validate(); err != nil {
 		return trace.Result{}, err
 	}
-	agg := trace.Result{Name: fmt.Sprintf("%s/%s", mode, g.Name), Processors: p}
+	p := opts.processors(cfg.Processors)
+	if p < 1 {
+		p = 1
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return trace.Result{}, err
+	}
+	var rec *obs.Recorder
+	if opts.Sink != nil {
+		names := make([]string, len(order))
+		for i, n := range order {
+			names[i] = n.Name
+		}
+		rec = obs.NewRecorder("sim", "", names, p)
+	}
+	finish := func(r trace.Result) (trace.Result, error) {
+		if opts.Sink == nil {
+			return r, nil
+		}
+		return r, opts.Sink.Consume(rec.Finish(r))
+	}
+
+	if opts.Mode == ModeSplit {
+		// Fully adaptive dataflow execution of the whole graph — no
+		// barriers; operators enable as predecessors complete, pipelined
+		// edges enable consumers incrementally, and processors migrate
+		// to whatever is executable.
+		r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec)
+		if err != nil {
+			return trace.Result{}, err
+		}
+		r.Name = fmt.Sprintf("%s/%s", opts.Mode, g.Name)
+		return finish(r)
+	}
+
+	agg := trace.Result{Name: fmt.Sprintf("%s/%s", opts.Mode, g.Name), Processors: p}
 	procs := make([]int, p)
 	for i := range procs {
 		procs[i] = i
 	}
-	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true} }
+	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true, Omega: opts.Omega} }
 
-	addEdgeCost := func(e *delirium.Edge) {
+	for oi, n := range order {
+		spec := bind(n.Name)
+		ob := obs.OpObs{R: rec, Op: oi, Base: agg.Makespan}
+		var r trace.Result
+		if opts.Mode == ModeStatic {
+			r = sched.ExecuteStatic(cfg, spec.Op, procs, ob)
+		} else {
+			r = sched.ExecuteDistributed(cfg, spec.Op, procs, factory, ob)
+		}
+		agg.Makespan += r.Makespan
+		agg.SeqTime += r.SeqTime
+		agg.Chunks += r.Chunks
+		agg.Steals += r.Steals
+		agg.Messages += r.Messages
+	}
+	for _, e := range g.Edges {
+		if e.Carried {
+			continue
+		}
 		bytes := e.Bytes
 		if e.PerTask {
 			bytes *= int64(bind(e.To).Op.N)
@@ -68,45 +162,5 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, p int, mode Mo
 		agg.Makespan += float64(bytes) * cfg.ByteCost / float64(p)
 		agg.Messages += p
 	}
-	accumulate := func(r trace.Result) {
-		agg.Makespan += r.Makespan
-		agg.SeqTime += r.SeqTime
-		agg.Chunks += r.Chunks
-		agg.Steals += r.Steals
-		agg.Messages += r.Messages
-	}
-
-	if mode != ModeSplit {
-		order, err := g.TopoOrder()
-		if err != nil {
-			return trace.Result{}, err
-		}
-		for _, n := range order {
-			spec := bind(n.Name)
-			var r trace.Result
-			if mode == ModeStatic {
-				r = sched.ExecuteStatic(cfg, spec.Op, procs)
-			} else {
-				r = sched.ExecuteDistributed(cfg, spec.Op, procs, factory)
-			}
-			accumulate(r)
-		}
-		for _, e := range g.Edges {
-			if !e.Carried {
-				addEdgeCost(e)
-			}
-		}
-		return agg, nil
-	}
-
-	// ModeSplit: fully adaptive dataflow execution of the whole graph —
-	// no barriers; operators enable as predecessors complete, pipelined
-	// edges enable consumers incrementally, and processors migrate to
-	// whatever is executable.
-	r, err := ExecuteDAG(cfg, g, bind, p)
-	if err != nil {
-		return trace.Result{}, err
-	}
-	r.Name = agg.Name
-	return r, nil
+	return finish(agg)
 }

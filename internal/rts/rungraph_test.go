@@ -28,7 +28,7 @@ func TestRunGraphModes(t *testing.T) {
 	cfg := machine.DefaultConfig(64)
 	results := map[Mode]float64{}
 	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
-		r, err := RunGraph(cfg, g, bind, 64, mode)
+		r, err := RunGraph(cfg, g, bind, RunOpts{Processors: 64, Mode: mode})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -62,11 +62,11 @@ func TestRunGraphEdgeCostsCharged(t *testing.T) {
 
 	bind := func(string) OpSpec { return uniformSpec(512, 1) }
 	cfg := machine.DefaultConfig(16)
-	r1, err := RunGraph(cfg, with, bind, 16, ModeTaper)
+	r1, err := RunGraph(cfg, with, bind, RunOpts{Processors: 16, Mode: ModeTaper})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunGraph(cfg, without, bind, 16, ModeTaper)
+	r2, err := RunGraph(cfg, without, bind, RunOpts{Processors: 16, Mode: ModeTaper})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,8 @@ func TestRunGraphInvalid(t *testing.T) {
 	g.AddEdge(&delirium.Edge{From: "b", To: "a"})
 	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
 		if _, err := RunGraph(machine.DefaultConfig(4), g,
-			func(string) OpSpec { return uniformSpec(8, 1) }, 4, mode); err == nil {
+			func(string) OpSpec { return uniformSpec(8, 1) },
+			RunOpts{Processors: 4, Mode: mode}); err == nil {
 			t.Fatalf("%v: cyclic graph accepted", mode)
 		}
 	}
@@ -94,7 +95,7 @@ func TestModeStrings(t *testing.T) {
 		ModeSplit.String() != "TAPER+split" {
 		t.Fatal("mode strings changed")
 	}
-	if Mode(99).String() != "?" {
+	if Mode(99).String() != "mode(99)" {
 		t.Fatal("unknown mode string")
 	}
 }

@@ -1,0 +1,102 @@
+package rts
+
+import (
+	"fmt"
+
+	"orchestra/internal/obs"
+)
+
+// RunOpts configures one execution of a Delirium graph. It is the
+// single way to configure a run on any backend: the zero value of
+// every field is a sensible default, so callers set only what they
+// care about — either directly as a struct literal or through the
+// functional options accepted by NewRunOpts.
+type RunOpts struct {
+	// Processors is the number of simulated processors or worker
+	// goroutines. Zero lets the backend choose its default: the
+	// simulator uses its machine configuration's processor count, the
+	// native backend uses GOMAXPROCS.
+	Processors int
+	// Mode selects the execution strategy. The zero value is
+	// ModeStatic.
+	Mode Mode
+	// Omega, when positive, overrides TAPER's confidence-width
+	// parameter ω for every operator (the paper's default is
+	// ω ≈ √(2·ln p)). Parity and fuzz harnesses sweep it to vary
+	// scheduling decisions without touching the policy package.
+	Omega float64
+	// Sink, when non-nil, enables event tracing: the backend records
+	// per-chunk spans, steals, TAPER decisions, allocation iterations
+	// and gate advances into per-worker ring buffers and delivers the
+	// completed obs.Trace to the sink. A nil Sink costs one branch per
+	// would-be event.
+	Sink obs.Sink
+	// Pin locks each native worker goroutine to an OS thread. The
+	// simulator ignores it.
+	Pin bool
+	// Labels annotates native worker goroutines with runtime/pprof
+	// labels (worker id, current operator) so profiles attribute
+	// samples per operator. Labelling costs an allocation per operator
+	// switch, so it is off unless a profile is being taken. The
+	// simulator ignores it.
+	Labels bool
+}
+
+// RunOption mutates a RunOpts; see NewRunOpts.
+type RunOption func(*RunOpts)
+
+// NewRunOpts builds a RunOpts from functional options:
+//
+//	rts.NewRunOpts(rts.WithProcessors(512), rts.WithMode(rts.ModeSplit))
+func NewRunOpts(opts ...RunOption) RunOpts {
+	var o RunOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithProcessors sets the processor/worker count.
+func WithProcessors(p int) RunOption { return func(o *RunOpts) { o.Processors = p } }
+
+// WithMode sets the execution mode.
+func WithMode(m Mode) RunOption { return func(o *RunOpts) { o.Mode = m } }
+
+// WithOmega overrides TAPER's confidence width ω.
+func WithOmega(omega float64) RunOption { return func(o *RunOpts) { o.Omega = omega } }
+
+// WithSink enables event tracing into the given sink.
+func WithSink(s obs.Sink) RunOption { return func(o *RunOpts) { o.Sink = s } }
+
+// WithPinnedWorkers locks native workers to OS threads.
+func WithPinnedWorkers() RunOption { return func(o *RunOpts) { o.Pin = true } }
+
+// WithProfileLabels enables pprof worker/operator labels on native
+// workers.
+func WithProfileLabels() RunOption { return func(o *RunOpts) { o.Labels = true } }
+
+// Validate checks the options for consistency. Backends call it at
+// the top of Run; callers constructing RunOpts by hand may call it
+// early to fail fast.
+func (o RunOpts) Validate() error {
+	switch o.Mode {
+	case ModeStatic, ModeTaper, ModeSplit:
+	default:
+		return fmt.Errorf("rts: unknown mode %d", int(o.Mode))
+	}
+	if o.Processors < 0 {
+		return fmt.Errorf("rts: negative processor count %d", o.Processors)
+	}
+	if o.Omega < 0 {
+		return fmt.Errorf("rts: negative omega %g", o.Omega)
+	}
+	return nil
+}
+
+// processors resolves the processor count against a backend default.
+func (o RunOpts) processors(def int) int {
+	if o.Processors > 0 {
+		return o.Processors
+	}
+	return def
+}

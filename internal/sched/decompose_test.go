@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/stats"
 )
 
@@ -161,8 +162,8 @@ func TestHintedExecutionBeatsUnhinted(t *testing.T) {
 	cold.Hint = nil
 	cfg := machine.DefaultConfig(p)
 	factory := func() Policy { return &Taper{UseCostFunction: true} }
-	rh := ExecuteDistributed(cfg, hinted, procList(p), factory)
-	rc := ExecuteDistributed(cfg, cold, procList(p), factory)
+	rh := ExecuteDistributed(cfg, hinted, procList(p), factory, obs.OpObs{})
+	rc := ExecuteDistributed(cfg, cold, procList(p), factory, obs.OpObs{})
 	if rh.Makespan >= rc.Makespan {
 		t.Fatalf("hints did not help: %v vs %v", rh.Makespan, rc.Makespan)
 	}

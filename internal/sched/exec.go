@@ -2,6 +2,7 @@ package sched
 
 import (
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/trace"
 )
 
@@ -84,14 +85,24 @@ func owner(i, n, p int) int {
 
 // ExecuteStatic runs op with a static block decomposition: processor j
 // executes its owned block with no scheduling events and no data
-// movement, then all processors synchronize.
-func ExecuteStatic(cfg machine.Config, op Op, procs []int) trace.Result {
+// movement, then all processors synchronize. With tracing enabled, each
+// processor's block appears as a single span — static execution has no
+// scheduling events to record, so the span is the whole story.
+func ExecuteStatic(cfg machine.Config, op Op, procs []int, ob obs.OpObs) trace.Result {
 	p := len(procs)
 	res := trace.Result{Name: "static/" + op.Name, Processors: p, Busy: make([]float64, p)}
 	for i := 0; i < op.N; i++ {
 		t := op.Time(i)
 		res.Busy[owner(i, op.N, p)] += t
 		res.SeqTime += t
+	}
+	if ob.On() {
+		for j := 0; j < p; j++ {
+			lo, hi := BlockBounds(j, op.N, p)
+			if hi > lo {
+				ob.R.Chunk(j, ob.Op, lo, hi-lo, ob.Base, ob.Base+res.Busy[j], false)
+			}
+		}
 	}
 	max := 0.0
 	for _, b := range res.Busy {
@@ -109,7 +120,7 @@ func ExecuteStatic(cfg machine.Config, op Op, procs []int) trace.Result {
 // dispatch overhead), fetches non-local data, and executes. This is
 // the centralized degenerate case of the distributed algorithm, used
 // as an ablation baseline.
-func ExecuteCentral(cfg machine.Config, op Op, procs []int, factory Factory) trace.Result {
+func ExecuteCentral(cfg machine.Config, op Op, procs []int, factory Factory, ob obs.OpObs) trace.Result {
 	p := len(procs)
 	sim := machine.NewSim(cfg)
 	policy := factory()
@@ -138,6 +149,9 @@ func ExecuteCentral(cfg machine.Config, op Op, procs []int, factory Factory) tra
 			}
 		}
 		res.Busy[j] += total
+		if ob.On() {
+			ob.R.Chunk(j, ob.Op, lo, k, ob.Base+sim.Now(), ob.Base+sim.Now()+total, false)
+		}
 		sim.AfterFn(total, request, j)
 	}
 	// grant runs at the queue owner once processor j's request round
@@ -151,6 +165,10 @@ func ExecuteCentral(cfg machine.Config, op Op, procs []int, factory Factory) tra
 		k := policy.NextChunk(remaining, p, ts)
 		if t, ok := policy.(*Taper); ok {
 			k = clamp(t.ScaleChunk(k, next, ts), remaining)
+		}
+		if ob.On() {
+			ob.R.Taper(j, ob.Op, remaining, k, int(ts.Global.N()),
+				ts.Global.Mean(), ts.Global.StdDev(), ob.Base+sim.Now())
 		}
 		lo := next
 		next += k
@@ -319,7 +337,7 @@ func sortByHintDesc(tasks []int, hint func(int) float64) {
 // expect most tasks to remain on the processor owning them; thus, the
 // algorithm reduces task transfer costs and maintains communication
 // locality."
-func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory) trace.Result {
+func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory, ob obs.OpObs) trace.Result {
 	p := len(procs)
 	sim := machine.NewSim(cfg)
 	policy := factory()
@@ -353,6 +371,7 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 		spent[j] += pendTotal[j]
 		next(j)
 	}
+	stolen := false
 	execChunk := func(j int, tasks []int, transferCost float64) {
 		total := transferCost
 		for _, i := range tasks {
@@ -361,10 +380,16 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 			total += t
 		}
 		total += cfg.SchedOverhead + tokenCost
-		tree.Token(j, cfg)
+		_, epochEnd := tree.Token(j, cfg)
 		res.Busy[j] += total
 		remainingGlobal -= len(tasks)
 		res.Chunks++
+		if ob.On() {
+			ob.R.Chunk(j, ob.Op, tasks[0], len(tasks), ob.Base+sim.Now(), ob.Base+sim.Now()+total, stolen)
+			if epochEnd {
+				ob.R.Epoch(j, ob.Op, tree.Epoch(), ob.Base+sim.Now())
+			}
+		}
 		pendK[j], pendTotal[j] = len(tasks), total
 		sim.AfterFn(total, chunkDone, j)
 	}
@@ -379,6 +404,10 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 			if t, ok := policy.(*Taper); ok {
 				k = clamp(t.ScaleChunk(k, q.NextTask(), ts), remainingGlobal)
 			}
+			if ob.On() {
+				ob.R.Taper(j, ob.Op, remainingGlobal, k, int(ts.Global.N()),
+					ts.Global.Mean(), ts.Global.StdDev(), ob.Base+sim.Now())
+			}
 			// Budget the chunk in time — the per-task-grained form of
 			// the cost-function scaling s = μg/μc — so one chunk never
 			// collects several expensive tasks. The budget is the
@@ -388,6 +417,7 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 				budget += local[v].EstRemaining(0)
 			}
 			budget /= float64(p)
+			stolen = false
 			execChunk(j, q.TakeBudget(k, budget, op.Hint), 0)
 			return
 		}
@@ -419,13 +449,21 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory)
 			return
 		}
 		k := policy.NextChunk(remainingGlobal, p, ts)
+		if ob.On() {
+			ob.R.Taper(j, ob.Op, remainingGlobal, k, int(ts.Global.N()),
+				ts.Global.Mean(), ts.Global.StdDev(), ob.Base+sim.Now())
+		}
 		budget := local[victim].EstRemaining(globalMean) / 2
 		tasks := local[victim].TakeBudget(k, budget, op.Hint)
 		res.Steals++
 		res.Messages += 3
+		if ob.On() {
+			ob.R.Steal(j, victim, ob.Op, tasks[0], len(tasks), ob.Base+sim.Now())
+		}
 		// Round trip to the root plus the task+data transfer.
 		cost := 2*cfg.MsgTime(procs[j], procs[0], 16) +
 			cfg.MsgTime(procs[victim], procs[j], int64(len(tasks))*op.Bytes+32)
+		stolen = true
 		execChunk(j, tasks, cost)
 	}
 	for j := 0; j < p; j++ {

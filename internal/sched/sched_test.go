@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"orchestra/internal/machine"
+	"orchestra/internal/obs"
 	"orchestra/internal/stats"
 )
 
@@ -177,7 +178,7 @@ func TestCostScale(t *testing.T) {
 
 func TestStaticUniformEfficiency(t *testing.T) {
 	op := uniformOp(16384, 1.0)
-	r := ExecuteStatic(machine.DefaultConfig(16), op, procList(16))
+	r := ExecuteStatic(machine.DefaultConfig(16), op, procList(16), obs.OpObs{})
 	if eff := r.Efficiency(); eff < 0.95 {
 		t.Fatalf("static on uniform work: eff = %v", eff)
 	}
@@ -188,7 +189,7 @@ func TestStaticUniformEfficiency(t *testing.T) {
 
 func TestStaticIrregularImbalance(t *testing.T) {
 	op := irregularOp(1024, 1)
-	r := ExecuteStatic(machine.DefaultConfig(32), op, procList(32))
+	r := ExecuteStatic(machine.DefaultConfig(32), op, procList(32), obs.OpObs{})
 	if r.LoadImbalance() < 1.2 {
 		t.Fatalf("irregular static load should be imbalanced: %v", r.LoadImbalance())
 	}
@@ -197,9 +198,9 @@ func TestStaticIrregularImbalance(t *testing.T) {
 func TestDistributedBeatsStaticOnIrregular(t *testing.T) {
 	op := irregularOp(2048, 3)
 	p := 64
-	st := ExecuteStatic(machine.DefaultConfig(p), op, procList(p))
+	st := ExecuteStatic(machine.DefaultConfig(p), op, procList(p), obs.OpObs{})
 	tp := ExecuteDistributed(machine.DefaultConfig(p), op, procList(p),
-		func() Policy { return &Taper{UseCostFunction: true} })
+		func() Policy { return &Taper{UseCostFunction: true} }, obs.OpObs{})
 	if tp.Makespan >= st.Makespan {
 		t.Fatalf("TAPER (%v) should beat static (%v) on irregular work", tp.Makespan, st.Makespan)
 	}
@@ -213,7 +214,7 @@ func TestDistributedLocalityOnUniform(t *testing.T) {
 	op := uniformOp(32768, 1.0)
 	p := 32
 	r := ExecuteDistributed(machine.DefaultConfig(p), op, procList(p),
-		func() Policy { return &Taper{} })
+		func() Policy { return &Taper{} }, obs.OpObs{})
 	if r.Steals > p {
 		t.Fatalf("uniform work stole %d chunks", r.Steals)
 	}
@@ -226,7 +227,7 @@ func TestCentralExecutesAllWork(t *testing.T) {
 	op := irregularOp(512, 9)
 	p := 8
 	r := ExecuteCentral(machine.DefaultConfig(p), op, procList(p),
-		func() Policy { return &GSS{} })
+		func() Policy { return &GSS{} }, obs.OpObs{})
 	var busy float64
 	for _, b := range r.Busy {
 		busy += b
@@ -244,7 +245,7 @@ func TestDistributedExecutesAllWork(t *testing.T) {
 	for _, p := range []int{1, 3, 16} {
 		op := irregularOp(333, 11)
 		r := ExecuteDistributed(machine.DefaultConfig(p), op, procList(p),
-			func() Policy { return &Taper{} })
+			func() Policy { return &Taper{} }, obs.OpObs{})
 		var busy float64
 		for _, b := range r.Busy {
 			busy += b
@@ -262,7 +263,7 @@ func TestDeterminism(t *testing.T) {
 	op := irregularOp(512, 21)
 	run := func() float64 {
 		return ExecuteDistributed(machine.DefaultConfig(16), op, procList(16),
-			func() Policy { return &Taper{UseCostFunction: true} }).Makespan
+			func() Policy { return &Taper{UseCostFunction: true} }, obs.OpObs{}).Makespan
 	}
 	if run() != run() {
 		t.Fatal("distributed execution not deterministic")
@@ -274,9 +275,9 @@ func TestSelfSchedulingOverheadHurts(t *testing.T) {
 	op := uniformOp(4096, 0.5)
 	p := 16
 	ss := ExecuteCentral(machine.DefaultConfig(p), op, procList(p),
-		func() Policy { return SelfSched{} })
+		func() Policy { return SelfSched{} }, obs.OpObs{})
 	tp := ExecuteCentral(machine.DefaultConfig(p), op, procList(p),
-		func() Policy { return &Taper{} })
+		func() Policy { return &Taper{} }, obs.OpObs{})
 	if ss.Makespan <= tp.Makespan {
 		t.Fatalf("SS (%v) should lose to TAPER (%v) on tiny tasks", ss.Makespan, tp.Makespan)
 	}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleResult() Result {
+	return Result{
+		Name:       "TAPER/psirrfan",
+		Processors: 4,
+		Unit:       "s",
+		Makespan:   12.5,
+		SeqTime:    40,
+		Busy:       []float64{10, 10.5, 9.5, 10},
+		Chunks:     17,
+		Steals:     3,
+		Messages:   21,
+	}
+}
+
+// TestResultJSONRoundTrip checks encode/decode identity.
+func TestResultJSONRoundTrip(t *testing.T) {
+	want := sampleResult()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema":1`) {
+		t.Fatalf("encoding missing schema tag: %s", data)
+	}
+	var got Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestResultJSONGolden pins the wire format: the committed fixture is
+// the schema-1 encoding, and both directions must match it. A change
+// that breaks this test is a schema bump, not a fixture update.
+func TestResultJSONGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/result_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := json.Unmarshal(golden, &got); err != nil {
+		t.Fatalf("decoding the golden file: %v", err)
+	}
+	if want := sampleResult(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden decode:\n got %+v\nwant %+v", got, want)
+	}
+	enc, err := json.Marshal(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.TrimSpace(string(golden)); string(enc) != want {
+		t.Fatalf("encoding drifted from the golden wire format:\n got %s\nwant %s", enc, want)
+	}
+}
+
+// TestResultJSONRejectsWrongSchema checks that files from other schema
+// versions fail loudly instead of decoding into zero values.
+func TestResultJSONRejectsWrongSchema(t *testing.T) {
+	for _, in := range []string{
+		`{"schema":2,"name":"x","processors":1,"makespan":1,"seq_time":1,"chunks":0,"steals":0,"messages":0}`,
+		`{"name":"pre-versioning","processors":8,"makespan":3}`,
+	} {
+		var r Result
+		err := json.Unmarshal([]byte(in), &r)
+		if err == nil {
+			t.Fatalf("accepted wrong-schema input %s", in)
+		}
+		if !strings.Contains(err.Error(), "schema") {
+			t.Fatalf("error should name the schema mismatch, got: %v", err)
+		}
+	}
+}
+
+// TestResultJSONOmitsEmpty checks the omitempty fields so sim results
+// (empty unit) stay compact and stable.
+func TestResultJSONOmitsEmpty(t *testing.T) {
+	data, err := json.Marshal(Result{Name: "s", Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "unit") || strings.Contains(string(data), "busy") {
+		t.Fatalf("empty unit/busy should be omitted: %s", data)
+	}
+}
