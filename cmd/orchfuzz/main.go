@@ -13,6 +13,14 @@
 //	orchfuzz -seed 14 -v                # one seed, print the program
 //	orchfuzz -minimize 14 -out repro.f  # shrink seed 14's divergence
 //	orchfuzz -seed 14 -trace-dir traces # export diverging schedules
+//	orchfuzz -faults -count 200         # campaign under fault injection
+//
+// With -faults, each program additionally runs under a seed-derived
+// random fault plan (worker crashes, stalls, slowdowns, message
+// delay/loss — always leaving a survivor) on both backends, and the
+// faulted final state is compared bitwise against the undisturbed
+// sequential baseline: failure tolerance means faults may cost time,
+// never values. A divergence prints the plan alongside the program.
 //
 // With -trace-dir, every diverging backend configuration is re-executed
 // with event tracing and its schedule written as a Chrome trace-event
@@ -30,6 +38,7 @@ import (
 	"sort"
 	"strings"
 
+	"orchestra/internal/fault"
 	"orchestra/internal/fuzz"
 	"orchestra/internal/obs"
 	"orchestra/internal/source"
@@ -43,6 +52,7 @@ func main() {
 		minimize = flag.Uint64("minimize", 0, "minimize the divergence at this seed and exit")
 		out      = flag.String("out", "", "write the minimized reproducer here instead of stdout")
 		traceDir = flag.String("trace-dir", "", "write Chrome traces of diverging configurations into this directory")
+		faults   = flag.Bool("faults", false, "check each program under a seed-derived random fault plan")
 	)
 	flag.Parse()
 	cfg := fuzz.DefaultGenConfig()
@@ -55,7 +65,16 @@ func main() {
 	failed := 0
 	kindTotals := map[string]int{}
 	for s := *seed; s < *seed+uint64(*count); s++ {
-		rep, prog := fuzz.CheckSeed(s, cfg)
+		var rep *fuzz.Report
+		var prog *source.Program
+		plan := ""
+		if *faults {
+			var p *fault.Plan
+			rep, prog, p = fuzz.CheckSeedFaults(s, cfg)
+			plan = " under " + p.String()
+		} else {
+			rep, prog = fuzz.CheckSeed(s, cfg)
+		}
 		for k, n := range rep.Kinds {
 			kindTotals[k] += n
 		}
@@ -67,13 +86,13 @@ func main() {
 			}
 		case rep.Failed():
 			failed++
-			fmt.Printf("seed %d: %s", s, rep)
+			fmt.Printf("seed %d%s: %s", s, plan, rep)
 			fmt.Printf("--- program (seed %d) ---\n%s---\n", s, source.Format(prog))
 			if *traceDir != "" {
 				writeTraces(*traceDir, s, rep)
 			}
 		case *verbose:
-			fmt.Printf("seed %d: ok\n", s)
+			fmt.Printf("seed %d%s: ok\n", s, plan)
 			fmt.Print(source.Format(prog))
 		}
 	}

@@ -29,10 +29,21 @@
 // instead. -gantt prints a per-operator terminal summary of the same
 // trace. Both require a single -mode.
 //
+// Fault injection: -fault runs the graph under a deterministic fault
+// plan (internal/fault syntax), e.g.
+//
+//	orchrun -backend native -mode taper -fault crash:0@1,deadline:0.01 g.graph
+//
+// crashes worker 0 at its second chunk boundary; the run survives on
+// the remaining workers, and -trace/-gantt show the fault, retry and
+// reallocation events the recovery leaves behind. delay:/loss: perturb
+// the simulator's message cost model (the native backend has no
+// modelled messages and ignores them).
+//
 // Usage:
 //
 //	orchrun [-p procs] [-backend sim|native] [-mode static|taper|split|all]
-//	        [-tasks n] [-cv x] [-seed s] [-unitwork w]
+//	        [-tasks n] [-cv x] [-seed s] [-unitwork w] [-fault plan]
 //	        [-trace out.json|out.csv] [-gantt]
 //	        [-cpuprofile f] [-memprofile f] file.graph
 package main
@@ -49,6 +60,7 @@ import (
 
 	"orchestra/internal/core"
 	"orchestra/internal/delirium"
+	"orchestra/internal/fault"
 	"orchestra/internal/interp"
 	"orchestra/internal/native"
 	"orchestra/internal/obs"
@@ -78,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "write an execution trace to this file (Chrome trace-event JSON; CSV if the name ends in .csv)")
 	gantt := fs.Bool("gantt", false, "print a per-operator Gantt/summary of the execution trace")
 	omega := fs.Float64("omega", 0, "override TAPER's confidence width ω (0 = scheduler default)")
+	faultSpec := fs.String("fault", "", "inject a fault plan, e.g. 'crash:0@1,stall:2@0:0.01,delay:0.5' (see internal/fault)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -158,8 +171,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *backend == "native" {
 		unit = " s"
 	}
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		plan, err = fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 2
+		}
+	}
+
 	for _, m := range modes {
-		opts := rts.RunOpts{Processors: *p, Mode: m, Omega: *omega}
+		opts := rts.RunOpts{Processors: *p, Mode: m, Omega: *omega, Fault: plan}
 		if *backend == "native" && profiling {
 			// Label worker goroutines so profiles can be sliced by operator.
 			opts.Labels = true

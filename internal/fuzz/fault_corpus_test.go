@@ -1,0 +1,113 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"orchestra/internal/fault"
+	"orchestra/internal/source"
+)
+
+var corpusFaultRe = regexp.MustCompile(`!\s*fault:\s*(\S+)`)
+
+// faultCorpusEntries loads the reproducers committed under
+// testdata/fault-corpus. Each file is a program plus the fault plan
+// that once provoked a recovery bug, with the header comment recording
+// the defect; '! seed: N' fixes the initial memory image and
+// '! fault: spec' is the plan in fault.Parse syntax.
+func faultCorpusEntries(t *testing.T) map[string]struct {
+	prog *source.Program
+	seed uint64
+	plan *fault.Plan
+} {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "fault-corpus", "*.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make(map[string]struct {
+		prog *source.Program
+		seed uint64
+		plan *fault.Plan
+	})
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := corpusSeedRe.FindSubmatch(text)
+		if m == nil {
+			t.Fatalf("%s: no '! seed: N' header", f)
+		}
+		seed, err := strconv.ParseUint(string(m[1]), 10, 64)
+		if err != nil {
+			t.Fatalf("%s: bad seed: %v", f, err)
+		}
+		fm := corpusFaultRe.FindSubmatch(text)
+		if fm == nil {
+			t.Fatalf("%s: no '! fault: spec' header", f)
+		}
+		plan, err := fault.Parse(string(fm[1]))
+		if err != nil {
+			t.Fatalf("%s: bad fault spec: %v", f, err)
+		}
+		prog, err := source.Parse(string(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f, err)
+		}
+		entries[filepath.Base(f)] = struct {
+			prog *source.Program
+			seed uint64
+			plan *fault.Plan
+		}{prog, seed, plan}
+	}
+	return entries
+}
+
+// TestFaultCorpus replays every committed fault reproducer through the
+// fault-injection oracle: baseline ladder, then the faulted sim and
+// native matrix compared bitwise against the sequential run. Each of
+// these plans once provoked a recovery bug; a failure here means a
+// failure-tolerance regression, with the file's header naming the
+// original defect.
+func TestFaultCorpus(t *testing.T) {
+	entries := faultCorpusEntries(t)
+	if len(entries) < 5 {
+		t.Fatalf("fault corpus has %d reproducers, want at least 5", len(entries))
+	}
+	for name, e := range entries {
+		e := e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep := CheckProgramFaults(e.prog, e.seed, e.plan)
+			if rep.Skip != "" {
+				t.Fatalf("reproducer no longer checkable: %s", rep.Skip)
+			}
+			if rep.Failed() {
+				t.Fatalf("regression:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestFaultCampaignShort runs a slice of the random fault campaign —
+// generator programs under generator plans, the exact path orchfuzz
+// -faults takes.
+func TestFaultCampaignShort(t *testing.T) {
+	n := uint64(12)
+	if testing.Short() {
+		n = 4
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		rep, _, plan := CheckSeedFaults(seed, DefaultGenConfig())
+		if rep.Skip != "" {
+			continue
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d under %s:\n%s", seed, plan, rep)
+		}
+	}
+}

@@ -312,15 +312,25 @@ func matrix() []backendConfig {
 	return cfgs
 }
 
-// CheckProgram runs the full differential ladder on one program with
-// the seed-derived initial image. The returned report distinguishes
-// invalid/unsupported programs (Skip) from real divergences.
-func CheckProgram(prog *source.Program, seed uint64) *Report {
-	rep := &Report{Seed: seed}
+// baseline is the outcome of the ladder's first three rungs — the
+// lowered program plus the sequential final state every scheduled
+// configuration is compared against.
+type baseline struct {
+	low     *Lowered
+	gseq    finalState
+	arrays  []string
+	scalars []string
+}
+
+// runBaseline executes rungs 0–2 (reference interpreter, transformed
+// interpreter, sequential lowered run) and returns the lowered
+// baseline, or nil when the report is already decided — either skipped
+// (invalid/unsupported input) or diverged before any scheduling ran.
+func runBaseline(prog *source.Program, seed uint64, rep *Report) *baseline {
 	img, err := buildImage(prog, seed)
 	if err != nil {
 		rep.Skip = err.Error()
-		return rep
+		return nil
 	}
 	arrays, scalars := observed(prog)
 
@@ -330,11 +340,11 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 	refSt, err := img.state(prog)
 	if err != nil {
 		rep.Skip = err.Error()
-		return rep
+		return nil
 	}
 	if err := interp.Run(source.CloneProgram(prog), refSt); err != nil {
 		rep.Skip = fmt.Sprintf("reference interpreter: %v", err)
-		return rep
+		return nil
 	}
 	ref := interpFinal{refSt}
 
@@ -342,21 +352,21 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 	out, err := compile.Compile(source.CloneProgram(prog), compile.DefaultOptions())
 	if err != nil {
 		rep.Divs = append(rep.Divs, Divergence{Config: "compile", Kind: "compile-error", Detail: err.Error()})
-		return rep
+		return nil
 	}
 	transSt, err := img.state(out.Program)
 	if err != nil {
 		rep.Skip = err.Error()
-		return rep
+		return nil
 	}
 	if err := interp.Run(out.Program, transSt); err != nil {
 		rep.Divs = append(rep.Divs, Divergence{Config: "interp/transformed", Kind: "transform-invalid", Detail: err.Error()})
-		return rep
+		return nil
 	}
 	trans := interpFinal{transSt}
 	if d := diffFinal(ref, trans, arrays, scalars, false); d != "" {
 		rep.Divs = append(rep.Divs, Divergence{Config: "interp/transformed", Kind: "transform-value", Detail: d})
-		return rep
+		return nil
 	}
 
 	// Rung 2: lower and run the sequential lowered baseline.
@@ -364,19 +374,32 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 	low, err := Lower(out, initS, initA)
 	if err != nil {
 		rep.Skip = err.Error()
-		return rep
+		return nil
 	}
 	rep.Kinds = low.Kinds()
 	gseqIn := low.NewInstance(false)
 	if err := gseqIn.RunSequential(); err != nil {
 		rep.Divs = append(rep.Divs, Divergence{Config: "lowered/seq", Kind: "lowering-runtime", Detail: err.Error()})
-		return rep
+		return nil
 	}
 	gseq := instFinal{gseqIn}
 	if d := diffFinal(trans, gseq, arrays, scalars, true); d != "" {
 		rep.Divs = append(rep.Divs, Divergence{Config: "lowered/seq", Kind: "lowering-value", Detail: d})
+		return nil
+	}
+	return &baseline{low: low, gseq: gseq, arrays: arrays, scalars: scalars}
+}
+
+// CheckProgram runs the full differential ladder on one program with
+// the seed-derived initial image. The returned report distinguishes
+// invalid/unsupported programs (Skip) from real divergences.
+func CheckProgram(prog *source.Program, seed uint64) *Report {
+	rep := &Report{Seed: seed}
+	base := runBaseline(prog, seed, rep)
+	if base == nil {
 		return rep
 	}
+	low, gseq, arrays, scalars := base.low, base.gseq, base.arrays, base.scalars
 
 	// Rung 3: every backend configuration, compared bitwise against the
 	// lowered baseline.

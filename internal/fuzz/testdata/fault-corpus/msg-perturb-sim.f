@@ -1,0 +1,34 @@
+! Message delay and loss perturb the simulator's cost model — steals
+! and gate notifications get slower or retried, never dropped with
+! their payload. The invariant under message faults is that only the
+! clock moves: final values stay bitwise identical to the sequential
+! run on both backends (the native runtime has no modelled messages and
+! must treat the plan as a no-op rather than reject it).
+! seed: 22
+! fault: delay:0.5,loss:0.2,seed:9
+
+program fuzz
+  integer n
+  integer a
+  integer mask(n)
+  real u(n)
+  real v(n)
+  real w(n)
+  real q(n, n)
+  real r(n, n)
+  real s1
+  real s2
+  do i1 = 2, n - 1 where (mask(i1) == 0)
+    do i2 = 2, n - 1
+      q(i2, i1) = w(1)
+    end do
+  end do
+  do i3 = 2, n - 1
+    w(i3) = q(2, i3) + q(i3, i3)
+  end do
+  do i4 = 2, n - 1 where (mask(i4) == 0)
+    do i5 = 2, n - 1
+      r(i5, i4) = 4
+    end do
+  end do
+end

@@ -45,6 +45,11 @@ type Config struct {
 	// SchedOverhead is the cost of one scheduling event (dispatching a
 	// chunk from a task queue).
 	SchedOverhead float64
+	// MsgPerturb, when non-nil, rewrites every non-local message cost
+	// before MsgTime/BroadcastTime return it — the hook fault injection
+	// uses to model link delay and lossy retransmission without the
+	// executors knowing. Nil means the cost model is exact.
+	MsgPerturb func(float64) float64
 }
 
 // DefaultConfig models an Ncube-2-like machine in task-time units,
@@ -71,7 +76,11 @@ func (c Config) MsgTime(a, b int, bytes int64) float64 {
 	if a == b {
 		return 0
 	}
-	return c.MsgOverhead + float64(Hops(a, b))*c.HopLatency + float64(bytes)*c.ByteCost
+	t := c.MsgOverhead + float64(Hops(a, b))*c.HopLatency + float64(bytes)*c.ByteCost
+	if c.MsgPerturb != nil {
+		t = c.MsgPerturb(t)
+	}
+	return t
 }
 
 // BroadcastTime reports the cost of a tree broadcast (or reduction)
@@ -81,7 +90,11 @@ func (c Config) BroadcastTime(p int, bytes int64) float64 {
 		return 0
 	}
 	depth := math.Ceil(math.Log2(float64(p)))
-	return depth * (c.MsgOverhead + c.HopLatency + float64(bytes)*c.ByteCost)
+	t := depth * (c.MsgOverhead + c.HopLatency + float64(bytes)*c.ByteCost)
+	if c.MsgPerturb != nil {
+		t = c.MsgPerturb(t)
+	}
+	return t
 }
 
 // event is one scheduled callback, pooled in the Sim's arena. Exactly

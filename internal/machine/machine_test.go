@@ -271,3 +271,26 @@ func TestSimReleaseClearsCallbacks(t *testing.T) {
 		}
 	}
 }
+
+// TestMsgPerturb checks the fault-injection hook: a non-nil MsgPerturb
+// rewrites non-local message and broadcast costs, local messages stay
+// free, and a nil hook leaves the cost model exact.
+func TestMsgPerturb(t *testing.T) {
+	base := DefaultConfig(8)
+	perturbed := base
+	perturbed.MsgPerturb = func(v float64) float64 { return 2 * v }
+	if got := perturbed.MsgTime(0, 0, 100); got != 0 {
+		t.Fatalf("local message perturbed: %v", got)
+	}
+	want := 2 * base.MsgTime(0, 3, 100)
+	if got := perturbed.MsgTime(0, 3, 100); got != want {
+		t.Fatalf("MsgTime = %v, want %v", got, want)
+	}
+	wantB := 2 * base.BroadcastTime(8, 64)
+	if got := perturbed.BroadcastTime(8, 64); got != wantB {
+		t.Fatalf("BroadcastTime = %v, want %v", got, wantB)
+	}
+	if got := perturbed.BroadcastTime(1, 64); got != 0 {
+		t.Fatalf("single-processor broadcast perturbed: %v", got)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"orchestra/internal/delirium"
+	"orchestra/internal/fault"
 	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
@@ -86,7 +87,18 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	e := &engine{p: p, pin: opts.Pin, labels: opts.Labels}
+	var fx *fault.Exec
+	if opts.Fault != nil {
+		if err := opts.Fault.Validate(p); err != nil {
+			return trace.Result{}, err
+		}
+		// Message faults (delay/loss) have no native equivalent — the
+		// backend exchanges no modelled messages — so only worker
+		// actions take effect here.
+		fx = fault.NewExec(opts.Fault, p)
+	}
+	e := &engine{p: p, pin: opts.Pin, labels: opts.Labels, fx: fx}
+	e.live.Store(int32(p))
 	switch opts.Mode {
 	case rts.ModeStatic:
 		// fixed blocks, no adaptation
@@ -101,7 +113,13 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 		for i, nd := range order {
 			names[i] = nd.Name
 		}
-		e.rec = obs.NewRecorder("native", "s", names, p)
+		rings := p
+		if fx != nil && opts.Fault.NeedsDetector() {
+			// The detector emits fault/retry/realloc events from its own
+			// goroutine; rings are single-writer, so it gets ring p.
+			rings = p + 1
+		}
+		e.rec = obs.NewRecorder("native", "s", names, rings)
 	}
 
 	// Operator states, in topological order.
@@ -166,6 +184,12 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 
 	start := time.Now()
 	e.start = start
+	if fx != nil {
+		now := start.UnixNano()
+		for _, w := range e.workers {
+			w.hb.Store(now)
+		}
+	}
 	if total == 0 {
 		close(e.finished)
 	}
@@ -189,8 +213,18 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 		e.wg.Add(1)
 		go e.runWorker(w)
 	}
+	if fx != nil && opts.Fault.NeedsDetector() {
+		e.detWG.Add(1)
+		go e.detector()
+	}
 	e.wg.Wait()
 	wall := time.Since(start).Seconds()
+	if fx != nil {
+		// Workers exit either on finished or by crashing; make sure the
+		// detector sees a closed channel even on the stall-error path.
+		e.finishOnce.Do(func() { close(e.finished) })
+		e.detWG.Wait()
+	}
 
 	if e.outstanding.Load() != 0 {
 		return trace.Result{}, fmt.Errorf("native: execution stalled with %d tasks outstanding", e.outstanding.Load())
@@ -286,6 +320,15 @@ type worker struct {
 	// busy accumulates measured task-execution seconds; written only
 	// by the owning goroutine, read after the pool joins.
 	busy float64
+	// hb is the wall-clock heartbeat the fault detector watches, stored
+	// at every loop-top when a fault plan is active.
+	hb atomic.Int64
+	// deadA is set by the detector when this worker is declared dead.
+	deadA atomic.Bool
+	// slowF is the active slowdown factor (0 or 1 = none); slowSeen
+	// dedups the trace event. Owner-only.
+	slowF    float64
+	slowSeen bool
 	// wakeBuf is completion-path scratch for consumer operator indices.
 	wakeBuf []int
 	// labelOp is the operator currently named in this goroutine's
@@ -343,6 +386,14 @@ type engine struct {
 	// into per-worker rings, so recording needs no extra locking.
 	rec   *obs.Recorder
 	start time.Time
+
+	// Fault injection (nil fx = disabled, one branch on the hot paths).
+	// live tracks workers not declared dead; anyDead routes releases
+	// through the survivor-aware split.
+	fx      *fault.Exec
+	live    atomic.Int32
+	anyDead atomic.Bool
+	detWG   sync.WaitGroup
 
 	wg sync.WaitGroup
 }
@@ -434,6 +485,10 @@ func (e *engine) tryRelease(oi int, w *worker) {
 func (e *engine) release(w *worker, op, lo, hi int) {
 	n := hi - lo
 	if n <= 0 {
+		return
+	}
+	if e.fx != nil && e.anyDead.Load() {
+		e.releaseFault(w, op, lo, hi)
 		return
 	}
 	if n >= 2*e.p && e.p > 1 {
@@ -565,8 +620,14 @@ func (e *engine) findWork(w *worker) (seg segment, ok, stolen bool) {
 		return s, true, false
 	}
 	if e.steal {
-		s, ok := e.stealFrom(w)
-		return s, ok, ok
+		if s, ok := e.stealFrom(w); ok {
+			return s, true, true
+		}
+		if e.fx != nil {
+			if s, ok := e.stealInbox(w); ok {
+				return s, true, true
+			}
+		}
 	}
 	return segment{}, false, false
 }
@@ -582,6 +643,16 @@ func (e *engine) runWorker(w *worker) {
 		defer pprof.SetGoroutineLabels(context.Background())
 	}
 	for {
+		if e.fx != nil {
+			w.hb.Store(time.Now().UnixNano())
+			// A declared-dead worker reaching its loop-top is demonstrably
+			// alive (a detector false positive — easy on oversubscribed
+			// machines where scheduling delays exceed the deadline):
+			// resurrect so deliveries and releases include it again.
+			if w.deadA.Load() && !e.fx.Crashed(w.id) && w.deadA.CompareAndSwap(true, false) {
+				e.live.Add(1)
+			}
+		}
 		seg, ok, stolen := e.findWork(w)
 		if !ok {
 			if e.idleWait(w) {
@@ -590,6 +661,9 @@ func (e *engine) runWorker(w *worker) {
 			continue
 		}
 		e.queued.Add(-1)
+		if e.fx != nil && !e.faultPoint(w, seg) {
+			return
+		}
 		e.runSegment(w, seg, stolen)
 	}
 }
@@ -622,7 +696,7 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 			rem = k
 		}
 		o.statsMu.Lock()
-		c := o.taper.NextChunk(rem, e.p, o.stats)
+		c := o.taper.NextChunk(rem, e.liveP(), o.stats)
 		c = o.taper.ScaleChunk(c, seg.lo, o.stats)
 		if e.rec != nil {
 			e.rec.Taper(w.id, seg.op, rem, c, o.stats.Global.N(),
@@ -642,6 +716,7 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 		e.setLabels(w, seg.op)
 	}
 
+	var chunkEl float64
 	if k <= sampleEach {
 		var marks [sampleEach + 1]time.Time
 		marks[0] = time.Now()
@@ -649,7 +724,8 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 			o.body(i)
 			marks[i-seg.lo+1] = time.Now()
 		}
-		w.busy += marks[k].Sub(marks[0]).Seconds()
+		chunkEl = marks[k].Sub(marks[0]).Seconds()
+		w.busy += chunkEl
 		o.statsMu.Lock()
 		for i := 0; i < k; i++ {
 			o.stats.Observe(seg.lo+i, marks[i+1].Sub(marks[i]).Seconds())
@@ -669,6 +745,7 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 			}
 		}
 		elapsed := time.Since(begin).Seconds()
+		chunkEl = elapsed
 		w.busy += elapsed
 		o.statsMu.Lock()
 		o.stats.ObserveChunk(seg.lo, k, elapsed)
@@ -677,6 +754,11 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 			b := begin.Sub(e.start).Seconds()
 			e.rec.Chunk(w.id, seg.op, seg.lo, k, b, b+elapsed, stolen)
 		}
+	}
+	if e.fx != nil && w.slowF > 1 {
+		// A slow fault stretches wall time only: the tasks already ran
+		// normally, so results are untouched and stats stay honest.
+		time.Sleep(time.Duration((w.slowF - 1) * chunkEl * float64(time.Second)))
 	}
 	e.chunks.Add(1)
 	e.complete(w, o, seg.lo, hi)

@@ -102,6 +102,25 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 				"name": "epoch " + name, "cat": "epoch", "ts": e.T0 * scale,
 				"args": map[string]any{"epoch": e.Arg},
 			})
+		case KindFault:
+			events = append(events, ev{
+				"ph": "i", "s": "g", "pid": 1, "tid": e.Worker,
+				"name": fmt.Sprintf("fault w%d", e.Lo), "cat": "fault",
+				"ts":   e.T0 * scale,
+				"args": map[string]any{"target": e.Lo, "action": e.Arg},
+			})
+		case KindRetry:
+			events = append(events, ev{
+				"ph": "i", "s": "t", "pid": 1, "tid": e.Worker,
+				"name": "retry " + name, "cat": "fault", "ts": e.T0 * scale,
+				"args": map[string]any{"lo": e.Lo, "n": e.N, "victim": e.Arg},
+			})
+		case KindRealloc:
+			events = append(events, ev{
+				"ph": "i", "s": "g", "pid": 1, "tid": e.Worker,
+				"name": "realloc", "cat": "fault", "ts": e.T0 * scale,
+				"args": map[string]any{"live": e.Arg},
+			})
 		}
 	}
 

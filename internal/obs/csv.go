@@ -2,7 +2,6 @@ package obs
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
 )
@@ -47,13 +46,18 @@ func WriteCSV(w io.Writer, t *Trace) error {
 			return err
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return err
-	}
+	// Ring overflow is reported as a regular row (kind=meta, op names
+	// the datum, lo carries the count) so the file stays parseable by
+	// standard CSV readers; a trailing comment line is not CSV.
 	if t.Dropped > 0 {
-		_, err := fmt.Fprintf(w, "# dropped %d events (ring overflow)\n", t.Dropped)
-		return err
+		if err := cw.Write([]string{
+			"meta", "0", "dropped",
+			strconv.Itoa(t.Dropped),
+			"0", "0", "0", "0", "0", "0",
+		}); err != nil {
+			return err
+		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }

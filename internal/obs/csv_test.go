@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"orchestra/internal/trace"
+)
+
+// TestCSVRoundTrip checks that exporter output — including the
+// dropped-events report and the fault event kinds — is standard CSV:
+// encoding/csv must re-parse every row with a uniform column count.
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRecorder("native", "s", []string{"a", "b"}, 2)
+	r.Chunk(0, 0, 0, 8, 0.0, 1.0, false)
+	r.Steal(1, 0, 1, 8, 4, 1.5)
+	r.Fault(1, 0, 1, 2.0)
+	r.Retry(1, 0, 1, 12, 4, 2.1)
+	r.Realloc(1, 1, 2.2)
+	r.Alloc(AllocEstimate{Op: "a", Round: 1, Procs: 2, Chosen: true,
+		Setup: 0.1, Compute: 2, Lag: 0.3, Comm: 0.4, Sched: 0.05})
+	tr := r.Finish(trace.Result{Name: "rt", Makespan: 3})
+	tr.Dropped = 17 // simulate ring overflow without emitting 32k events
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exporter output is not valid CSV: %v", err)
+	}
+	wantRows := 1 + len(tr.Events) + len(tr.Allocs) + 1 // header + meta
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	if got := rows[0][0]; got != "kind" {
+		t.Fatalf("header row starts with %q", got)
+	}
+	for i, row := range rows {
+		if len(row) != 10 {
+			t.Fatalf("row %d has %d columns, want 10: %v", i, len(row), row)
+		}
+	}
+	meta := rows[len(rows)-1]
+	if meta[0] != "meta" || meta[2] != "dropped" {
+		t.Fatalf("last row is not the meta/dropped row: %v", meta)
+	}
+	if n, err := strconv.Atoi(meta[3]); err != nil || n != 17 {
+		t.Fatalf("meta row count column = %q, want 17", meta[3])
+	}
+
+	kinds := make(map[string]int)
+	for _, row := range rows[1:] {
+		kinds[row[0]]++
+	}
+	for _, k := range []string{"chunk", "steal", "fault", "retry", "realloc", "alloc"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s row in exporter output", k)
+		}
+	}
+}
+
+// TestCSVNoDroppedNoMeta checks that clean traces stay meta-free.
+func TestCSVNoDroppedNoMeta(t *testing.T) {
+	r := NewRecorder("sim", "", []string{"a"}, 1)
+	r.Chunk(0, 0, 0, 4, 0, 1, false)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r.Finish(trace.Result{})); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row[0] == "meta" {
+			t.Fatalf("unexpected meta row without drops: %v", row)
+		}
+	}
+}

@@ -64,6 +64,19 @@ const (
 	// a token from every processor of Op's pool and broadcast epoch
 	// Arg (§4.1.1's epoch/token protocol).
 	KindEpoch
+	// KindFault is an injected or detected fault at T0: worker Lo
+	// crashed, stalled, slowed, or was declared dead, observed by
+	// Worker (the native detector emits with its own dedicated ring).
+	// Arg carries the fault action kind (fault.Kind numbering).
+	KindFault
+	// KindRetry is a chunk re-issue at T0: tasks [Lo, Lo+N) of Op,
+	// recovered from unresponsive worker Arg, were handed back to the
+	// survivors by Worker.
+	KindRetry
+	// KindRealloc marks a reallocation-on-loss at T0: the allocation
+	// estimates were recomputed over the Arg surviving workers (the
+	// fresh AllocEstimate rows carry the numbers).
+	KindRealloc
 )
 
 func (k Kind) String() string {
@@ -78,6 +91,12 @@ func (k Kind) String() string {
 		return "gate"
 	case KindEpoch:
 		return "epoch"
+	case KindFault:
+		return "fault"
+	case KindRetry:
+		return "retry"
+	case KindRealloc:
+		return "realloc"
 	}
 	return "?"
 }
@@ -129,15 +148,15 @@ func (r *ring) emit(ev Event) {
 // Round numbers the refinement iteration; Chosen marks the rows of the
 // allocation finally used.
 type AllocEstimate struct {
-	Op     string
-	Round  int
-	Procs  int
-	Setup  float64
+	Op      string
+	Round   int
+	Procs   int
+	Setup   float64
 	Compute float64
-	Lag    float64
-	Comm   float64
-	Sched  float64
-	Chosen bool
+	Lag     float64
+	Comm    float64
+	Sched   float64
+	Chosen  bool
 }
 
 // Total is the finishing-time estimate, the paper's equation (1).
@@ -236,6 +255,39 @@ func (r *Recorder) Epoch(w, op, epoch int, t float64) {
 	}
 	r.ring(w).emit(Event{Kind: KindEpoch, Worker: int32(w), Op: int32(op),
 		Arg: int32(epoch), T0: t})
+}
+
+// Fault records a fault observation at time t: worker target crashed,
+// stalled, slowed or was declared dead (action is the fault.Kind
+// number). w is the observing ring — the worker itself when the fault
+// is self-injected, the detector's dedicated ring when detected.
+func (r *Recorder) Fault(w, target, action int, t float64) {
+	if r == nil {
+		return
+	}
+	r.ring(w).emit(Event{Kind: KindFault, Worker: int32(w), Op: -1,
+		Lo: int32(target), Arg: int32(action), T0: t})
+}
+
+// Retry records that tasks [lo, lo+n) of operator op, recovered from
+// unresponsive worker victim, were re-issued to the survivors at time t.
+func (r *Recorder) Retry(w, victim, op, lo, n int, t float64) {
+	if r == nil {
+		return
+	}
+	r.ring(w).emit(Event{Kind: KindRetry, Worker: int32(w), Op: int32(op),
+		Lo: int32(lo), N: int32(n), Arg: int32(victim), T0: t})
+}
+
+// Realloc records that the allocation estimates were recomputed over
+// live surviving workers at time t (reallocation-on-loss); the
+// accompanying AllocEstimate rows carry the recomputed terms.
+func (r *Recorder) Realloc(w, live int, t float64) {
+	if r == nil {
+		return
+	}
+	r.ring(w).emit(Event{Kind: KindRealloc, Worker: int32(w), Op: -1,
+		Arg: int32(live), T0: t})
 }
 
 // Alloc records one allocation-iteration estimate. Allocation runs

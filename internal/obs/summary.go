@@ -53,7 +53,16 @@ func Summary(t *Trace) string {
 		}
 		return c
 	}
+	faults, retries, reallocs := 0, 0, 0
 	for _, e := range t.Events {
+		switch e.Kind {
+		case KindFault:
+			faults++
+		case KindRetry:
+			retries++
+		case KindRealloc:
+			reallocs++
+		}
 		if e.Op < 0 || int(e.Op) >= len(rows) {
 			continue
 		}
@@ -126,6 +135,10 @@ func Summary(t *Trace) string {
 				mark, a.Round, nameW, a.Op, a.Procs, a.Total(),
 				a.Setup, a.Compute, a.Lag, a.Comm, a.Sched)
 		}
+	}
+	if faults+retries+reallocs > 0 {
+		fmt.Fprintf(&b, "  faults: %d observed, %d chunk retries, %d reallocations\n",
+			faults, retries, reallocs)
 	}
 	if t.Dropped > 0 {
 		fmt.Fprintf(&b, "  (dropped %d events to ring overflow)\n", t.Dropped)

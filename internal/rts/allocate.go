@@ -202,3 +202,17 @@ func AllocateMany(cfg machine.Config, specs []OpSpec, p int, rec *obs.Recorder, 
 	emit(true)
 	return alloc
 }
+
+// ReallocateOnLoss re-runs the allocation algorithm over the surviving
+// processor set after a worker loss, so finishing-time estimates track
+// the machine that is actually left instead of silently lying (§5's
+// re-estimation under changing conditions, applied to failures). The
+// specs should carry the statistics measured so far; the fresh
+// AllocEstimate rows land next to a KindRealloc event emitted by the
+// caller.
+func ReallocateOnLoss(cfg machine.Config, specs []OpSpec, live int, rec *obs.Recorder, names ...string) []int {
+	if live < 1 {
+		live = 1
+	}
+	return AllocateMany(cfg, specs, live, rec, names...)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orchestra/internal/delirium"
+	"orchestra/internal/fault"
 	"orchestra/internal/machine"
 	"orchestra/internal/obs"
 	"orchestra/internal/sched"
@@ -48,7 +49,11 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts
 		}
 		rec = obs.NewRecorder("sim", "", names, p)
 	}
-	r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec)
+	fx, err := simFaults(&cfg, opts, p)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec, fx)
 	if err != nil {
 		return trace.Result{}, err
 	}
@@ -58,9 +63,33 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts
 	return r, nil
 }
 
+// simFaults validates a run's fault plan against the resolved
+// processor count and builds the injection state: a fault.Exec for the
+// executor's chunk boundaries, plus a MsgPerturb hook on the machine
+// config for message delay/loss. Static execution is closed-form (no
+// scheduling events to survive through), so worker faults under
+// ModeStatic are rejected rather than silently ignored.
+func simFaults(cfg *machine.Config, opts RunOpts, p int) (*fault.Exec, error) {
+	plan := opts.Fault
+	if plan == nil {
+		return nil, nil
+	}
+	if err := plan.Validate(p); err != nil {
+		return nil, err
+	}
+	if plan.HasWorkerFaults() && opts.Mode == ModeStatic {
+		return nil, fmt.Errorf("rts: static execution cannot survive worker faults (plan %q)", plan)
+	}
+	fx := fault.NewExec(plan, p)
+	if plan.HasMsgFaults() {
+		cfg.MsgPerturb = fx.MsgCost
+	}
+	return fx, nil
+}
+
 // executeDAG is the barrier-free engine shared by ExecuteDAG and
-// RunGraph's ModeSplit path. rec may be nil.
-func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega float64, rec *obs.Recorder) (trace.Result, error) {
+// RunGraph's ModeSplit path. rec and fx may be nil.
+func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega float64, rec *obs.Recorder, fx *fault.Exec) (trace.Result, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return trace.Result{}, err
@@ -189,6 +218,15 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 	}
 	// dispatched(o) = tasks handed to processors so far.
 	dispatched := func(o int) int { return specs[o].Op.N - unsched[o] }
+
+	// Fault state. live tracks the surviving processor count; chunk
+	// sizing and budget shares are computed against it so scheduling
+	// adapts to the machine that is actually left. With fx == nil it
+	// stays p and the engine behaves identically to a fault-free build.
+	live := p
+	dead := make([]bool, p)
+	slowOn := make([]bool, p)
+	slowF := 1.0
 	// chunkBudget is the fair per-dispatch time share of an operator's
 	// remaining work: the hint sum of its unscheduled tasks (exact in
 	// steady state) divided by the machine size. Early task samples are
@@ -203,7 +241,7 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 		for v := range queues[o] {
 			sum += queues[o][v].EstRemaining(rate)
 		}
-		return sum / float64(p)
+		return sum / float64(live)
 	}
 
 	var idle []int
@@ -262,7 +300,9 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 	execChunk := func(gp, o int, tasks []int, transferCost float64, stolen bool) {
 		total := transferCost
 		for _, i := range tasks {
-			t := specs[o].Op.Time(i)
+			// A slow fault scales only the observed cost, never the
+			// computed values.
+			t := specs[o].Op.Time(i) * slowF
 			tstats[o].Observe(i, t)
 			total += t
 		}
@@ -298,7 +338,7 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 		if j := ownQueue(gp, o); j >= 0 {
 			q := &queues[o][j]
 			if en := q.EnabledPrefix(limit); en > 0 {
-				k := pol.NextChunk(unsched[o], p, tstats[o])
+				k := pol.NextChunk(unsched[o], live, tstats[o])
 				if t, ok := pol.(*sched.Taper); ok {
 					k = clampInt(t.ScaleChunk(k, q.NextTask(), tstats[o]), unsched[o])
 				}
@@ -356,7 +396,7 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 		if victim < 0 {
 			return false
 		}
-		k := pol.NextChunk(unsched[o], p, tstats[o])
+		k := pol.NextChunk(unsched[o], live, tstats[o])
 		if rec != nil {
 			rec.Taper(gp, o, unsched[o], k, int(tstats[o].Global.N()),
 				tstats[o].Global.Mean(), tstats[o].Global.StdDev(), sim.Now())
@@ -370,13 +410,19 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 		// A thief takes at most a fair per-processor share of the
 		// operator's remaining work, and never more than half the
 		// victim's queue.
-		budget := opRemaining / float64(p)
+		budget := opRemaining / float64(live)
 		if half := queues[o][victim].EstRemaining(globalMean) / 2; half < budget {
 			budget = half
 		}
 		tasks := queues[o][victim].TakeBudget(k, budget, specs[o].Op.Hint)
 		if rec != nil {
-			rec.Steal(gp, procBase[o]+victim, o, tasks[0], len(tasks), sim.Now())
+			gv := procBase[o] + victim
+			rec.Steal(gp, gv, o, tasks[0], len(tasks), sim.Now())
+			if gv < p && dead[gv] {
+				// Re-assignment from a crashed owner is the recovery path:
+				// its queued tasks are re-issued to a survivor.
+				rec.Retry(gp, gv, o, tasks[0], len(tasks), sim.Now())
+			}
 		}
 		res.Steals++
 		res.Messages += 3
@@ -386,9 +432,71 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 		return true
 	}
 
+	// reallocSurvivors re-runs the allocation algorithm over the
+	// surviving processor set using the statistics measured so far, so
+	// the trace carries finishing-time estimates for the machine that is
+	// actually left (reallocation-on-loss).
+	reallocSurvivors := func(gp int) {
+		if rec == nil {
+			return
+		}
+		rec.Realloc(gp, live, sim.Now())
+		var rspecs []OpSpec
+		var rnames []string
+		for o := range specs {
+			if unsched[o] <= 0 {
+				continue
+			}
+			s := specs[o]
+			if m := tstats[o].Global.Mean(); m > 0 {
+				s.Mu = m
+				s.Sigma = tstats[o].Global.StdDev()
+			}
+			rspecs = append(rspecs, s)
+			rnames = append(rnames, order[o].Name)
+		}
+		if len(rspecs) > 0 {
+			ReallocateOnLoss(cfg, rspecs, live, rec, rnames...)
+		}
+	}
+
 	next = func(gp int) {
 		if totalOutstanding <= 0 {
 			return
+		}
+		slowF = 1.0
+		if fx != nil {
+			d := fx.Begin(gp)
+			if d.Crash {
+				if !dead[gp] {
+					dead[gp] = true
+					live--
+					if rec != nil {
+						rec.Fault(gp, gp, int(fault.Crash), sim.Now())
+					}
+					reallocSurvivors(gp)
+				}
+				// The dead processor's queued tasks stay stealable; idle
+				// survivors must re-scan now that the pool shrank.
+				wake()
+				return
+			}
+			if d.Stall > 0 {
+				if rec != nil {
+					rec.Fault(gp, gp, int(fault.Stall), sim.Now())
+				}
+				sim.AfterFn(d.Stall, next, gp)
+				return
+			}
+			if d.Slow > 0 {
+				slowF = d.Slow
+				if !slowOn[gp] {
+					slowOn[gp] = true
+					if rec != nil {
+						rec.Fault(gp, gp, int(fault.Slow), sim.Now())
+					}
+				}
+			}
 		}
 		// Own operators first (locality): in topological order, the
 		// first executable operator whose queue this processor owns.

@@ -57,9 +57,27 @@ func (s *OpSpec) SampleStats(k int) {
 		m2 += d * (t - mean)
 	}
 	s.Mu = mean
-	if n > 1 {
+	// A single sample has no spread: clamp Sigma to 0 rather than
+	// dividing by n-1 (and overwrite any stale value from an earlier
+	// sampling pass). Rounding can also drive m2 fractionally negative,
+	// which would surface as Sqrt(-ε) = NaN and poison every
+	// finishing-time comparison downstream.
+	if n > 1 && m2 > 0 {
 		s.Sigma = math.Sqrt(m2 / float64(n-1))
+	} else {
+		s.Sigma = 0
 	}
+}
+
+// sanitize replaces a non-finite or negative statistic with a safe
+// fallback so NaN/Inf never propagates into estimates or allocation
+// comparisons (NaN compares false with everything, which silently
+// derails the iterative allocator).
+func sanitize(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fallback
+	}
+	return v
 }
 
 // Estimate is the decomposition of a finishing-time estimate into the
@@ -92,6 +110,8 @@ func FinishEstimate(cfg machine.Config, spec OpSpec, p int) Estimate {
 	if p < 1 {
 		p = 1
 	}
+	spec.Mu = sanitize(spec.Mu, 0)
+	spec.Sigma = sanitize(spec.Sigma, 0)
 	n := spec.Op.N
 	var e Estimate
 
@@ -126,10 +146,10 @@ func FinishEstimate(cfg machine.Config, spec OpSpec, p int) Estimate {
 }
 
 func cv(spec OpSpec) float64 {
-	if spec.Mu <= 0 {
+	if spec.Mu <= 0 || math.IsNaN(spec.Mu) || math.IsInf(spec.Mu, 0) {
 		return 0
 	}
-	return spec.Sigma / spec.Mu
+	return sanitize(spec.Sigma/spec.Mu, 0)
 }
 
 // PredictChunks predicts how many chunks TAPER will schedule for n
@@ -140,6 +160,7 @@ func PredictChunks(n, p int, cv float64) int {
 	if n <= 0 || p < 1 {
 		return 0
 	}
+	cv = sanitize(cv, 0)
 	omega := math.Sqrt(2 * math.Log(float64(p)+1))
 	chunks := 0
 	r := n

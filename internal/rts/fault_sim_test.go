@@ -1,0 +1,185 @@
+package rts
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/fault"
+	"orchestra/internal/machine"
+	"orchestra/internal/obs"
+	"orchestra/internal/sched"
+)
+
+// countingSpec returns an OpSpec whose Time closure counts per-task
+// executions. On real bindings the kernel computes values as a Time
+// side effect and re-execution is idempotent (the engines' settling
+// pass already runs each task once), so the survival witness is: every
+// task was dispatched by the scheduled run, i.e. executed at least
+// twice here — once by SeqTime accounting, once or more scheduled.
+func countingSpec(n int, execs []int) OpSpec {
+	s := OpSpec{Op: sched.Op{
+		Name: "cnt", N: n, Bytes: 64,
+		Time: func(i int) float64 {
+			execs[i]++
+			return 1 + float64(i%7)
+		},
+	}}
+	s.Mu, s.Sigma = 4, 2
+	return s
+}
+
+func checkAllExecuted(t *testing.T, label string, execs []int) {
+	t.Helper()
+	for i, c := range execs {
+		if c < 2 {
+			t.Fatalf("%s: task %d executed %d times, want settling + scheduled", label, i, c)
+		}
+	}
+}
+
+func mustPlan(t *testing.T, spec string) *fault.Plan {
+	t.Helper()
+	p, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSimFaultSurvival drives crash/stall/slow/message plans through
+// both simulator engines (the per-op TAPER loop and the barrier-free
+// DAG) and checks the run completes with every task executed exactly
+// once — the property that makes faulted results bitwise-identical to
+// fault-free ones.
+func TestSimFaultSurvival(t *testing.T) {
+	plans := []string{
+		"crash:0@2",
+		"crash:0@0,crash:2@5",
+		"stall:1@1:5",
+		"slow:2@0:8",
+		"crash:0@3,stall:1@2:2,slow:2@1:4",
+		"delay:0.5,loss:0.2,seed:9",
+		"crash:3@0,delay:0.25",
+	}
+	cfg := machine.DefaultConfig(4)
+	for _, mode := range []Mode{ModeTaper, ModeSplit} {
+		for _, spec := range plans {
+			g := chainGraph(t, "a", "b")
+			const n = 400
+			execsA := make([]int, n)
+			execsB := make([]int, n)
+			bind := func(name string) OpSpec {
+				if name == "a" {
+					return countingSpec(n, execsA)
+				}
+				return countingSpec(n, execsB)
+			}
+			r, err := RunGraph(cfg, g, bind, RunOpts{
+				Processors: 4, Mode: mode, Fault: mustPlan(t, spec),
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", mode, spec, err)
+			}
+			if r.Makespan <= 0 {
+				t.Fatalf("%v/%s: empty result", mode, spec)
+			}
+			checkAllExecuted(t, mode.String()+"/"+spec+"/a", execsA)
+			checkAllExecuted(t, mode.String()+"/"+spec+"/b", execsB)
+		}
+	}
+}
+
+// TestSimFaultEvents checks that a crashed worker shows up in the trace
+// as fault, retry and realloc events with fresh allocation rows.
+func TestSimFaultEvents(t *testing.T) {
+	g := chainGraph(t, "a", "b")
+	const n = 600
+	bind := func(string) OpSpec { return boundedIrregularSpec(n, 11) }
+	var col obs.Collector
+	_, err := RunGraph(machine.DefaultConfig(4), g, bind, RunOpts{
+		Processors: 4, Mode: ModeSplit, Sink: &col,
+		Fault: mustPlan(t, "crash:0@1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := col.Trace
+	if tr == nil {
+		t.Fatal("no trace collected")
+	}
+	var faults, retries, reallocs int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case obs.KindFault:
+			faults++
+			if e.Lo != 0 || e.Arg != int32(fault.Crash) {
+				t.Fatalf("fault event names target %d action %d", e.Lo, e.Arg)
+			}
+		case obs.KindRetry:
+			retries++
+		case obs.KindRealloc:
+			reallocs++
+		}
+	}
+	if faults != 1 || reallocs != 1 {
+		t.Fatalf("faults=%d reallocs=%d, want 1 and 1", faults, reallocs)
+	}
+	if retries == 0 {
+		t.Fatal("no retry events: the dead worker's queue was never recovered")
+	}
+	// Reallocation-on-loss re-emits estimate rows next to the initial
+	// allocation's.
+	if len(tr.Allocs) == 0 {
+		t.Fatal("no allocation rows")
+	}
+}
+
+// TestSimFaultRejections: static execution has no scheduling events to
+// survive through, and a plan must leave at least one worker standing.
+func TestSimFaultRejections(t *testing.T) {
+	g := chainGraph(t, "a")
+	bind := func(string) OpSpec { return uniformSpec(64, 1) }
+	cfg := machine.DefaultConfig(4)
+	_, err := RunGraph(cfg, g, bind, RunOpts{
+		Processors: 4, Mode: ModeStatic, Fault: mustPlan(t, "crash:0@0"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "static") {
+		t.Fatalf("static + crash accepted: %v", err)
+	}
+	// Message-only plans are fine under static (they only perturb the
+	// cost model).
+	if _, err := RunGraph(cfg, g, bind, RunOpts{
+		Processors: 4, Mode: ModeStatic, Fault: mustPlan(t, "delay:0.5"),
+	}); err != nil {
+		t.Fatalf("static + delay rejected: %v", err)
+	}
+	// No survivor.
+	_, err = RunGraph(cfg, g, bind, RunOpts{
+		Processors: 2, Mode: ModeTaper,
+		Fault: mustPlan(t, "crash:0@0,crash:1@0"),
+	})
+	if err == nil {
+		t.Fatal("plan crashing every worker accepted")
+	}
+}
+
+// TestSimMsgFaultsSlowTheRun: delay/loss make communication strictly
+// more expensive, so a steal-heavy run's makespan must not improve.
+func TestSimMsgFaultsSlowTheRun(t *testing.T) {
+	g := chainGraph(t, "a", "b")
+	bind := func(string) OpSpec { return boundedIrregularSpec(800, 5) }
+	cfg := machine.DefaultConfig(8)
+	base, err := RunGraph(cfg, g, bind, RunOpts{Processors: 8, Mode: ModeTaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := RunGraph(cfg, g, bind, RunOpts{
+		Processors: 8, Mode: ModeTaper, Fault: mustPlan(t, "delay:4,loss:0.3,seed:2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.Makespan < base.Makespan {
+		t.Fatalf("message faults sped the run up: %v < %v", delayed.Makespan, base.Makespan)
+	}
+}

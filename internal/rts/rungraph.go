@@ -109,6 +109,10 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 		}
 		rec = obs.NewRecorder("sim", "", names, p)
 	}
+	fx, err := simFaults(&cfg, opts, p)
+	if err != nil {
+		return trace.Result{}, err
+	}
 	finish := func(r trace.Result) (trace.Result, error) {
 		if opts.Sink == nil {
 			return r, nil
@@ -121,7 +125,7 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 		// barriers; operators enable as predecessors complete, pipelined
 		// edges enable consumers incrementally, and processors migrate
 		// to whatever is executable.
-		r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec)
+		r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec, fx)
 		if err != nil {
 			return trace.Result{}, err
 		}
@@ -143,7 +147,10 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 		if opts.Mode == ModeStatic {
 			r = sched.ExecuteStatic(cfg, spec.Op, procs, ob)
 		} else {
-			r = sched.ExecuteDistributed(cfg, spec.Op, procs, factory, ob)
+			// fx persists across the per-operator loop, so a worker's
+			// chunk count — and any crash it triggers — carries from one
+			// operator to the next.
+			r = sched.ExecuteDistributedFault(cfg, spec.Op, procs, factory, ob, fx)
 		}
 		agg.Makespan += r.Makespan
 		agg.SeqTime += r.SeqTime

@@ -3,6 +3,7 @@ package rts
 import (
 	"fmt"
 
+	"orchestra/internal/fault"
 	"orchestra/internal/obs"
 )
 
@@ -40,6 +41,12 @@ type RunOpts struct {
 	// switch, so it is off unless a profile is being taken. The
 	// simulator ignores it.
 	Labels bool
+	// Fault, when non-nil, injects a deterministic fault plan into the
+	// run: worker crashes, stalls and slowdowns on either backend, plus
+	// message delay/loss on the simulator. The backend validates the
+	// plan against its resolved worker count (at least one worker must
+	// survive). A nil Fault costs one branch per chunk boundary.
+	Fault *fault.Plan
 }
 
 // RunOption mutates a RunOpts; see NewRunOpts.
@@ -74,6 +81,11 @@ func WithPinnedWorkers() RunOption { return func(o *RunOpts) { o.Pin = true } }
 // WithProfileLabels enables pprof worker/operator labels on native
 // workers.
 func WithProfileLabels() RunOption { return func(o *RunOpts) { o.Labels = true } }
+
+// WithFaultPlan injects a fault plan into the run. Plan validation
+// against the worker count happens in the backend, which resolves the
+// processor default first.
+func WithFaultPlan(p *fault.Plan) RunOption { return func(o *RunOpts) { o.Fault = p } }
 
 // Validate checks the options for consistency. Backends call it at
 // the top of Run; callers constructing RunOpts by hand may call it

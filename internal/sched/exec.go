@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"orchestra/internal/fault"
 	"orchestra/internal/machine"
 	"orchestra/internal/obs"
 	"orchestra/internal/trace"
@@ -338,6 +339,20 @@ func sortByHintDesc(tasks []int, hint func(int) float64) {
 // algorithm reduces task transfer costs and maintains communication
 // locality."
 func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory, ob obs.OpObs) trace.Result {
+	return ExecuteDistributedFault(cfg, op, procs, factory, ob, nil)
+}
+
+// ExecuteDistributedFault is ExecuteDistributed with a fault plan
+// injected at every dispatch commitment: before a processor takes a
+// chunk (from its own queue or a victim's), fx decides whether it
+// crashes (stops dispatching forever; its queued tasks are recovered by
+// the existing re-assignment scan), stalls (re-enters the dispatch loop
+// after the stall), or runs slow (observed task times scale by the
+// factor; computed values are untouched). Injection happens only at
+// chunk boundaries, so every task still executes exactly once and
+// results stay bitwise identical to a fault-free run. A nil fx is the
+// fault-free fast path.
+func ExecuteDistributedFault(cfg machine.Config, op Op, procs []int, factory Factory, ob obs.OpObs, fx *fault.Exec) trace.Result {
 	p := len(procs)
 	sim := machine.NewSim(cfg)
 	policy := factory()
@@ -371,11 +386,17 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory,
 		spent[j] += pendTotal[j]
 		next(j)
 	}
+	dead := make([]bool, p)
+	slowOn := make([]bool, p)
 	stolen := false
+	slowF := 1.0
 	execChunk := func(j int, tasks []int, transferCost float64) {
 		total := transferCost
 		for _, i := range tasks {
-			t := op.Time(i)
+			// A slow fault scales only the observed cost: the kernel
+			// (op.Time's side effect on real bindings) runs normally, so
+			// computed values are untouched.
+			t := op.Time(i) * slowF
 			ts.Observe(i, t)
 			total += t
 		}
@@ -397,6 +418,34 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory,
 		if remainingGlobal <= 0 {
 			finish[j] = sim.Now()
 			return
+		}
+		slowF = 1.0
+		if fx != nil {
+			d := fx.Begin(j)
+			if d.Crash {
+				dead[j] = true
+				if ob.On() {
+					ob.R.Fault(j, j, int(fault.Crash), ob.Base+sim.Now())
+				}
+				finish[j] = sim.Now()
+				return
+			}
+			if d.Stall > 0 {
+				if ob.On() {
+					ob.R.Fault(j, j, int(fault.Stall), ob.Base+sim.Now())
+				}
+				sim.AfterFn(d.Stall, next, j)
+				return
+			}
+			if d.Slow > 0 {
+				slowF = d.Slow
+				if !slowOn[j] {
+					slowOn[j] = true
+					if ob.On() {
+						ob.R.Fault(j, j, int(fault.Slow), ob.Base+sim.Now())
+					}
+				}
+			}
 		}
 		q := &local[j]
 		if q.Remaining() > 0 {
@@ -459,6 +508,11 @@ func ExecuteDistributed(cfg machine.Config, op Op, procs []int, factory Factory,
 		res.Messages += 3
 		if ob.On() {
 			ob.R.Steal(j, victim, ob.Op, tasks[0], len(tasks), ob.Base+sim.Now())
+			if dead[victim] {
+				// Re-assignment from a crashed owner is the recovery path:
+				// its queued tasks are re-issued to a survivor.
+				ob.R.Retry(j, victim, ob.Op, tasks[0], len(tasks), ob.Base+sim.Now())
+			}
 		}
 		// Round trip to the root plus the task+data transfer.
 		cost := 2*cfg.MsgTime(procs[j], procs[0], 16) +
