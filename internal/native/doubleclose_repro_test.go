@@ -1,0 +1,26 @@
+package native_test
+
+import (
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+)
+
+func TestEmptyGraphWithFaultPlanRepro(t *testing.T) {
+	out, err := core.CompileSource(quickstartProgram, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind, _, err := native.ArrayKernels(out.Graph, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mustPlan(t, "crash:1@0")
+	var res = rts.RunOpts{Processors: 4, Fault: plan}
+	_, err = native.Backend{}.Run(out.Graph, bind, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
