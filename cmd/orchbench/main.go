@@ -21,8 +21,8 @@ import (
 	"os"
 	"runtime"
 
+	"orchestra/internal/cliflag"
 	"orchestra/internal/experiment"
-	"orchestra/internal/rts"
 	"orchestra/internal/trace"
 	"orchestra/internal/workload"
 )
@@ -33,14 +33,10 @@ func main() {
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
-	modesFlag := flag.String("modes", "all", "native experiment: modes to sweep (static, taper, split, all, or a comma list)")
+	modesFlag := cliflag.Modes(flag.CommandLine, "modes", "all", "native experiment: modes to sweep (static, taper, split, all, or a comma list)")
 	flag.Parse()
 
-	modes, err := rts.ParseModes(*modesFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "orchbench:", err)
-		os.Exit(2)
-	}
+	modes := modesFlag.Modes()
 
 	run := map[string]bool{}
 	switch *exp {

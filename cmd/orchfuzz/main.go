@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strings"
 
+	"orchestra/internal/cliflag"
 	"orchestra/internal/fault"
 	"orchestra/internal/fuzz"
 	"orchestra/internal/obs"
@@ -54,6 +55,7 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "write Chrome traces of diverging configurations into this directory")
 		faults   = flag.Bool("faults", false, "check each program under a seed-derived random fault plan")
 	)
+	fixedFault := cliflag.Fault(flag.CommandLine, "fault", "check each program under this exact fault plan (internal/fault syntax) instead of random ones")
 	flag.Parse()
 	cfg := fuzz.DefaultGenConfig()
 
@@ -68,11 +70,16 @@ func main() {
 		var rep *fuzz.Report
 		var prog *source.Program
 		plan := ""
-		if *faults {
+		switch {
+		case fixedFault.Plan() != nil:
+			prog = fuzz.NewGen(s, cfg).Program()
+			rep = fuzz.CheckProgramFaults(prog, s, fixedFault.Plan())
+			plan = " under " + fixedFault.Plan().String()
+		case *faults:
 			var p *fault.Plan
 			rep, prog, p = fuzz.CheckSeedFaults(s, cfg)
 			plan = " under " + p.String()
-		} else {
+		default:
 			rep, prog = fuzz.CheckSeed(s, cfg)
 		}
 		for k, n := range rep.Kinds {

@@ -58,9 +58,8 @@ import (
 	"runtime/pprof"
 	"strings"
 
-	"orchestra/internal/core"
+	"orchestra/internal/cliflag"
 	"orchestra/internal/delirium"
-	"orchestra/internal/fault"
 	"orchestra/internal/interp"
 	"orchestra/internal/native"
 	"orchestra/internal/obs"
@@ -80,17 +79,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("orchrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	p := fs.Int("p", 64, "number of processors (sim) or worker goroutines (native; 0 = GOMAXPROCS)")
-	backend := fs.String("backend", "sim", "execution backend: sim or native")
-	mode := fs.String("mode", "split", "execution mode: static, taper, split, or all")
+	backend := cliflag.Backend(fs, "backend", "sim", "execution backend: sim or native")
+	mode := cliflag.Modes(fs, "mode", "split", "execution mode: static, taper, split, or all")
 	tasks := fs.Int("tasks", 2048, "tasks per operator without a tasks= annotation")
 	nParam := fs.Int("n", 2048, "value of the symbolic problem size n in tasks= annotations")
 	cv := fs.Float64("cv", 1.0, "coefficient of variation of task times")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	unitWork := fs.Int("unitwork", 4000, "native backend: floating-point iterations per task-time unit")
+	kernel := fs.Bool("kernel", false, "bind real array kernels instead of synthetic timings and print the result digest (see -kernelwork)")
+	kernelWork := fs.Int("kernelwork", 1, "with -kernel: function-evaluation rounds per task")
 	traceOut := fs.String("trace", "", "write an execution trace to this file (Chrome trace-event JSON; CSV if the name ends in .csv)")
 	gantt := fs.Bool("gantt", false, "print a per-operator Gantt/summary of the execution trace")
 	omega := fs.Float64("omega", 0, "override TAPER's confidence width ω (0 = scheduler default)")
-	faultSpec := fs.String("fault", "", "inject a fault plan, e.g. 'crash:0@1,stall:2@0:0.01,delay:0.5' (see internal/fault)")
+	faultFlag := cliflag.Fault(fs, "fault", "inject a fault plan, e.g. 'crash:0@1,stall:2@0:0.01,delay:0.5' (see internal/fault)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -101,20 +102,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: orchrun [flags] file.graph")
 		return 2
 	}
-	modes, err := rts.ParseModes(*mode)
-	if err != nil {
-		fmt.Fprintln(stderr, "orchrun:", err)
-		return 2
-	}
+	modes := mode.Modes()
 	tracing := *traceOut != "" || *gantt
 	if tracing && len(modes) != 1 {
 		fmt.Fprintln(stderr, "orchrun: -trace/-gantt need a single -mode, not a list")
 		return 2
 	}
-	be, err := core.NewBackend(*backend, *p)
+	be, err := backend.New(*p)
 	if err != nil {
-		fmt.Fprintf(stderr, "orchrun: unknown backend %q (valid: %s)\n",
-			*backend, strings.Join(core.BackendNames(), ", "))
+		fmt.Fprintln(stderr, "orchrun:", err)
 		return 2
 	}
 	profiling := *cpuprofile != "" || *memprofile != ""
@@ -155,7 +151,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c
 	}
 	var bind rts.Binder
-	if *backend == "native" {
+	if *kernel {
+		// Real array kernels, rebuilt fresh inside the mode loop (each
+		// execution must start from zeroed arrays): deterministic numeric
+		// results whose digest identifies the run's output bitwise —
+		// comparable across backends, modes, and the serve daemon's
+		// pooled execution.
+	} else if backend.Native() {
 		// Real CPU-bound tasks: the drawn log-normal time units become
 		// spin iterations, so TAPER's measured statistics see the same
 		// irregularity the simulator models.
@@ -168,21 +170,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "graph:", st)
 	}
 	unit := ""
-	if *backend == "native" {
+	if backend.Native() {
 		unit = " s"
 	}
-	var plan *fault.Plan
-	if *faultSpec != "" {
-		plan, err = fault.Parse(*faultSpec)
-		if err != nil {
-			fmt.Fprintln(stderr, "orchrun:", err)
-			return 2
-		}
-	}
+	plan := faultFlag.Plan()
 
 	for _, m := range modes {
+		var kernelState *interp.State
+		if *kernel {
+			bind, kernelState, err = native.ArrayKernels(g, *nParam, *kernelWork)
+			if err != nil {
+				fmt.Fprintln(stderr, "orchrun:", err)
+				return 2
+			}
+		}
 		opts := rts.RunOpts{Processors: *p, Mode: m, Omega: *omega, Fault: plan}
-		if *backend == "native" && profiling {
+		if backend.Native() && profiling {
 			// Label worker goroutines so profiles can be sliced by operator.
 			opts.Labels = true
 		}
@@ -197,6 +200,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
 			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
+		if *kernel {
+			fmt.Fprintf(stdout, "digest %s\n", native.StateDigest(kernelState))
+		}
 		if tracing {
 			if err := writeTrace(*traceOut, *gantt, col.Trace, stdout); err != nil {
 				fmt.Fprintln(stderr, "orchrun:", err)

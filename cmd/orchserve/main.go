@@ -1,0 +1,82 @@
+// Command orchserve is the orchestration daemon: a long-running HTTP
+// service that keeps one warm pool of native workers alive for its
+// whole lifetime, compiles each distinct submitted program once into a
+// content-addressed graph cache, and multiplexes concurrent jobs onto
+// the shared pool with the paper's finishing-time-equalizing processor
+// allocator deciding each job's worker grant.
+//
+// API (JSON over HTTP; see internal/serve):
+//
+//	POST /api/v1/jobs            submit a program or graph (sync, or
+//	                             "async": true for a job id to poll)
+//	GET  /api/v1/jobs/{id}       status/result (?wait=1 blocks)
+//	POST /api/v1/jobs/{id}/cancel
+//	GET  /api/v1/stats           pool occupancy, graph-cache hit rates,
+//	                             per-job allocation decisions
+//	GET  /healthz
+//
+// Example:
+//
+//	orchserve -addr :8021 -pool 8 &
+//	curl -s localhost:8021/api/v1/jobs -d '{
+//	  "program": "'"$(sed -e 's/$/\\n/' examples/figure1.f | tr -d '\n')"'",
+//	  "mode": "split", "n": 4096
+//	}'
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: running jobs are
+// canceled at their next chunk boundaries, the pool drains, and the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"orchestra/internal/cliflag"
+	"orchestra/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8021", "listen address")
+	pool := flag.Int("pool", 0, "warm pool size in worker goroutines (0 = GOMAXPROCS)")
+	mode := cliflag.Modes(flag.CommandLine, "default-mode", "split", "execution mode for submissions that omit one")
+	omega := flag.Float64("omega", 0, "default TAPER confidence width ω (0 = scheduler default)")
+	flag.Parse()
+
+	m, err := mode.Single()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orchserve: -default-mode:", err)
+		os.Exit(2)
+	}
+
+	s := serve.New(serve.Config{PoolSize: *pool, DefaultMode: m, Omega: *omega})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		fmt.Fprintln(os.Stderr, "orchserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		s.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "orchserve: listening on %s (pool %d workers, default mode %s)\n",
+		*addr, s.Stats().Pool.Size, m)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "orchserve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

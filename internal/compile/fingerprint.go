@@ -1,0 +1,58 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint is the content address of one compilation: SHA-256 over
+// the source text and every option that can change the compiler's
+// output, canonically encoded. Equal fingerprints mean Compile would
+// produce the same graph, which is what makes a compile-once/run-many
+// graph cache sound: the serve daemon keys its cache on this, so
+// resubmitting a program (even under a different job name) reuses the
+// compiled graph, while flipping any transformation knob misses.
+//
+// One caveat is deliberate: a custom Split.Weight function contributes
+// only its presence (it is code, not data). Callers installing custom
+// weight functions must not share a cache across different ones; the
+// serve daemon never sets one.
+func Fingerprint(src string, opts Options) string {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeStr("orchestra/compile/v1")
+	writeStr(src)
+	writeStr(fmt.Sprintf("fusion=%t split=%t pipeline=%t depth=%d",
+		opts.EnableFusion, opts.EnableSplit, opts.EnablePipeline, opts.PipelineDepth))
+	writeStr(fmt.Sprintf("mrl=%t rt=%d wt=%g weightfn=%t",
+		opts.Split.MoveReadLinked, opts.Split.ReplicationThreshold,
+		opts.Split.WeightThreshold, opts.Split.Weight != nil))
+	renames := make([]string, 0, len(opts.Split.BlockRenames))
+	for k, v := range opts.Split.BlockRenames {
+		renames = append(renames, k+"\x00"+v)
+	}
+	sort.Strings(renames)
+	for _, r := range renames {
+		writeStr(r)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// GraphFingerprint is the content address of a raw Delirium graph
+// submission (no compilation involved): the same cache can hold both
+// compiled programs and directly submitted graphs without the two key
+// spaces colliding.
+func GraphFingerprint(text string) string {
+	h := sha256.New()
+	h.Write([]byte("orchestra/graph/v1\x00"))
+	h.Write([]byte(text))
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,83 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFingerprintStability(t *testing.T) {
+	src := "program p\n integer n\nend\n"
+	a := Fingerprint(src, DefaultOptions())
+	b := Fingerprint(src, DefaultOptions())
+	if a != b {
+		t.Fatalf("same source+options fingerprint differs: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.Trim(a, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint %q is not hex sha256", a)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	src := "program p\n integer n\nend\n"
+	base := Fingerprint(src, DefaultOptions())
+	seen := map[string]string{base: "base"}
+	add := func(label, fp string) {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		seen[fp] = label
+	}
+	add("source change", Fingerprint(src+" ", DefaultOptions()))
+
+	o := DefaultOptions()
+	o.EnableSplit = false
+	add("split off", Fingerprint(src, o))
+
+	o = DefaultOptions()
+	o.EnablePipeline = false
+	add("pipeline off", Fingerprint(src, o))
+
+	o = DefaultOptions()
+	o.PipelineDepth = 2
+	add("depth 2", Fingerprint(src, o))
+
+	o = DefaultOptions()
+	o.EnableFusion = true
+	add("fusion on", Fingerprint(src, o))
+
+	o = DefaultOptions()
+	o.Split.ReplicationThreshold++
+	add("replication threshold", Fingerprint(src, o))
+
+	o = DefaultOptions()
+	o.Split.BlockRenames = map[string]string{"a": "b"}
+	add("renames", Fingerprint(src, o))
+}
+
+func TestFingerprintRenameOrderIndependent(t *testing.T) {
+	src := "x"
+	a := DefaultOptions()
+	a.Split.BlockRenames = map[string]string{"a": "1", "b": "2", "c": "3"}
+	b := DefaultOptions()
+	b.Split.BlockRenames = map[string]string{"c": "3", "b": "2", "a": "1"}
+	if Fingerprint(src, a) != Fingerprint(src, b) {
+		t.Fatal("map iteration order leaked into the fingerprint")
+	}
+	// Key/value boundary must matter: {"ab":"c"} vs {"a":"bc"}.
+	a.Split.BlockRenames = map[string]string{"ab": "c"}
+	b.Split.BlockRenames = map[string]string{"a": "bc"}
+	if Fingerprint(src, a) == Fingerprint(src, b) {
+		t.Fatal("rename key/value boundary is ambiguous")
+	}
+}
+
+func TestGraphFingerprintDistinctSpace(t *testing.T) {
+	if GraphFingerprint("x") == GraphFingerprint("y") {
+		t.Fatal("different graphs share a fingerprint")
+	}
+	// A graph submission never collides with a program submission of
+	// identical text.
+	if GraphFingerprint("text") == Fingerprint("text", Options{}) {
+		t.Fatal("graph and program key spaces collide")
+	}
+}

@@ -1,0 +1,118 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+)
+
+// TestRunPreCanceledContext checks that a one-shot run on an already
+// canceled context returns immediately with the distinguishable error
+// and executes nothing.
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	bind := func(name string) rts.OpSpec {
+		return rts.OpSpec{Op: sched.Op{Name: name, N: 10, Time: func(i int) float64 {
+			ran = true
+			return 1
+		}}, Mu: 1}
+	}
+	_, err := (Backend{}).Run(chainGraph(t, false), bind, rts.RunOpts{Processors: 2, Ctx: ctx})
+	if !rts.IsCanceled(err) {
+		t.Fatalf("error = %v, want one wrapping rts.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want it to also wrap context.Canceled", err)
+	}
+	if ran {
+		t.Error("a task executed despite the pre-canceled context")
+	}
+}
+
+// TestRunDeadlineExceeded checks that an expired deadline surfaces as
+// both ErrCanceled and context.DeadlineExceeded.
+func TestRunDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	bind := func(name string) rts.OpSpec {
+		return rts.OpSpec{Op: sched.Op{Name: name, N: 10, Time: func(i int) float64 { return 1 }}, Mu: 1}
+	}
+	_, err := (Backend{}).Run(chainGraph(t, false), bind, rts.RunOpts{Processors: 2, Ctx: ctx})
+	if !rts.IsCanceled(err) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want one wrapping both rts.ErrCanceled and context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunMidRunCancelReleasesGoroutines cancels a one-shot run while a
+// task is executing: the run must abandon the gated downstream work,
+// return the cancel error, and join every worker goroutine it spawned.
+func TestRunMidRunCancelReleasesGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	g := chainGraph(t, false)
+	canceledOnce := false
+	for attempt := 0; attempt < 20 && !canceledOnce; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{})
+		var once sync.Once
+		bind := func(name string) rts.OpSpec {
+			if name == "a" {
+				return rts.OpSpec{Op: sched.Op{Name: name, N: 1, Time: func(i int) float64 {
+					once.Do(func() { close(started) })
+					<-ctx.Done()
+					return 1
+				}}, Mu: 1}
+			}
+			return rts.OpSpec{Op: sched.Op{Name: name, N: 400, Time: func(i int) float64 { return 1 }}, Mu: 1}
+		}
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Ctx: ctx})
+			errCh <- err
+		}()
+		<-started
+		cancel()
+		err := <-errCh
+		if err != nil {
+			if !rts.IsCanceled(err) {
+				t.Fatalf("attempt %d: error %v does not wrap rts.ErrCanceled", attempt, err)
+			}
+			canceledOnce = true
+		}
+	}
+	if !canceledOnce {
+		t.Fatal("no attempt was abandoned on cancellation")
+	}
+
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after canceled runs (worker leak)", base, runtime.NumGoroutine())
+}
+
+// TestRunContextFiringAfterCompletion checks a context canceled after
+// the last task completes does not turn a successful run into an error.
+func TestRunContextFiringAfterCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	bind := func(name string) rts.OpSpec {
+		return rts.OpSpec{Op: sched.Op{Name: name, N: 50, Time: func(i int) float64 { return 1 }}, Mu: 1}
+	}
+	if _, err := (Backend{}).Run(chainGraph(t, true), bind, rts.RunOpts{Processors: 2, Ctx: ctx}); err != nil {
+		t.Fatalf("run with live context: %v", err)
+	}
+	cancel()
+}

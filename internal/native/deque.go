@@ -80,6 +80,16 @@ func (d *deque) init() {
 	d.buf.Store(newRing(initialDequeCap))
 }
 
+// reset restores the canonical empty state while keeping the ring
+// allocation — the deque half of a pooled worker's arena. Stale slot
+// contents are unreachable (every read is bounded by [top, bottom)).
+// Must only be called while the deque is not shared: after a job's
+// workers have all exited, before the next job's launch.
+func (d *deque) reset() {
+	d.bottom.Store(0)
+	d.top.Store(0)
+}
+
 // push adds a segment at the bottom. Only the owning worker may call
 // it (single-writer bottom is what makes the fast path fence-free in
 // the classic algorithm; here it keeps push CAS-free).

@@ -8,19 +8,22 @@ import (
 	"orchestra/internal/rts"
 )
 
+// TestEmptyGraphWithFaultPlanRepro pins the zero-work edge case: a run
+// whose operators contribute no tasks finishes immediately, and with a
+// fault plan active the detector goroutine also races to observe the
+// finish — both paths must agree on closing the finished channel
+// exactly once (regression: double close panic).
 func TestEmptyGraphWithFaultPlanRepro(t *testing.T) {
 	out, err := core.CompileSource(quickstartProgram, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	bind, _, err := native.ArrayKernels(out.Graph, 0, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// A binder with no task bodies: every operator has zero executable
+	// tasks, so total work is 0.
+	bind := func(string) rts.OpSpec { return rts.OpSpec{} }
 	plan := mustPlan(t, "crash:1@0")
-	var res = rts.RunOpts{Processors: 4, Fault: plan}
-	_, err = native.Backend{}.Run(out.Graph, bind, res)
-	if err != nil {
+	opts := rts.RunOpts{Processors: 4, Fault: plan}
+	if _, err := (native.Backend{}.Run(out.Graph, bind, opts)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package native_test
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"orchestra/internal/core"
@@ -107,40 +108,51 @@ func TestNativeFaultRandom(t *testing.T) {
 // an early crash in a run with downstream releases must surface the
 // self-reported fault, the detector's declared-dead escalation, retry
 // events for the recovered segments, and a reallocation over the
-// survivors.
+// survivors. Whether the detector or a survivor's steal wins the race
+// to the dead worker's holdings is a genuine scheduling race (on a
+// single-CPU machine with GOMAXPROCS=1 the survivors always win), so
+// the test forces real goroutine interleaving and retries the run a
+// bounded number of times until the detector path is exercised.
 func TestNativeFaultEvents(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
 	out, err := core.CompileSource(quickstartProgram, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	var col obs.Collector
-	runNativeFault(t, out, 4, rts.ModeSplit, 4000, 60,
-		mustPlan(t, "crash:0@1,deadline:0.001"), &col)
-	tr := col.Trace
-	if tr == nil {
-		t.Fatal("no trace collected")
-	}
-	if tr.Workers != 5 {
-		t.Fatalf("Workers = %d, want 4 workers + 1 detector ring", tr.Workers)
-	}
+	const attempts = 25
 	var faults, retries, reallocs int
-	for _, e := range tr.Events {
-		switch e.Kind {
-		case obs.KindFault:
-			faults++
-		case obs.KindRetry:
-			retries++
-		case obs.KindRealloc:
-			reallocs++
+	for attempt := 0; attempt < attempts; attempt++ {
+		var col obs.Collector
+		runNativeFault(t, out, 4, rts.ModeSplit, 4000, 60,
+			mustPlan(t, "crash:0@1,deadline:0.001"), &col)
+		tr := col.Trace
+		if tr == nil {
+			t.Fatal("no trace collected")
+		}
+		if tr.Workers != 5 {
+			t.Fatalf("Workers = %d, want 4 workers + 1 detector ring", tr.Workers)
+		}
+		faults, retries, reallocs = 0, 0, 0
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case obs.KindFault:
+				faults++
+			case obs.KindRetry:
+				retries++
+			case obs.KindRealloc:
+				reallocs++
+			}
+		}
+		if faults == 0 {
+			t.Fatal("crash left no fault event")
+		}
+		if reallocs > 0 && retries > 0 {
+			return
 		}
 	}
-	if faults == 0 {
-		t.Fatal("crash left no fault event")
-	}
-	if reallocs == 0 || retries == 0 {
-		t.Fatalf("retries=%d reallocs=%d: the detector never recovered the dead worker",
-			retries, reallocs)
-	}
+	t.Fatalf("retries=%d reallocs=%d after %d attempts: the detector never recovered the dead worker",
+		retries, reallocs, attempts)
 }
 
 // TestNativeFaultRejections: a plan that leaves no survivor must be

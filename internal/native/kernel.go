@@ -1,8 +1,12 @@
 package native
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"sort"
 
 	"orchestra/internal/delirium"
 	"orchestra/internal/interp"
@@ -65,15 +69,21 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 	for idx, nd := range order {
 		st.Alloc(nd.Name, n)
 		arr := st.Arrays[nd.Name]
-		// Snapshot the predecessor arrays and their edge kinds.
+		// Snapshot the predecessor arrays and their edge kinds, in
+		// canonical (name-sorted) order: float addition is not
+		// associative, so the summation order below must not depend on
+		// the graph's edge-list order — a graph and its Encode/Decode
+		// round trip must digest identically.
 		type input struct {
+			from      string
 			arr       []float64
 			pipelined bool
 		}
 		var inputs []input
 		for _, e := range g.InEdges(nd.Name) {
-			inputs = append(inputs, input{arr: st.Arrays[e.From], pipelined: e.Pipelined})
+			inputs = append(inputs, input{from: e.From, arr: st.Arrays[e.From], pipelined: e.Pipelined})
 		}
+		sort.Slice(inputs, func(a, b int) bool { return inputs[a].from < inputs[b].from })
 		nodeID := float64(idx)
 		w := work
 		ins := inputs
@@ -129,6 +139,35 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 		}
 	}
 	return func(name string) rts.OpSpec { return specs[name] }, st, nil
+}
+
+// StateDigest fingerprints a kernel execution's final memory image:
+// SHA-256 over every array (sorted by name) — name, length, and the
+// IEEE-754 bit pattern of each element. Two runs produced bitwise-
+// identical results if and only if their digests match, which is how
+// the serve daemon's clients (and orchload -verify) compare a job
+// executed on the shared pool against a local one-shot run without
+// shipping whole arrays around.
+func StateDigest(st *interp.State) string {
+	names := make([]string, 0, len(st.Arrays))
+	for name := range st.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	var buf [8]byte
+	for _, name := range names {
+		arr := st.Arrays[name]
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(arr)))
+		h.Write(buf[:])
+		for _, v := range arr {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SpinBinder binds every node to a synthetic CPU-bound operation of

@@ -55,7 +55,11 @@ import (
 // Backend runs Delirium graphs on goroutine workers. It is a stateless
 // value: every per-run knob (worker count, mode, TAPER ω, trace sink,
 // pinning, pprof labels) arrives in rts.RunOpts, so two concurrent Run
-// calls on the same Backend cannot interfere.
+// calls on the same Backend cannot interfere. Each Run spawns its own
+// worker goroutines and tears them down when the graph completes; a
+// long-lived process serving many runs should execute them on a Pool
+// instead, which keeps one set of workers alive across jobs (the
+// pool-lifetime/job-lifetime split — see Pool).
 type Backend struct{}
 
 // Name implements rts.Backend.
@@ -68,36 +72,66 @@ func (Backend) Name() string { return "native" }
 // TAPER chunking and work stealing (operators still gate on fully
 // completed predecessors), and ModeSplit additionally overlaps
 // pipelined producer/consumer pairs. A non-nil opts.Sink receives the
-// run's event trace, timestamped from the wall clock.
+// run's event trace, timestamped from the wall clock. A non-nil
+// opts.Ctx cancels the run cooperatively at chunk boundaries.
 func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.Result, error) {
-	if err := opts.Validate(); err != nil {
-		return trace.Result{}, err
-	}
-	if err := g.Validate(); err != nil {
-		return trace.Result{}, err
-	}
-	order, err := g.TopoOrder()
+	e, err := newEngine(g, bind, opts, defaultProcs(opts.Processors))
 	if err != nil {
 		return trace.Result{}, err
 	}
-	if len(order) > maxOps {
-		return trace.Result{}, fmt.Errorf("native: %d operators exceed the deque packing limit %d", len(order), maxOps)
+	ws := make([]*worker, e.p)
+	for i := range ws {
+		ws[i] = newWorker(i)
 	}
-	p := opts.Processors
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
+	e.workers = ws
+	// Transient pool-of-one-job: each worker closure runs on a fresh
+	// goroutine that exits when the job does.
+	return e.execute(opts, func(run func()) { go run() })
+}
+
+// defaultProcs resolves a worker-count request against the backend
+// default (GOMAXPROCS).
+func defaultProcs(req int) int {
+	if req > 0 {
+		return req
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// newEngine validates the graph and options and builds the per-job
+// scheduler state for p workers: operator states in topological order,
+// dataflow gates, fault-injection state, and the trace recorder. It
+// does not create workers or start execution — callers attach a worker
+// set (freshly allocated by Backend.Run, leased from an arena by
+// Pool.Run) and then call execute.
+func newEngine(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts, p int) (*engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if len(order) > maxOps {
+		return nil, fmt.Errorf("native: %d operators exceed the deque packing limit %d", len(order), maxOps)
+	}
+	if p < 1 {
+		p = 1
 	}
 	var fx *fault.Exec
 	if opts.Fault != nil {
 		if err := opts.Fault.Validate(p); err != nil {
-			return trace.Result{}, err
+			return nil, err
 		}
 		// Message faults (delay/loss) have no native equivalent — the
 		// backend exchanges no modelled messages — so only worker
 		// actions take effect here.
 		fx = fault.NewExec(opts.Fault, p)
 	}
-	e := &engine{p: p, pin: opts.Pin, labels: opts.Labels, fx: fx}
+	e := &engine{p: p, pin: opts.Pin, labels: opts.Labels, fx: fx, graphName: g.Name, mode: opts.Mode}
 	e.live.Store(int32(p))
 	switch opts.Mode {
 	case rts.ModeStatic:
@@ -108,13 +142,16 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 		e.adaptive, e.steal, e.pipelined = true, true, true
 	}
 	e.finished = make(chan struct{})
+	if fx != nil && opts.Fault.NeedsDetector() {
+		e.needsDetector = true
+	}
 	if opts.Sink != nil {
 		names := make([]string, len(order))
 		for i, nd := range order {
 			names[i] = nd.Name
 		}
 		rings := p
-		if fx != nil && opts.Fault.NeedsDetector() {
+		if e.needsDetector {
 			// The detector emits fault/retry/realloc events from its own
 			// goroutine; rings are single-writer, so it gets ring p.
 			rings = p + 1
@@ -135,7 +172,7 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 		// with exactly maxTasks tasks would pack hi = 1<<24 into a
 		// 24-bit field and alias the lo field's low bit.
 		if o.n >= maxTasks {
-			return trace.Result{}, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
+			return nil, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
 		}
 		o.taper = sched.Taper{UseCostFunction: true, Omega: opts.Omega}
 		o.stats = sched.NewTaskStats(maxInt(o.n, 1))
@@ -144,6 +181,7 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 		e.ops = append(e.ops, o)
 		total += o.n
 	}
+	e.total = total
 	e.outstanding.Store(int64(total))
 
 	// Dataflow edges. Pipelined edges get a delivery granularity; in
@@ -172,30 +210,78 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 			}
 		}
 	}
+	return e, nil
+}
 
-	e.workers = make([]*worker, p)
-	for i := range e.workers {
-		w := &worker{id: i, rng: stats.NewRNG(uint64(i)*0x9e3779b97f4a7c15 + 0x1d)}
-		w.dq.init()
-		w.pk.init()
-		w.labelOp = -1
-		e.workers[i] = w
+// newWorker builds a fresh worker in the ready state for job-local
+// id i.
+func newWorker(i int) *worker {
+	w := &worker{}
+	w.dq.init()
+	w.pk.init()
+	w.reset(i)
+	return w
+}
+
+// reset re-initializes a worker for a new job under job-local id i:
+// the start of the worker's next epoch. Everything observable is
+// cleared — deque window, inbox, parker state and any unconsumed wake
+// token, fault flags, measured busy time — while the allocations that
+// survive (deque ring, inbox backing array, wake scratch) are the
+// arena the Pool reuses across jobs. Must only be called while no
+// other goroutine can reach the worker.
+func (w *worker) reset(i int) {
+	w.id = i
+	w.rng = stats.NewRNG(uint64(i)*0x9e3779b97f4a7c15 + 0x1d)
+	w.dq.reset()
+	w.pk.reset()
+	w.inbox = w.inbox[:0]
+	w.inboxN.Store(0)
+	w.busy = 0
+	w.hb.Store(0)
+	w.deadA.Store(false)
+	w.slowF = 0
+	w.slowSeen = false
+	w.wakeBuf = w.wakeBuf[:0]
+	w.labelOp = -1
+}
+
+// execute runs the prepared engine to completion on its attached
+// workers. launch starts one worker closure; Backend.Run passes `go`,
+// Pool.Run dispatches onto its persistent goroutines. It is the single
+// execution path for both, so pool-hosted jobs and one-shot runs are
+// behaviorally identical.
+func (e *engine) execute(opts rts.RunOpts, launch func(func())) (trace.Result, error) {
+	if ctx := opts.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return trace.Result{}, rts.CancelError("native", ctx)
+		}
+		if ctx.Done() != nil {
+			// The monitor makes cancellation visible to the workers: the
+			// canceled flag stops loop-tops, the closed channel unparks
+			// sleepers. stop() keeps the callback from outliving the run.
+			stop := context.AfterFunc(ctx, func() {
+				e.canceled.Store(true)
+				e.finishOnce.Do(func() { close(e.finished) })
+			})
+			defer stop()
+		}
 	}
 
 	start := time.Now()
 	e.start = start
-	if fx != nil {
+	if e.fx != nil {
 		now := start.UnixNano()
 		for _, w := range e.workers {
 			w.hb.Store(now)
 		}
 	}
-	if total == 0 {
-		close(e.finished)
+	if e.total == 0 {
+		e.finishOnce.Do(func() { close(e.finished) })
 	}
 
 	// Initial releases, still single-threaded (the worker goroutines
-	// launch below, so these plain deque pushes are safely published).
+	// start below, so these plain deque pushes are safely published).
 	// Source operators release everything; gated operators take one
 	// gate evaluation, which releases ops whose producers are already
 	// trivially complete (zero-task operators).
@@ -211,15 +297,16 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 
 	for _, w := range e.workers {
 		e.wg.Add(1)
-		go e.runWorker(w)
+		w := w
+		launch(func() { e.runWorker(w) })
 	}
-	if fx != nil && opts.Fault.NeedsDetector() {
+	if e.needsDetector {
 		e.detWG.Add(1)
 		go e.detector()
 	}
 	e.wg.Wait()
 	wall := time.Since(start).Seconds()
-	if fx != nil {
+	if e.fx != nil {
 		// Workers exit either on finished or by crashing; make sure the
 		// detector sees a closed channel even on the stall-error path.
 		e.finishOnce.Do(func() { close(e.finished) })
@@ -227,14 +314,17 @@ func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.
 	}
 
 	if e.outstanding.Load() != 0 {
+		if e.canceled.Load() {
+			return trace.Result{}, rts.CancelError("native", opts.Ctx)
+		}
 		return trace.Result{}, fmt.Errorf("native: execution stalled with %d tasks outstanding", e.outstanding.Load())
 	}
 	res := trace.Result{
-		Name:       fmt.Sprintf("native-%s/%s", opts.Mode, g.Name),
-		Processors: p,
+		Name:       fmt.Sprintf("native-%s/%s", e.mode, e.graphName),
+		Processors: e.p,
 		Unit:       "s",
 		Makespan:   wall,
-		Busy:       make([]float64, p),
+		Busy:       make([]float64, e.p),
 		Chunks:     int(e.chunks.Load()),
 		Steals:     int(e.steals.Load()),
 		Messages:   int(e.batches.Load()),
@@ -357,13 +447,23 @@ func (w *worker) drainInbox() {
 	w.inboxMu.Unlock()
 }
 
-// engine is the per-execution scheduler state.
+// engine is the per-execution scheduler state: everything whose
+// lifetime is one job, as opposed to the workers' goroutines, whose
+// lifetime is the pool's when a Pool hosts the job.
 type engine struct {
 	p                          int
 	adaptive, steal, pipelined bool
 	pin, labels                bool
+	graphName                  string
+	mode                       rts.Mode
+	total                      int
+	needsDetector              bool
 	ops                        []*opState
 	workers                    []*worker
+
+	// canceled is set by the context monitor; workers observe it at
+	// their loop-top and abandon queued work.
+	canceled atomic.Bool
 
 	// idle counts workers that have published themselves as parked;
 	// releasers skip the wake scan entirely while it is zero.
@@ -643,6 +743,12 @@ func (e *engine) runWorker(w *worker) {
 		defer pprof.SetGoroutineLabels(context.Background())
 	}
 	for {
+		if e.canceled.Load() {
+			// Cooperative cancellation: whatever this worker still holds
+			// is abandoned (the engine is discarded wholesale), but the
+			// chunk that was executing has fully completed.
+			return
+		}
 		if e.fx != nil {
 			w.hb.Store(time.Now().UnixNano())
 			// A declared-dead worker reaching its loop-top is demonstrably

@@ -36,6 +36,19 @@ const (
 
 func (pk *parker) init() { pk.wake = make(chan struct{}, 1) }
 
+// reset returns the parker to the active state and drains a wake token
+// left in flight by a releaser whose claimed worker exited on the
+// finished channel instead of consuming it (harmless within one job,
+// but a reused parker must not wake spuriously in the next). Must only
+// be called while the parker is not shared.
+func (pk *parker) reset() {
+	pk.state.Store(pActive)
+	select {
+	case <-pk.wake:
+	default:
+	}
+}
+
 // prepare publishes intent to park. The caller must re-check for work
 // after this call and before block.
 func (pk *parker) prepare() { pk.state.Store(pParked) }

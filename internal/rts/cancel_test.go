@@ -1,0 +1,100 @@
+package rts
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+)
+
+func cancelTestGraph(t *testing.T) *delirium.Graph {
+	t.Helper()
+	g := delirium.NewGraph("cancel")
+	for _, n := range []string{"a", "b"} {
+		if err := g.AddNode(&delirium.Node{Name: n, Kind: delirium.Par}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "a", To: "b", Bytes: 8})
+	return g
+}
+
+// TestSimRunPreCanceledContext checks that every simulator mode
+// refuses an already-canceled context with the distinguishable error.
+func TestSimRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := cancelTestGraph(t)
+	bind := func(name string) OpSpec {
+		return OpSpec{Op: sched.Op{Name: name, N: 10, Time: func(i int) float64 { return 1 }}, Mu: 1}
+	}
+	be := NewSimBackend(machine.DefaultConfig(4))
+	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
+		_, err := be.Run(g, bind, RunOpts{Mode: mode, Ctx: ctx})
+		if !IsCanceled(err) {
+			t.Errorf("%v: error = %v, want one wrapping ErrCanceled", mode, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: error = %v, want it to also wrap context.Canceled", mode, err)
+		}
+	}
+}
+
+// TestSimRunCancelMidRun cancels the context from inside the first
+// operator's task bodies: the barriered modes must abandon the run at
+// the next operator boundary, the dataflow mode at the next dispatch.
+// The simulator is single-threaded, so this is deterministic.
+func TestSimRunCancelMidRun(t *testing.T) {
+	g := cancelTestGraph(t)
+	be := NewSimBackend(machine.DefaultConfig(4))
+	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
+		ctx, cancel := context.WithCancel(context.Background())
+		bind := func(name string) OpSpec {
+			return OpSpec{Op: sched.Op{Name: name, N: 100, Time: func(i int) float64 {
+				cancel()
+				return 1
+			}}, Mu: 1}
+		}
+		_, err := be.Run(g, bind, RunOpts{Mode: mode, Ctx: ctx})
+		cancel()
+		if !IsCanceled(err) {
+			t.Errorf("%v: error = %v, want one wrapping ErrCanceled", mode, err)
+		}
+	}
+}
+
+// TestSimRunNilContext checks the default remains uncancelable and
+// unchanged: a nil Ctx runs to completion.
+func TestSimRunNilContext(t *testing.T) {
+	g := cancelTestGraph(t)
+	bind := func(name string) OpSpec {
+		return OpSpec{Op: sched.Op{Name: name, N: 10, Time: func(i int) float64 { return 1 }}, Mu: 1}
+	}
+	be := NewSimBackend(machine.DefaultConfig(4))
+	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
+		if _, err := be.Run(g, bind, RunOpts{Mode: mode}); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+// TestIsCanceled pins the helper's contract.
+func TestIsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !IsCanceled(CancelError("native", ctx)) {
+		t.Error("IsCanceled(CancelError(...)) = false")
+	}
+	if !IsCanceled(CancelError("rts", nil)) {
+		t.Error("IsCanceled(CancelError with nil ctx) = false")
+	}
+	if IsCanceled(errors.New("boom")) {
+		t.Error("IsCanceled(unrelated error) = true")
+	}
+	if IsCanceled(nil) {
+		t.Error("IsCanceled(nil) = true")
+	}
+}

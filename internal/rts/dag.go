@@ -1,6 +1,7 @@
 package rts
 
 import (
+	"context"
 	"fmt"
 
 	"orchestra/internal/delirium"
@@ -53,7 +54,7 @@ func ExecuteDAG(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts
 	if err != nil {
 		return trace.Result{}, err
 	}
-	r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec, fx)
+	r, err := executeDAG(opts.Ctx, cfg, g, bind, p, opts.Omega, rec, fx)
 	if err != nil {
 		return trace.Result{}, err
 	}
@@ -88,8 +89,11 @@ func simFaults(cfg *machine.Config, opts RunOpts, p int) (*fault.Exec, error) {
 }
 
 // executeDAG is the barrier-free engine shared by ExecuteDAG and
-// RunGraph's ModeSplit path. rec and fx may be nil.
-func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega float64, rec *obs.Recorder, fx *fault.Exec) (trace.Result, error) {
+// RunGraph's ModeSplit path. ctx, rec and fx may be nil. A canceled
+// context makes every processor stop taking chunks at its next
+// scheduling decision; in-flight simulated chunks drain and the run
+// returns a CancelError instead of a result.
+func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega float64, rec *obs.Recorder, fx *fault.Exec) (trace.Result, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return trace.Result{}, err
@@ -464,6 +468,11 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 		if totalOutstanding <= 0 {
 			return
 		}
+		if ctx != nil && ctx.Err() != nil {
+			// Canceled: this processor stops taking work; once every
+			// in-flight chunk drains the event loop empties out.
+			return
+		}
 		slowF = 1.0
 		if fx != nil {
 			d := fx.Begin(gp)
@@ -532,6 +541,9 @@ func executeDAG(cfg machine.Config, g *delirium.Graph, bind Binder, p int, omega
 	}
 	sim.Run()
 	if totalOutstanding != 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return trace.Result{}, CancelError("rts", ctx)
+		}
 		return trace.Result{}, fmt.Errorf("rts: DAG execution stalled with %d tasks outstanding", totalOutstanding)
 	}
 	res.Makespan = sim.Now() + cfg.BroadcastTime(p, 8)

@@ -120,12 +120,16 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 		return r, opts.Sink.Consume(rec.Finish(r))
 	}
 
+	if opts.canceled() {
+		return trace.Result{}, CancelError("rts", opts.Ctx)
+	}
+
 	if opts.Mode == ModeSplit {
 		// Fully adaptive dataflow execution of the whole graph — no
 		// barriers; operators enable as predecessors complete, pipelined
 		// edges enable consumers incrementally, and processors migrate
 		// to whatever is executable.
-		r, err := executeDAG(cfg, g, bind, p, opts.Omega, rec, fx)
+		r, err := executeDAG(opts.Ctx, cfg, g, bind, p, opts.Omega, rec, fx)
 		if err != nil {
 			return trace.Result{}, err
 		}
@@ -141,6 +145,12 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true, Omega: opts.Omega} }
 
 	for oi, n := range order {
+		// The barriered modes execute one operator at a time, so an
+		// operator boundary is the natural cancellation point: work
+		// already simulated stays charged, the rest is abandoned.
+		if opts.canceled() {
+			return trace.Result{}, CancelError("rts", opts.Ctx)
+		}
 		spec := bind(n.Name)
 		ob := obs.OpObs{R: rec, Op: oi, Base: agg.Makespan}
 		var r trace.Result

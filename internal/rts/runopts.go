@@ -1,11 +1,37 @@
 package rts
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"orchestra/internal/fault"
 	"orchestra/internal/obs"
 )
+
+// ErrCanceled marks a run abandoned because its RunOpts.Ctx was
+// canceled or its deadline expired before every task completed. Both
+// backends wrap it (together with the context's own error) into the
+// error they return, so callers distinguish cancellation from
+// execution failures with errors.Is(err, rts.ErrCanceled). A run whose
+// context fires after the last task completes still reports success.
+var ErrCanceled = errors.New("run canceled")
+
+// CancelError builds the distinguishable error a backend returns for a
+// canceled run: it wraps both ErrCanceled and the context's error, so
+// errors.Is matches either (e.g. context.DeadlineExceeded for expired
+// deadlines).
+func CancelError(backend string, ctx context.Context) error {
+	var cause error = ErrCanceled
+	if ctx != nil && ctx.Err() != nil {
+		cause = errors.Join(ErrCanceled, ctx.Err())
+	}
+	return fmt.Errorf("%s: %w", backend, cause)
+}
+
+// IsCanceled reports whether a backend error means the run was
+// abandoned on a canceled context rather than failing.
+func IsCanceled(err error) bool { return errors.Is(err, ErrCanceled) }
 
 // RunOpts configures one execution of a Delirium graph. It is the
 // single way to configure a run on any backend: the zero value of
@@ -47,6 +73,13 @@ type RunOpts struct {
 	// plan against its resolved worker count (at least one worker must
 	// survive). A nil Fault costs one branch per chunk boundary.
 	Fault *fault.Plan
+	// Ctx, when non-nil, bounds the run: cancellation (or an expired
+	// deadline) makes the backend abandon unexecuted work, release its
+	// workers, and return an error wrapping ErrCanceled. Cancellation
+	// is cooperative at chunk boundaries — a task already executing
+	// finishes first — so partial side effects never include a
+	// half-executed task. A nil Ctx means the run cannot be canceled.
+	Ctx context.Context
 }
 
 // RunOption mutates a RunOpts; see NewRunOpts.
@@ -86,6 +119,15 @@ func WithProfileLabels() RunOption { return func(o *RunOpts) { o.Labels = true }
 // against the worker count happens in the backend, which resolves the
 // processor default first.
 func WithFaultPlan(p *fault.Plan) RunOption { return func(o *RunOpts) { o.Fault = p } }
+
+// WithContext bounds the run by a context: cancellation or an expired
+// deadline abandons the run with an error wrapping ErrCanceled.
+func WithContext(ctx context.Context) RunOption { return func(o *RunOpts) { o.Ctx = ctx } }
+
+// canceled reports whether the run's context has fired.
+func (o RunOpts) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
+}
 
 // Validate checks the options for consistency. Backends call it at
 // the top of Run; callers constructing RunOpts by hand may call it

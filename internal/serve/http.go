@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The HTTP surface. All request and response bodies are JSON; errors
+// come back as {"error": "..."} with a 4xx/5xx status. Routes (Go 1.22
+// method patterns):
+//
+//	POST /api/v1/jobs            submit (sync unless "async": true)
+//	GET  /api/v1/jobs/{id}       job status (?wait=1 blocks until done)
+//	POST /api/v1/jobs/{id}/cancel
+//	GET  /api/v1/stats           pool, cache, jobs, allocation decisions
+//	GET  /healthz                liveness
+//
+// The handlers are a thin shim over Server's methods: everything they
+// do is equally reachable in-process, which is how the package's tests
+// drive them (httptest against Handler()).
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Async {
+		// Submitted but probably not finished: report the snapshot.
+		writeJSON(w, http.StatusAccepted, j.Status())
+		return
+	}
+	writeJSON(w, statusCode(j), j.Status())
+}
+
+// statusCode maps a terminal job to its HTTP status: failures are
+// 500s, cancellations 499 (the de-facto client-closed-request code),
+// anything else 200.
+func statusCode(j *Job) int {
+	switch st := j.Status(); st.State {
+	case StateFailed:
+		return http.StatusInternalServerError
+	case StateCanceled:
+		return 499
+	default:
+		return http.StatusOK
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			writeError(w, 499, r.Context().Err())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"orchestra/internal/core"
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+)
+
+// figure1 loads the paper's running example, the daemon's canonical
+// test program.
+func figure1(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/figure1.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{PoolSize: 4, DefaultMode: rts.ModeSplit})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postJob submits a request and decodes the response body regardless
+// of status code.
+func postJob(t *testing.T, ts *httptest.Server, req SubmitRequest) (int, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPSubmitSyncCacheAndParity submits the same program twice:
+// the first compile is a cache miss, the second a hit, and both
+// results are bitwise identical to a local one-shot run.
+func TestHTTPSubmitSyncCacheAndParity(t *testing.T) {
+	_, ts := newTestServer(t)
+	src := figure1(t)
+	req := SubmitRequest{Program: src, N: 64, Mode: "split"}
+
+	code, st := postJob(t, ts, req)
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("first submit: %d %s (%s)", code, st.State, st.Error)
+	}
+	if st.Cache != "miss" {
+		t.Errorf("first submit: cache %q, want miss", st.Cache)
+	}
+	if st.Digest == "" || st.Result == nil || st.Allocated < 1 {
+		t.Errorf("first submit: digest %q result %v allocated %d", st.Digest, st.Result, st.Allocated)
+	}
+
+	code2, st2 := postJob(t, ts, req)
+	if code2 != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("second submit: %d %s (%s)", code2, st2.State, st2.Error)
+	}
+	if st2.Cache != "hit" {
+		t.Errorf("second submit: cache %q, want hit", st2.Cache)
+	}
+	if st2.Digest != st.Digest {
+		t.Errorf("digests differ across submissions: %.12s vs %.12s", st.Digest, st2.Digest)
+	}
+
+	// Local one-shot reference, entirely outside the daemon.
+	out, err := core.CompileSource(src, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind, state, err := native.ArrayKernels(out.Graph, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (native.Backend{}).Run(out.Graph, bind, rts.RunOpts{Mode: rts.ModeSplit}); err != nil {
+		t.Fatal(err)
+	}
+	if want := native.StateDigest(state); st.Digest != want {
+		t.Errorf("daemon digest %.12s != one-shot %.12s", st.Digest, want)
+	}
+
+	var stats Stats
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Cache.Hits < 1 || stats.Cache.Misses < 1 || stats.Cache.Entries != 1 {
+		t.Errorf("cache stats = %+v, want >=1 hit, >=1 miss, 1 entry", stats.Cache)
+	}
+	if stats.Pool.Size != 4 || stats.Pool.Free != 4 {
+		t.Errorf("pool stats = %+v, want size 4 all free", stats.Pool)
+	}
+	if stats.Jobs.Done < 2 || len(stats.Allocations) < 2 {
+		t.Errorf("jobs %+v, %d allocation decisions", stats.Jobs, len(stats.Allocations))
+	}
+}
+
+// TestHTTPSubmitGraphText submits raw Delirium coordination text and
+// checks it digests identically to submitting the program it encodes.
+func TestHTTPSubmitGraphText(t *testing.T) {
+	_, ts := newTestServer(t)
+	src := figure1(t)
+	out, err := core.CompileSource(src, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, byProgram := postJob(t, ts, SubmitRequest{Program: src, N: 48})
+	if code != http.StatusOK || byProgram.State != StateDone {
+		t.Fatalf("program submit: %d %s (%s)", code, byProgram.State, byProgram.Error)
+	}
+	code, byGraph := postJob(t, ts, SubmitRequest{Graph: out.Graph.Encode(), N: 48})
+	if code != http.StatusOK || byGraph.State != StateDone {
+		t.Fatalf("graph submit: %d %s (%s)", code, byGraph.State, byGraph.Error)
+	}
+	if byGraph.Digest != byProgram.Digest {
+		t.Errorf("graph-text digest %.12s != program digest %.12s", byGraph.Digest, byProgram.Digest)
+	}
+}
+
+// TestHTTPAsyncAndWait drives the async path: a 202 with a job id,
+// then a blocking ?wait=1 status read until the terminal state.
+func TestHTTPAsyncAndWait(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, st := postJob(t, ts, SubmitRequest{Program: figure1(t), N: 256, Async: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit: %d, want 202", code)
+	}
+	if st.ID == "" {
+		t.Fatal("async submit returned no job id")
+	}
+	var final JobStatus
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"?wait=1", &final); code != http.StatusOK {
+		t.Fatalf("wait: %d", code)
+	}
+	if final.State != StateDone || final.Digest == "" {
+		t.Errorf("after wait: state %s digest %q (%s)", final.State, final.Digest, final.Error)
+	}
+}
+
+// TestHTTPCancelRunningJob cancels a long async job over HTTP and
+// checks it lands in the canceled state with the pool fully released.
+func TestHTTPCancelRunningJob(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Big enough that cancellation always lands mid-run.
+	code, st := postJob(t, ts, SubmitRequest{Program: figure1(t), N: 8192, Work: 1000, Async: true})
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit: %d, want 202", code)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	var final JobStatus
+	getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"?wait=1", &final)
+	if final.State != StateCanceled {
+		t.Fatalf("after cancel: state %s (%s)", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "canceled") {
+		t.Errorf("canceled job error = %q, want it to mention cancellation", final.Error)
+	}
+
+	// The workers must come back; a fresh job must run normally.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.Free() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool free = %d after cancel, want 4", s.pool.Free())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, after := postJob(t, ts, SubmitRequest{Program: figure1(t), N: 32})
+	if code != http.StatusOK || after.State != StateDone {
+		t.Fatalf("submit after cancel: %d %s (%s)", code, after.State, after.Error)
+	}
+}
+
+// TestHTTPTimeoutBecomes499 checks a job deadline maps to the canceled
+// state and the 499 status code on the synchronous path.
+func TestHTTPTimeoutBecomes499(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, st := postJob(t, ts, SubmitRequest{Program: figure1(t), N: 8192, Work: 1000, TimeoutMS: 20})
+	if code != 499 {
+		t.Fatalf("timed-out submit: %d (%s, %s), want 499", code, st.State, st.Error)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("timed-out submit state %s, want canceled", st.State)
+	}
+}
+
+// TestHTTPBadRequests pins the 4xx surface.
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", "{"},
+		{"unknown field", `{"prog": "x"}`},
+		{"neither program nor graph", `{}`},
+		{"both program and graph", `{"program": "x", "graph": "y"}`},
+		{"bad mode", `{"program": "program p\nend\n", "mode": "warp"}`},
+		{"bad binder", `{"program": "program p\nend\n", "binder": "quantum"}`},
+		{"bad fault plan", `{"program": "program p\nend\n", "fault": "meteor:9"}`},
+		{"compile error", `{"program": "this is not fortran"}`},
+		{"bad graph text", `{"graph": "this is not delirium"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", tc.name, resp.StatusCode)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: no error message in response", tc.name)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPHealthz pins the liveness endpoint.
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz: %d %v", code, body)
+	}
+}
+
+// TestConcurrentSubmissionsShareOnePool floods the daemon with
+// concurrent in-process submissions and checks every digest agrees —
+// the multi-tenant correctness contract, race-checked under -race.
+func TestConcurrentSubmissionsShareOnePool(t *testing.T) {
+	s, _ := newTestServer(t)
+	src := figure1(t)
+	const jobs = 16
+	type outcome struct {
+		st  JobStatus
+		err error
+	}
+	results := make(chan outcome, jobs)
+	for i := 0; i < jobs; i++ {
+		go func() {
+			j, err := s.Submit(SubmitRequest{Program: src, N: 64, Processors: 2})
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			results <- outcome{st: j.Status()}
+		}()
+	}
+	digests := map[string]int{}
+	for i := 0; i < jobs; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.st.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", o.st.ID, o.st.State, o.st.Error)
+		}
+		digests[o.st.Digest]++
+	}
+	if len(digests) != 1 {
+		t.Errorf("concurrent submissions produced %d distinct digests: %v", len(digests), digests)
+	}
+	if st := s.Stats(); st.Cache.Entries != 1 || st.Cache.Misses != 1 || st.Cache.Hits != jobs-1 {
+		t.Errorf("cache stats = %+v, want 1 entry, 1 miss, %d hits", st.Cache, jobs-1)
+	}
+}
+
+// TestServerCloseReleasesEverything checks Close cancels in-flight
+// jobs, rejects new ones, and leaves no goroutines behind.
+func TestServerCloseReleasesEverything(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	s := New(Config{PoolSize: 3, DefaultMode: rts.ModeSplit})
+	src := figure1(t)
+	if _, err := s.Submit(SubmitRequest{Program: src, N: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// A long async job Close must cancel rather than wait out.
+	j, err := s.Submit(SubmitRequest{Program: src, N: 8192, Work: 1000, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if st := j.Status(); st.State != StateCanceled && st.State != StateDone {
+		t.Errorf("async job after Close: %s", st.State)
+	}
+	if _, err := s.Submit(SubmitRequest{Program: src, N: 32}); err == nil {
+		t.Error("Submit after Close succeeded")
+	}
+
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before server, %d after Close", base, runtime.NumGoroutine())
+}
+
+// TestAdmissionEqualizesFinishingTimes pins the cross-job allocator:
+// with one heavy job running, a light newcomer's grant leaves the
+// heavy job the larger share, and every decision is logged.
+func TestAdmissionEqualizesFinishingTimes(t *testing.T) {
+	heavy := jobLoad{id: "heavy", tasks: 10000}
+	light := jobLoad{id: "light", tasks: 100}
+	d := admit(light, []jobLoad{heavy}, 8, 0)
+	if d.Grant < 1 || d.Grant > 8 {
+		t.Fatalf("grant %d out of range", d.Grant)
+	}
+	if d.Targets["heavy"] <= d.Targets["light"] {
+		t.Errorf("targets %v: heavy job should get more processors than light one", d.Targets)
+	}
+	if d.Grant != d.Targets["light"] {
+		t.Errorf("grant %d != light job's target %d", d.Grant, d.Targets["light"])
+	}
+
+	// A requested cap clamps the grant.
+	capped := admit(light, []jobLoad{heavy}, 8, 1)
+	if capped.Grant != 1 {
+		t.Errorf("capped grant %d, want 1", capped.Grant)
+	}
+
+	// An empty machine gives a solo job everything.
+	solo := admit(jobLoad{id: "solo", tasks: 50}, nil, 8, 0)
+	if solo.Grant != 8 {
+		t.Errorf("solo grant %d, want 8", solo.Grant)
+	}
+}
+
+// TestAllocLogRing pins the bounded decision log.
+func TestAllocLogRing(t *testing.T) {
+	var l allocLog
+	for i := 0; i < 100; i++ {
+		l.add(AllocDecision{Job: fmt.Sprintf("job-%d", i)})
+	}
+	snap := l.snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("snapshot length %d, want 64", len(snap))
+	}
+	if snap[0].Job != "job-36" || snap[63].Job != "job-99" {
+		t.Errorf("snapshot spans %s..%s, want job-36..job-99 oldest-first", snap[0].Job, snap[63].Job)
+	}
+}

@@ -1,0 +1,544 @@
+// Package serve is the orchestration daemon: a long-running,
+// multi-tenant execution service for Delirium graphs. One warm
+// native.Pool of persistent workers lives for the daemon's lifetime;
+// submitted programs are compiled once into a content-addressed graph
+// cache and executed as jobs multiplexed onto the shared pool, with
+// worker grants decided by the paper's finishing-time-equalizing
+// allocator applied across jobs (see admission.go). The HTTP surface
+// (http.go) is a thin JSON layer over Server's methods, so embedders
+// and tests drive the same code paths as network clients.
+//
+// The lifecycle of a submission:
+//
+//	submit → resolve graph (cache hit or compile) → job registered
+//	       → admission (worker grant) → pool leases workers (FIFO)
+//	       → engine executes on persistent goroutines → result + digest
+//
+// Each job runs under its own context (cancel endpoint, optional
+// deadline) and its own RunOpts — fault plans and trace sinks are
+// per-job and cannot perturb neighbours sharing the pool.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"orchestra/internal/compile"
+	"orchestra/internal/delirium"
+	"orchestra/internal/fault"
+	"orchestra/internal/interp"
+	"orchestra/internal/native"
+	"orchestra/internal/obs"
+	"orchestra/internal/rts"
+	"orchestra/internal/trace"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// PoolSize is the warm pool's worker count (<= 0: GOMAXPROCS).
+	PoolSize int
+	// DefaultMode applies when a submission omits "mode".
+	DefaultMode rts.Mode
+	// Omega is the default TAPER confidence width (0 = scheduler
+	// default); submissions may override per job.
+	Omega float64
+}
+
+// Server is the daemon state: the warm pool, the graph cache, and the
+// job registry. Create with New, dispose with Close.
+type Server struct {
+	cfg   Config
+	pool  *native.Pool
+	cache *graphCache
+	alloc allocLog
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+
+	done, failed, canceled int64
+	started                time.Time
+}
+
+// New starts a daemon: the pool's worker goroutines spin up here and
+// live until Close.
+func New(cfg Config) *Server {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cfg:     cfg,
+		pool:    native.NewPool(cfg.PoolSize),
+		cache:   newGraphCache(),
+		jobs:    map[string]*Job{},
+		started: time.Now(),
+	}
+}
+
+// Close cancels every unfinished job, waits for async submissions to
+// drain, and stops the pool's workers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+// SubmitRequest is one job submission. Exactly one of Program (mini-
+// Fortran source, compiled through the graph cache) or Graph (Delirium
+// coordination text, decoded through the cache) must be set.
+type SubmitRequest struct {
+	Program string          `json:"program,omitempty"`
+	Graph   string          `json:"graph,omitempty"`
+	Options *CompileOptions `json:"options,omitempty"`
+
+	// Binder selects how graph nodes become executable work: "kernel"
+	// (default — real array kernels with a result digest) or "spin"
+	// (synthetic CPU-bound tasks, log-normal durations).
+	Binder string `json:"binder,omitempty"`
+	// N is the per-operator task count (default 2048).
+	N int `json:"n,omitempty"`
+	// Work is the kernel binder's function-evaluation rounds per task.
+	Work int `json:"work,omitempty"`
+	// CV, Seed, UnitWork parameterize the spin binder.
+	CV       float64 `json:"cv,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	UnitWork int     `json:"unitwork,omitempty"`
+
+	// Mode is static, taper, or split (default: the server's).
+	Mode string `json:"mode,omitempty"`
+	// Processors caps the job's worker grant (0 = allocator's choice).
+	Processors int `json:"processors,omitempty"`
+	// Omega overrides TAPER's confidence width for this job.
+	Omega float64 `json:"omega,omitempty"`
+	// Fault injects a per-job fault plan (internal/fault syntax).
+	Fault string `json:"fault,omitempty"`
+	// TimeoutMS bounds the job's total time (queue + run); 0 = none.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace captures the job's execution trace and returns it as a
+	// Chrome trace-event JSON string in the job status.
+	Trace bool `json:"trace,omitempty"`
+	// Async returns the job id immediately instead of waiting for the
+	// result; poll or wait on the status endpoint.
+	Async bool `json:"async,omitempty"`
+}
+
+// CompileOptions is the submission view of compile.Options.
+type CompileOptions struct {
+	Fuse     bool `json:"fuse,omitempty"`
+	Split    bool `json:"split"`
+	Pipeline bool `json:"pipeline"`
+	Depth    int  `json:"depth,omitempty"`
+}
+
+func (o *CompileOptions) resolve() compile.Options {
+	if o == nil {
+		return compile.DefaultOptions()
+	}
+	c := compile.DefaultOptions()
+	c.EnableFusion = o.Fuse
+	c.EnableSplit = o.Split
+	c.EnablePipeline = o.Pipeline
+	if o.Depth > 0 {
+		c.PipelineDepth = o.Depth
+	}
+	return c
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one submission's lifecycle. All mutation happens under mu;
+// Status snapshots it for the API.
+type Job struct {
+	id       string
+	server   *Server
+	graph    *delirium.Graph
+	cacheHit bool
+	req      SubmitRequest
+	mode     rts.Mode
+	plan     *fault.Plan
+	tasks    int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	doneCh chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	grant     int
+	result    *trace.Result
+	digest    string
+	traceJSON string
+	errMsg    string
+	submitted time.Time
+	startedAt time.Time
+	finished  time.Time
+}
+
+// JobStatus is the API snapshot of a job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Graph string `json:"graph"`
+	// Cache reports whether this job's graph came out of the cache
+	// ("hit") or was compiled/decoded by it ("miss").
+	Cache string `json:"cache"`
+	Mode  string `json:"mode"`
+	// Requested is the submission's processor cap, Allocated the
+	// admission grant actually used (0 until running).
+	Requested int `json:"requested"`
+	Allocated int `json:"allocated"`
+	// QueueSeconds is submit→start, RunSeconds start→finish.
+	QueueSeconds float64       `json:"queue_seconds"`
+	RunSeconds   float64       `json:"run_seconds"`
+	Result       *trace.Result `json:"result,omitempty"`
+	// Digest fingerprints the kernel binder's final arrays (SHA-256,
+	// bitwise); empty for the spin binder.
+	Digest string `json:"digest,omitempty"`
+	// TraceJSON is the Chrome trace-event export when Trace was set.
+	TraceJSON string `json:"trace_json,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Graph:     j.graph.Name,
+		Cache:     map[bool]string{true: "hit", false: "miss"}[j.cacheHit],
+		Mode:      j.mode.String(),
+		Requested: j.req.Processors,
+		Allocated: j.grant,
+		Result:    j.result,
+		Digest:    j.digest,
+		TraceJSON: j.traceJSON,
+		Error:     j.errMsg,
+	}
+	if !j.startedAt.IsZero() {
+		st.QueueSeconds = j.startedAt.Sub(j.submitted).Seconds()
+		if !j.finished.IsZero() {
+			st.RunSeconds = j.finished.Sub(j.startedAt).Seconds()
+		}
+	}
+	return st
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Cancel requests cooperative cancellation: a queued job aborts its
+// pool wait, a running one stops at the next chunk boundaries.
+func (j *Job) Cancel() { j.cancel() }
+
+// Submit validates a request, resolves its graph through the cache,
+// and starts the job: inline for synchronous submissions (the call
+// returns when the job is terminal), on a daemon goroutine for async
+// ones (the call returns once the job is registered).
+func (s *Server) Submit(req SubmitRequest) (*Job, error) {
+	j, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Async {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runJob(j)
+		}()
+		return j, nil
+	}
+	s.runJob(j)
+	return j, nil
+}
+
+// prepare builds and registers a job without running it.
+func (s *Server) prepare(req SubmitRequest) (*Job, error) {
+	if (req.Program == "") == (req.Graph == "") {
+		return nil, fmt.Errorf("serve: submit exactly one of program or graph")
+	}
+	mode := s.cfg.DefaultMode
+	if req.Mode != "" {
+		m, err := rts.ParseMode(req.Mode)
+		if err != nil {
+			return nil, err
+		}
+		mode = m
+	}
+	var plan *fault.Plan
+	if req.Fault != "" {
+		p, err := fault.Parse(req.Fault)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	switch req.Binder {
+	case "", "kernel", "spin":
+	default:
+		return nil, fmt.Errorf("serve: unknown binder %q (valid: kernel, spin)", req.Binder)
+	}
+	if req.N <= 0 {
+		req.N = 2048
+	}
+	if req.Work <= 0 {
+		req.Work = 1
+	}
+	if req.CV <= 0 {
+		req.CV = 1
+	}
+	if req.UnitWork <= 0 {
+		req.UnitWork = 4000
+	}
+	if req.Processors > s.pool.Size() {
+		req.Processors = s.pool.Size()
+	}
+
+	var g *delirium.Graph
+	var hit bool
+	var err error
+	if req.Program != "" {
+		g, hit, err = s.cache.compileKeyed(req.Program, req.Options.resolve())
+	} else {
+		g, hit, err = s.cache.decodeKeyed(req.Graph)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
+	j := &Job{
+		server:    s,
+		graph:     g,
+		cacheHit:  hit,
+		req:       req,
+		mode:      mode,
+		plan:      plan,
+		tasks:     req.N * len(g.Nodes),
+		ctx:       ctx,
+		cancel:    cancel,
+		doneCh:    make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("serve: server is closed")
+	}
+	s.seq++
+	j.id = fmt.Sprintf("job-%d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	return j, nil
+}
+
+// runJob carries a prepared job to a terminal state: admission, binder
+// construction, pool execution, digest.
+func (s *Server) runJob(j *Job) {
+	defer j.cancel() // release the context's timer resources
+	grant := s.admitJob(j)
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.grant = grant
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+
+	var bind rts.Binder
+	var st *interp.State
+	var err error
+	if j.req.Binder == "spin" {
+		bind = native.SpinBinder(j.graph, func(*delirium.Node) int { return j.req.N },
+			j.req.CV, j.req.Seed, j.req.UnitWork)
+	} else {
+		bind, st, err = native.ArrayKernels(j.graph, j.req.N, j.req.Work)
+	}
+	if err != nil {
+		s.finishJob(j, nil, "", "", err)
+		return
+	}
+
+	omega := j.req.Omega
+	if omega == 0 {
+		omega = s.cfg.Omega
+	}
+	opts := rts.RunOpts{
+		Processors: grant,
+		Mode:       j.mode,
+		Omega:      omega,
+		Fault:      j.plan,
+		Ctx:        j.ctx,
+	}
+	var col obs.Collector
+	if j.req.Trace {
+		opts.Sink = &col
+	}
+	res, err := s.pool.Run(j.graph, bind, opts)
+	if err != nil {
+		s.finishJob(j, nil, "", "", err)
+		return
+	}
+	digest := ""
+	if st != nil {
+		digest = native.StateDigest(st)
+	}
+	traceJSON := ""
+	if j.req.Trace && col.Trace != nil {
+		var buf bytes.Buffer
+		if werr := obs.WriteChromeTrace(&buf, col.Trace); werr == nil {
+			traceJSON = buf.String()
+		}
+	}
+	s.finishJob(j, &res, digest, traceJSON, nil)
+}
+
+// admitJob computes the job's worker grant against the currently
+// running jobs and logs the decision.
+func (s *Server) admitJob(j *Job) int {
+	var running []jobLoad
+	s.mu.Lock()
+	for _, o := range s.jobs {
+		if o == j {
+			continue
+		}
+		o.mu.Lock()
+		if o.state == StateRunning {
+			running = append(running, jobLoad{id: o.id, tasks: o.tasks})
+		}
+		o.mu.Unlock()
+	}
+	s.mu.Unlock()
+	d := admit(jobLoad{id: j.id, tasks: j.tasks}, running, s.pool.Size(), j.req.Processors)
+	s.alloc.add(d)
+	return d.Grant
+}
+
+// finishJob moves a job to its terminal state and closes Done.
+func (s *Server) finishJob(j *Job, res *trace.Result, digest, traceJSON string, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		j.digest = digest
+		j.traceJSON = traceJSON
+	case rts.IsCanceled(err):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	j.mu.Unlock()
+	close(j.doneCh)
+
+	s.mu.Lock()
+	switch state {
+	case StateDone:
+		s.done++
+	case StateCanceled:
+		s.canceled++
+	default:
+		s.failed++
+	}
+	s.mu.Unlock()
+}
+
+// Job looks up a registered job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats is the /stats document: pool occupancy, graph-cache hit rates,
+// job counters, and the recent cross-job allocation decisions.
+type Stats struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Pool          native.PoolStats `json:"pool"`
+	Cache         CacheStats       `json:"cache"`
+	Jobs          JobCounts        `json:"jobs"`
+	Allocations   []AllocDecision  `json:"allocations"`
+}
+
+// JobCounts aggregates job states.
+type JobCounts struct {
+	Total    int   `json:"total"`
+	Queued   int   `json:"queued"`
+	Running  int   `json:"running"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+}
+
+// Stats snapshots the daemon.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	jc := JobCounts{Total: len(s.jobs), Done: s.done, Failed: s.failed, Canceled: s.canceled}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	uptime := time.Since(s.started).Seconds()
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			jc.Queued++
+		case StateRunning:
+			jc.Running++
+		}
+		j.mu.Unlock()
+	}
+	return Stats{
+		UptimeSeconds: uptime,
+		Pool:          s.pool.Stats(),
+		Cache:         s.cache.stats(),
+		Jobs:          jc,
+		Allocations:   s.alloc.snapshot(),
+	}
+}
