@@ -68,12 +68,33 @@ def main():
     check(code == 200 and after["state"] == "done" and after["digest"],
           "daemon still serves jobs after a cancellation")
 
+    # A pipelined operator chain in split mode engages the cache-chain
+    # scheduler (the kernels' split annotations qualify every edge), so
+    # the daemon's aggregated pipeline counters must reflect it.
+    chain_graph = (
+        "graph chainsmoke\n"
+        "node a kind=par tasks=n\n"
+        "node b kind=par tasks=n\n"
+        "node c kind=par tasks=n\n"
+        "edge a -> b bytes=8 pertask pipelined\n"
+        "edge b -> c bytes=8 pertask pipelined\n"
+    )
+    code, cj = call(base, "/api/v1/jobs",
+                    {"graph": chain_graph, "n": 20000, "mode": "split"})
+    check(code == 200 and cj["state"] == "done" and cj["digest"],
+          f"chained graph executes (got {code}/{cj.get('state')})")
+
     code, stats = call(base, "/api/v1/stats")
     check(code == 200, "stats endpoint responds")
     check(stats["cache"]["hits"] >= 1, f"graph cache reports hits ({stats['cache']})")
     check(stats["pool"]["free"] == stats["pool"]["size"], f"pool fully released ({stats['pool']})")
     check(stats["jobs"]["canceled"] >= 1, f"job counters saw the cancellation ({stats['jobs']})")
     check(len(stats["allocations"]) >= 1, "allocation decisions are logged")
+    pipe = stats["pipeline"]
+    check(pipe["chain_hits"] >= 1,
+          f"pipeline counters saw the chained job ({pipe})")
+    check(pipe["chain_fallbacks"] == 0,
+          f"no crash-recovery fallbacks without fault injection ({pipe})")
     print("serve_smoke: all checks passed")
 
 

@@ -28,11 +28,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, hotpath, or all (native and hotpath are wall-clock and never part of all)")
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, hotpath, pipeline, or all (native, hotpath and pipeline are wall-clock and never part of all)")
 	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
+	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "output file for the pipeline experiment's sweep")
 	modesFlag := cliflag.Modes(flag.CommandLine, "modes", "all", "native experiment: modes to sweep (static, taper, split, all, or a comma list)")
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
 			run[e] = true
 		}
-	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "hotpath":
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "hotpath", "pipeline":
 		run[*exp] = true
 	default:
 		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
@@ -172,6 +173,38 @@ func main() {
 			fmt.Fprintln(os.Stderr, "orchbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if run["pipeline"] {
+		// Wall-clock cache-chain measurement: the MemChain bandwidth
+		// workload (five streaming kernels over 32 MB arrays at the
+		// default size) in split mode, chained vs unchained. The digest
+		// column proves both schedules produced identical bits.
+		workers := []int{1, 2, 4}
+		if g := runtime.GOMAXPROCS(0); g > 4 {
+			workers = append(workers, g)
+		}
+		fmt.Printf("=== Pipeline: cache chaining on the memory-bound chain (GOMAXPROCS=%d) ===\n\n", runtime.GOMAXPROCS(0))
+		rep := experiment.Pipeline(size(1<<22), *seed, workers, 3)
+		fmt.Print(experiment.FormatPipeline(rep))
+		if !rep.DigestsAgree() {
+			fmt.Fprintln(os.Stderr, "orchbench: chained and unchained digests differ")
+			os.Exit(1)
+		}
+		file := struct {
+			Schema int                       `json:"schema"`
+			Report experiment.PipelineReport `json:"report"`
+		}{Schema: trace.SchemaVersion, Report: rep}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*pipelineOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d points to %s\n\n", len(rep.Points), *pipelineOut)
 	}
 
 	if run["ablations"] {

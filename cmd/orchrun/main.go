@@ -91,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "write an execution trace to this file (Chrome trace-event JSON; CSV if the name ends in .csv)")
 	gantt := fs.Bool("gantt", false, "print a per-operator Gantt/summary of the execution trace")
 	omega := fs.Float64("omega", 0, "override TAPER's confidence width ω (0 = scheduler default)")
+	noChain := fs.Bool("nochain", false, "native split mode: disable cache chaining (annotated edges fall back to the prefix gate)")
 	faultFlag := cliflag.Fault(fs, "fault", "inject a fault plan, e.g. 'crash:0@1,stall:2@0:0.01,delay:0.5' (see internal/fault)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -185,6 +186,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		opts := rts.RunOpts{Processors: *p, Mode: m, Omega: *omega, Fault: plan}
+		if *noChain {
+			opts.Chain = rts.ChainOff
+		}
 		if backend.Native() && profiling {
 			// Label worker goroutines so profiles can be sliced by operator.
 			opts.Labels = true
@@ -198,8 +202,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "orchrun:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d)\n",
-			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages)
+		chained := ""
+		if r.ChainHits+r.ChainSpills+r.ChainFallbacks > 0 {
+			chained = fmt.Sprintf(", chained %d", r.ChainHits)
+			if r.ChainSpills+r.ChainFallbacks > 0 {
+				chained += fmt.Sprintf(" (spilled %d)", r.ChainSpills+r.ChainFallbacks)
+			}
+		}
+		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d%s)\n",
+			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages, chained)
 		if *kernel {
 			fmt.Fprintf(stdout, "digest %s\n", native.StateDigest(kernelState))
 		}

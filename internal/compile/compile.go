@@ -260,14 +260,20 @@ func Compile(p *source.Program, opts Options) (*Output, error) {
 				// provably pointwise against the producer's writes —
 				// e.g. a consumer that reads the producer's whole output
 				// vector in every iteration must wait for all of it.
+				chain := false
 				if units[j].pipelineFrom != "" && units[j].pipelineFrom == baseName(units[i].Name) &&
 					pointwisePipelined(units[i], units[j]) {
 					pipelined = true
+					// The stronger proof — every consumer access at exactly
+					// the current index, no backward offsets — additionally
+					// licenses cache chaining (the runtime may run consumer
+					// task i immediately after producer task i).
+					chain = pointwiseChain(units[i], units[j])
 				}
 				g.AddEdge(&delirium.Edge{
 					From: units[i].Name, To: units[j].Name,
 					Bytes: int64(sharedBytes(units[i].Desc, units[j].Desc)), PerTask: true,
-					Pipelined: pipelined,
+					Pipelined: pipelined, Chain: chain,
 				})
 			}
 		}
@@ -297,6 +303,27 @@ func Compile(p *source.Program, opts Options) (*Output, error) {
 // hand the consumer elements the producer has not written yet, so the
 // edge stays an ordinary fully-ordered one.
 func pointwisePipelined(prod, cons Unit) bool {
+	return pointwiseAccess(prod, cons, prefixSafeIndex)
+}
+
+// pointwiseChain is pointwisePipelined's strict form: every consumer
+// access to a produced array must sit at exactly the current index
+// (iv, not iv - c), so consumer task i depends on producer task i
+// alone. That is the proof delirium.Edge.Chain carries: the runtime
+// may execute consumer chunk i immediately after producer chunk i on
+// the same worker, while the produced elements are cache-resident. A
+// backward offset is still prefix-safe — the edge pipelines — but
+// chunk i would need elements of earlier chunks, which may already
+// have left cache and, at chunk granularity, may not even be complete,
+// so such edges stay on the prefix gate.
+func pointwiseChain(prod, cons Unit) bool {
+	return pointwiseAccess(prod, cons, exactIndex)
+}
+
+// pointwiseAccess is the shared walker behind pointwisePipelined and
+// pointwiseChain; idxOK decides which consumer subscript forms are
+// acceptable against the producer's induction dimension.
+func pointwiseAccess(prod, cons Unit, idxOK func(source.Expr, string) bool) bool {
 	pl, okp := singleLoop(prod)
 	cl, okc := singleLoop(cons)
 	if !okp || !okc || !sameIterSpace(pl, cl) {
@@ -352,7 +379,7 @@ func pointwisePipelined(prod, cons Unit) bool {
 			if !tracked {
 				return
 			}
-			if d >= len(ar.Index) || !prefixSafeIndex(ar.Index[d], cl.Var) {
+			if d >= len(ar.Index) || !idxOK(ar.Index[d], cl.Var) {
 				safe = false
 			}
 		})
@@ -405,6 +432,13 @@ func prefixSafeIndex(e source.Expr, iv string) bool {
 	}
 	n, ok := b.R.(*source.Num)
 	return ok && !n.IsReal && n.Int >= 0
+}
+
+// exactIndex reports whether a subscript is exactly the induction
+// variable: the strict form pointwiseChain requires.
+func exactIndex(e source.Expr, iv string) bool {
+	id, ok := e.(*source.Ident)
+	return ok && id.Name == iv
 }
 
 // sameIterSpace reports whether two loops have structurally identical

@@ -58,6 +58,15 @@ type Edge struct {
 	// Pipelined marks a producer/consumer pair the runtime may
 	// overlap, choosing a communication granularity.
 	Pipelined bool
+	// Chain marks a pipelined pair the compiler proved exactly
+	// pointwise (consumer task i reads the producer only at index i),
+	// so a runtime may schedule it as a cache chain: the worker
+	// completing producer chunk i runs consumer chunk i immediately,
+	// while the data is still cache-resident. Kernel split annotations
+	// (internal/split) license the same schedule at bind time; the
+	// edge attribute carries the compiler's structural proof for
+	// binders without annotations.
+	Chain bool
 	// Carried marks a dependence on the previous iteration of the
 	// enclosing loop rather than on the same activation.
 	Carried bool
@@ -266,6 +275,9 @@ func (g *Graph) Encode() string {
 		if e.Pipelined {
 			b.WriteString(" pipelined")
 		}
+		if e.Chain {
+			b.WriteString(" chain")
+		}
 		if e.Carried {
 			b.WriteString(" carried")
 		}
@@ -333,6 +345,8 @@ func Decode(text string) (*Graph, error) {
 					e.PerTask = true
 				case f == "pipelined":
 					e.Pipelined = true
+				case f == "chain":
+					e.Chain = true
 				case f == "carried":
 					e.Carried = true
 				default:

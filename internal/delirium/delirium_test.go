@@ -154,6 +154,10 @@ func TestInOutEdges(t *testing.T) {
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	g := buildSample(t)
 	g.AddEdge(&Edge{From: "BD", To: "BD", Carried: true})
+	// Mark one edge pipelined and compiler-proved chainable, so the
+	// round trip covers the chain attribute too.
+	g.Edges[0].Pipelined = true
+	g.Edges[0].Chain = true
 	text := g.Encode()
 	g2, err := Decode(text)
 	if err != nil {
@@ -165,7 +169,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if g2.Node("BI") == nil || g2.Node("BI").Kind != Par {
 		t.Fatal("node attributes lost")
 	}
-	var carried, perTask bool
+	var carried, perTask, chain bool
 	for _, e := range g2.Edges {
 		if e.Carried {
 			carried = true
@@ -173,8 +177,14 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if e.PerTask && e.Bytes == 8 {
 			perTask = true
 		}
+		if e.Chain {
+			if !e.Pipelined {
+				t.Fatal("chain attribute decoded on a non-pipelined edge")
+			}
+			chain = true
+		}
 	}
-	if !carried || !perTask {
+	if !carried || !perTask || !chain {
 		t.Fatal("edge attributes lost")
 	}
 }

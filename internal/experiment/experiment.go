@@ -23,10 +23,7 @@ import (
 // efficiency.
 func RunApp(app *workload.App, p int, mode rts.Mode) trace.Result {
 	cfg := machine.DefaultConfig(p)
-	g := app.SeqGraph
-	if mode == rts.ModeSplit {
-		g = app.SplitGraph
-	}
+	g := app.GraphFor(mode, p)
 	r, err := rts.RunGraph(cfg, g, app.Bind, rts.RunOpts{Processors: p, Mode: mode})
 	if err != nil {
 		panic(fmt.Sprintf("experiment: %s/%v: %v", app.Name, mode, err))

@@ -39,12 +39,12 @@ func NativeSweep(tasks int, seed uint64, workers []int, unitWork int, modes []rt
 	count := func(*delirium.Node) int { return tasks }
 	var out []NativePoint
 	for _, mode := range modes {
-		g := app.SeqGraph
-		if mode == rts.ModeSplit {
-			g = app.SplitGraph
-		}
-		bind := native.SpinBinder(g, count, 1.0, seed, unitWork)
 		for _, w := range workers {
+			// Graph selection is per worker count: split's transformed
+			// graph only pays off when it has workers to overlap on (see
+			// workload.App.GraphFor).
+			g := app.GraphFor(mode, w)
+			bind := native.SpinBinder(g, count, 1.0, seed, unitWork)
 			r, err := native.Backend{}.Run(g, bind, rts.RunOpts{Processors: w, Mode: mode})
 			if err != nil {
 				panic(fmt.Sprintf("experiment: native %v/p=%d: %v", mode, w, err))

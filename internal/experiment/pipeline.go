@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+	"orchestra/internal/trace"
+	"orchestra/internal/workload"
+)
+
+// PipelinePoint is one measurement of the cache-chain benchmark: the
+// MemChain bandwidth workload executed natively at one worker count,
+// with the chain scheduler on or off. Digest fingerprints the final
+// memory image, so a report proves the two schedules produced
+// identical bits alongside their makespans.
+type PipelinePoint struct {
+	Workers int          `json:"workers"`
+	Chain   bool         `json:"chain"`
+	Result  trace.Result `json:"result"`
+	Digest  string       `json:"digest"`
+}
+
+// PipelineReport is what orchbench writes to BENCH_pipeline.json: the
+// chained/unchained sweep over worker counts on the memory-bound
+// operator chain, plus the problem size that produced it.
+type PipelineReport struct {
+	Tasks  int             `json:"tasks"`
+	Points []PipelinePoint `json:"points"`
+}
+
+// Pipeline measures cache chaining on the MemChain workload: for each
+// worker count, split-mode runs with the chain scheduler enabled and
+// disabled, each the fastest of `repeats` runs (wall-clock benchmarks
+// on shared hosts need a min, not a mean). tasks should put each array
+// well past the last-level cache (the default benchmark uses 1<<22
+// elements = 32 MB per array) — at smaller sizes the whole working set
+// is cache-resident either way and chaining can only show its
+// scheduling overhead.
+func Pipeline(tasks int, seed uint64, workers []int, repeats int) PipelineReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := PipelineReport{Tasks: tasks}
+	for _, w := range workers {
+		for _, chain := range []rts.ChainPolicy{rts.ChainOff, rts.ChainAuto} {
+			var best PipelinePoint
+			for r := 0; r < repeats; r++ {
+				app, st := workload.MemChain(workload.Config{N: tasks, Seed: seed})
+				g := app.GraphFor(rts.ModeSplit, w)
+				res, err := (native.Backend{}).Run(g, app.Bind, rts.RunOpts{
+					Processors: w, Mode: rts.ModeSplit, Chain: chain,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiment: pipeline p=%d chain=%v: %v", w, chain, err))
+				}
+				p := PipelinePoint{Workers: w, Chain: chain == rts.ChainAuto,
+					Result: res, Digest: native.StateDigest(st)}
+				if r == 0 || p.Result.Makespan < best.Result.Makespan {
+					best = p
+				}
+			}
+			rep.Points = append(rep.Points, best)
+		}
+	}
+	return rep
+}
+
+// Speedups returns, per worker count, the unchained/chained makespan
+// ratio (>1 means chaining is faster) and whether the two runs'
+// digests agree.
+func (r PipelineReport) Speedups() map[int]float64 {
+	off := map[int]float64{}
+	out := map[int]float64{}
+	for _, p := range r.Points {
+		if !p.Chain {
+			off[p.Workers] = p.Result.Makespan
+		}
+	}
+	for _, p := range r.Points {
+		if p.Chain && off[p.Workers] > 0 && p.Result.Makespan > 0 {
+			out[p.Workers] = off[p.Workers] / p.Result.Makespan
+		}
+	}
+	return out
+}
+
+// DigestsAgree reports whether every chained run produced the same
+// memory image as its unchained counterpart.
+func (r PipelineReport) DigestsAgree() bool {
+	d := map[int]string{}
+	for _, p := range r.Points {
+		if !p.Chain {
+			d[p.Workers] = p.Digest
+		}
+	}
+	for _, p := range r.Points {
+		if p.Chain && p.Digest != d[p.Workers] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatPipeline renders the sweep as an aligned table: makespans,
+// the chained speedup, chain-path counters, and digest agreement.
+func FormatPipeline(r PipelineReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "memchain n=%d (native split mode, chained vs unchained)\n", r.Tasks)
+	fmt.Fprintf(&b, "%8s %14s %14s %8s %8s %8s %8s %8s\n",
+		"workers", "unchained(s)", "chained(s)", "speedup", "hits", "spills", "fallbk", "digest")
+	sp := r.Speedups()
+	off := map[int]PipelinePoint{}
+	for _, p := range r.Points {
+		if !p.Chain {
+			off[p.Workers] = p
+		}
+	}
+	for _, p := range r.Points {
+		if !p.Chain {
+			continue
+		}
+		o := off[p.Workers]
+		agree := "MATCH"
+		if p.Digest != o.Digest {
+			agree = "DIFFER"
+		}
+		fmt.Fprintf(&b, "%8d %14.6f %14.6f %7.2fx %8d %8d %8d %8s\n",
+			p.Workers, o.Result.Makespan, p.Result.Makespan, sp[p.Workers],
+			p.Result.ChainHits, p.Result.ChainSpills, p.Result.ChainFallbacks, agree)
+	}
+	return b.String()
+}

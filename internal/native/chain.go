@@ -1,0 +1,365 @@
+package native
+
+import (
+	"sync/atomic"
+	"time"
+
+	"orchestra/internal/split"
+)
+
+// Cache-chain scheduling (ROADMAP open item 2; Palkar & Zaharia's
+// split annotations). The prefix gate from PR 3 already lets a
+// pipelined consumer start before its producer finishes, but every
+// intermediate array still round-trips through main memory: the
+// producer streams its whole output to DRAM, and the consumer streams
+// it back in. On memory-bound operator chains that doubles (or worse)
+// the DRAM traffic per stage. Chaining removes the round trip for
+// edges whose kernels declare compatible split annotations — producer
+// writes pointwise, consumer reads a bounded neighbourhood — or that
+// the compiler proved exactly pointwise (delirium.Edge.Chain):
+//
+//   - the consumer's task space is divided into fixed cache-sized
+//     blocks (chainBlockSize: ~64 KB of producer output per block);
+//   - each producer out-edge tracks, per consumer block, how many
+//     producer tasks of the block's read span [b·S−halo, (b+1)·S+halo)
+//     are still incomplete (coverLeft, guarded by the producer's
+//     progressMu, which complete already holds);
+//   - when a producer chunk completes the last covering task of a
+//     block, and every other in-edge of the consumer has delivered
+//     that block too (chainState.left, atomic — producers complete
+//     concurrently), the block is enabled exactly once — onto the
+//     completing worker's own chain queue;
+//   - the worker drains its queue depth-first (LIFO) immediately
+//     after the enabling chunk, so A[b] → B[b] → C[b] run
+//     back-to-back on one core while block b is still in L2.
+//
+// Fallback keeps results bitwise identical: blocks past the depth
+// limit spill to the worker's deque (stealable, ordinary runSegment
+// path), a worker that crashes mid-chain hands its enabled blocks to
+// the survivors through the fault-release path, and ChainOff (or a
+// missing/incompatible annotation) leaves the edge on the prefix-gate
+// path untouched. A chained block runs the same task bodies over the
+// same arrays in a schedule the kernel contract already allows, so
+// every schedule — chained, spilled, stolen, re-issued — produces the
+// same bits.
+
+const (
+	// chainTargetBytes sizes a chain block: enough producer output to
+	// amortize the per-block bookkeeping, small enough that the block
+	// plus its consumer output sit comfortably in a per-core L2.
+	chainTargetBytes = 64 << 10
+	// minChainBlock keeps blocks from degenerating into per-task
+	// bookkeeping on byte-heavy kernels.
+	minChainBlock = 64
+	// maxChainBlock bounds the coverage arrays on byte-light kernels.
+	maxChainBlock = 1 << 16
+	// maxChainDepth bounds how deep one worker follows a chain before
+	// spilling to the deques: long chains stay depth-first up to this
+	// many stages, degenerate graphs cannot recurse the queue
+	// unboundedly.
+	maxChainDepth = 16
+)
+
+// chainState is a chain-managed consumer's issue ledger. Blocks are
+// [b·block, (b+1)·block) ∩ [0, n); left[b] counts in-edges (chained
+// and barrier alike) that have not yet delivered block b. The
+// decrement that takes left[b] to zero enables the block exactly once.
+type chainState struct {
+	block   int
+	nblocks int
+	left    []atomic.Int32
+}
+
+// chainItem is one enabled consumer block on a worker's chain queue.
+type chainItem struct {
+	seg   segment
+	depth int32
+}
+
+// chainBlockSize picks the consumer block size S in tasks for an
+// n-task operator whose tasks touch roughly `bytes` bytes each.
+func chainBlockSize(n int, bytes int64) int {
+	if bytes < 1 {
+		bytes = 8
+	}
+	b := int(chainTargetBytes / bytes)
+	if b < minChainBlock {
+		b = minChainBlock
+	}
+	if b > maxChainBlock {
+		b = maxChainBlock
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// edgePair records one graph edge's endpoints during engine setup, so
+// setupChains can revisit the in/out edge structs after all appends
+// (taking element pointers mid-append would dangle on reallocation).
+type edgePair struct {
+	from, to int
+	inIdx    int  // index into e.ops[to].in
+	outIdx   int  // index into e.ops[from].out
+	attr     bool // delirium.Edge.Chain: compiler-proved exact pointwise
+}
+
+// setupChains converts eligible edges to chain edges and installs the
+// consumers' issue ledgers. Runs single-threaded during newEngine,
+// before workers exist. Eligibility per edge: equal non-zero task
+// counts and either the compiler's Chain attribute or compatible
+// kernel annotations (split.Chainable). A consumer is chain-managed
+// only if at least one in-edge is eligible and no pipelined in-edge is
+// left behind on the gate (a consumer cannot be half gate-, half
+// chain-issued); its remaining non-eligible in-edges become barrier
+// edges that deliver every block at the producer's full completion.
+func (e *engine) setupChains(pairs []edgePair) {
+	eligible := make([]bool, len(pairs))
+	halo := make([]int, len(pairs))
+	perCons := map[int][]int{}
+	for i, pr := range pairs {
+		prod, cons := e.ops[pr.from], e.ops[pr.to]
+		perCons[pr.to] = append(perCons[pr.to], i)
+		if prod.n != cons.n || prod.n == 0 {
+			continue
+		}
+		if split.Chainable(prod.split, cons.split) {
+			eligible[i], halo[i] = true, split.ChainHalo(cons.split)
+		} else if pr.attr {
+			// The compiler's proof is exact-index (halo 0).
+			eligible[i], halo[i] = true, 0
+		}
+	}
+	for ci, idxs := range perCons {
+		cons := e.ops[ci]
+		chained := 0
+		ok := true
+		for _, i := range idxs {
+			if eligible[i] {
+				chained++
+			} else if cons.in[pairs[i].inIdx].pipelined {
+				ok = false // would lose the gate's delivery for this edge
+			}
+		}
+		if chained == 0 || !ok {
+			continue
+		}
+		S := chainBlockSize(cons.n, cons.bytes)
+		nb := (cons.n + S - 1) / S
+		cs := &chainState{block: S, nblocks: nb, left: make([]atomic.Int32, nb)}
+		for b := range cs.left {
+			cs.left[b].Store(int32(len(idxs)))
+		}
+		cons.chain = cs
+		// Chain-managed consumers are never gate-released: park the
+		// release cursor at n so a stray tryRelease is a no-op.
+		cons.released.Store(int64(cons.n))
+		for _, i := range idxs {
+			pr := pairs[i]
+			prod := e.ops[pr.from]
+			ie, oe := &cons.in[pr.inIdx], prod.out[pr.outIdx]
+			ie.pipelined, oe.pipelined = false, false
+			if !eligible[i] {
+				// Barrier in-edge: full producer completion delivers
+				// every block at once. A zero-task producer never runs
+				// complete, so it delivers here, at setup.
+				oe.barrier = true
+				if prod.n == 0 {
+					oe.sentFull = true
+					for b := range cs.left {
+						// Setup is single-threaded and no chain edge has
+						// delivered yet, so this can never enable a block.
+						cs.left[b].Add(-1)
+					}
+				}
+				continue
+			}
+			ie.chain, oe.chain = true, true
+			oe.halo = halo[i]
+			oe.coverLeft = make([]int32, nb)
+			for b := 0; b < nb; b++ {
+				lo, hi := b*S-oe.halo, (b+1)*S+oe.halo
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > prod.n {
+					hi = prod.n
+				}
+				oe.coverLeft[b] = int32(hi - lo)
+			}
+			// Cache-aware producer chunking: cap the producer's TAPER
+			// grain near the consumer block, so one chunk enables about
+			// one block and its output is still resident when the block
+			// runs.
+			if prod.chainOut == 0 || S < prod.chainOut {
+				prod.chainOut = S
+			}
+		}
+	}
+}
+
+// chainCover is complete's delivery hook for one chain out-edge: the
+// producer finished tasks [lo, hi); decrement every consumer block
+// whose read span those tasks intersect, and enable blocks this edge
+// (and every other in-edge) has fully delivered. Caller holds the
+// producer's progressMu, which guards coverLeft.
+func (e *engine) chainCover(w *worker, o *opState, oe *outEdge, lo, hi int, depth int32) {
+	cons := e.ops[oe.to]
+	cs := cons.chain
+	S, h := cs.block, oe.halo
+	bLo := 0
+	if lo-h > 0 {
+		bLo = (lo - h) / S
+	}
+	bHi := (hi - 1 + h) / S
+	if bHi >= cs.nblocks {
+		bHi = cs.nblocks - 1
+	}
+	for b := bLo; b <= bHi; b++ {
+		spanLo, spanHi := b*S-h, (b+1)*S+h
+		if spanLo < 0 {
+			spanLo = 0
+		}
+		if spanHi > o.n {
+			spanHi = o.n
+		}
+		cutLo, cutHi := lo, hi
+		if cutLo < spanLo {
+			cutLo = spanLo
+		}
+		if cutHi > spanHi {
+			cutHi = spanHi
+		}
+		if cutHi <= cutLo {
+			continue
+		}
+		oe.coverLeft[b] -= int32(cutHi - cutLo)
+		if oe.coverLeft[b] == 0 {
+			e.chainEnable(w, cons, b, depth)
+		}
+	}
+}
+
+// chainBarrier is complete's delivery hook for a barrier edge into a
+// chain-managed consumer: the producer fully completed, so every block
+// receives this edge's delivery.
+func (e *engine) chainBarrier(w *worker, oe *outEdge, depth int32) {
+	cons := e.ops[oe.to]
+	for b := 0; b < cons.chain.nblocks; b++ {
+		e.chainEnable(w, cons, b, depth)
+	}
+}
+
+// chainEnable counts one in-edge delivery of block b; the delivery
+// that completes the set enqueues the block on the enabling worker's
+// own chain queue. left is atomic because distinct producers complete
+// on different workers concurrently; exactly one of them observes
+// zero.
+func (e *engine) chainEnable(w *worker, cons *opState, b int, depth int32) {
+	if cons.chain.left[b].Add(-1) != 0 {
+		return
+	}
+	S := cons.chain.block
+	lo := b * S
+	hi := lo + S
+	if hi > cons.n {
+		hi = cons.n
+	}
+	w.chainQ = append(w.chainQ, chainItem{seg: segment{op: cons.idx, lo: lo, hi: hi}, depth: depth + 1})
+}
+
+// drainChain runs the worker's enabled blocks depth-first: LIFO pops
+// execute the most recently enabled — cache-hottest — block first,
+// and a block's complete may push its own consumers, so a chain
+// A[b] → B[b] → C[b] runs back-to-back without touching the deques.
+// Blocks past the depth limit spill to the ordinary work-stealing
+// path; a crash mid-chain hands everything still queued to the
+// survivors (the fault-release path excludes the dying worker).
+func (e *engine) drainChain(w *worker) {
+	for len(w.chainQ) > 0 {
+		it := w.chainQ[len(w.chainQ)-1]
+		w.chainQ = w.chainQ[:len(w.chainQ)-1]
+		if e.canceled.Load() {
+			// The run is abandoned wholesale; enabled blocks are dropped
+			// exactly like queued deque segments.
+			continue
+		}
+		if it.depth > maxChainDepth {
+			e.spillChain(w, it.seg)
+			continue
+		}
+		if e.fx != nil {
+			w.hb.Store(time.Now().UnixNano())
+			if !e.faultPoint(w, it.seg) {
+				// Crashed: faultPoint delivered it.seg to a survivor. The
+				// rest of the queue must outlive this worker too — release
+				// through the survivor-aware split (nil: never back to the
+				// dying worker's own deque).
+				for len(w.chainQ) > 0 {
+					s := w.chainQ[len(w.chainQ)-1].seg
+					w.chainQ = w.chainQ[:len(w.chainQ)-1]
+					e.chainFB.Add(1)
+					if e.rec != nil {
+						e.rec.Spill(w.id, s.op, s.lo, s.len(), time.Since(e.start).Seconds())
+					}
+					e.release(nil, s.op, s.lo, s.hi)
+				}
+				w.crashed = true
+				return
+			}
+		}
+		e.runChained(w, it)
+	}
+}
+
+// spillChain releases an enabled block to the worker's own deque,
+// where thieves can see it: the work-stealing fallback that keeps
+// load balance when chains run deep.
+func (e *engine) spillChain(w *worker, s segment) {
+	e.chainSpills.Add(1)
+	if e.rec != nil {
+		e.rec.Spill(w.id, s.op, s.lo, s.len(), time.Since(e.start).Seconds())
+	}
+	e.release(w, s.op, s.lo, s.hi)
+}
+
+// runChained executes one enabled block as a single chunk. No TAPER
+// consultation: the block size was chosen for cache residency at
+// setup, and splitting it would forfeit exactly the locality the
+// chain exists for. Statistics, busy time, tracing and completion go
+// through the same paths as runSegment, so chained chunks are
+// indistinguishable downstream except for the KindChain marker.
+func (e *engine) runChained(w *worker, it chainItem) {
+	seg := it.seg
+	o := e.ops[seg.op]
+	k := seg.len()
+	o.unsched.Add(-int64(k))
+	if e.labels && w.labelOp != seg.op {
+		e.setLabels(w, seg.op)
+	}
+	begin := time.Now()
+	if o.bodyRange != nil {
+		o.bodyRange(seg.lo, seg.hi)
+	} else {
+		for i := seg.lo; i < seg.hi; i++ {
+			o.body(i)
+		}
+	}
+	elapsed := time.Since(begin).Seconds()
+	w.busy += elapsed
+	o.statsMu.Lock()
+	o.stats.ObserveChunk(seg.lo, k, elapsed)
+	o.statsMu.Unlock()
+	if e.rec != nil {
+		b := begin.Sub(e.start).Seconds()
+		e.rec.Chunk(w.id, seg.op, seg.lo, k, b, b+elapsed, false)
+		e.rec.Chain(w.id, seg.op, seg.lo, k, int(it.depth), b)
+	}
+	if e.fx != nil && w.slowF > 1 {
+		time.Sleep(time.Duration((w.slowF - 1) * elapsed * float64(time.Second)))
+	}
+	e.chunks.Add(1)
+	e.chainHits.Add(1)
+	e.complete(w, o, seg.lo, seg.hi, it.depth)
+}

@@ -1,0 +1,73 @@
+package native_test
+
+import (
+	"testing"
+
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+)
+
+// BenchmarkPipelineChain measures the chained split-mode schedule of
+// the all-pipelined chain graph; BenchmarkPipelineNoChain is the same
+// run on the prefix gate. CI runs both with -benchmem: the chained
+// path must not allocate per chunk, and the report makes an
+// allocation regression visible next to the wall-clock numbers.
+func BenchmarkPipelineChain(b *testing.B) {
+	benchmarkPipeline(b, rts.ChainAuto)
+}
+
+func BenchmarkPipelineNoChain(b *testing.B) {
+	benchmarkPipeline(b, rts.ChainOff)
+}
+
+func benchmarkPipeline(b *testing.B, chain rts.ChainPolicy) {
+	g := chainGraph(b)
+	const n = 1 << 19
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bind, _, err := native.ArrayKernels(g, n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := (native.Backend{}).Run(g, bind, rts.RunOpts{
+			Processors: 4, Mode: rts.ModeSplit, Chain: chain,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestChainNoPerChunkAllocs is the allocation gate on the chained hot
+// path. Growing the problem 4x grows the chained chunk count 4x (the
+// block size is task-count independent); the engine's allocations must
+// not grow with it — ledgers, done-marks and arrays are O(1)
+// allocations each, merely bigger. A per-chunk allocation anywhere in
+// chainCover/chainEnable/drainChain/runChained shows up as a delta of
+// at least one alloc per added chunk, far above the gate.
+func TestChainNoPerChunkAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is wall-clock heavy")
+	}
+	g := chainGraph(t)
+	run := func(n int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			bind, _, err := native.ArrayKernels(g, n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := (native.Backend{}).Run(g, bind, rts.RunOpts{
+				Processors: 4, Mode: rts.ModeSplit, Chain: rts.ChainAuto,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := run(1 << 19) // 64 blocks per consumer
+	big := run(1 << 21)   // 256 blocks per consumer: +~768 chained chunks
+	delta := big - small
+	t.Logf("allocs: small=%.0f big=%.0f delta=%.0f", small, big, delta)
+	if delta > 300 {
+		t.Fatalf("allocations grow with the chained chunk count: %.0f -> %.0f (+%.0f); the chain path allocates per chunk", small, big, delta)
+	}
+}

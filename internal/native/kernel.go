@@ -12,6 +12,7 @@ import (
 	"orchestra/internal/interp"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
+	"orchestra/internal/split"
 	"orchestra/internal/stats"
 )
 
@@ -127,6 +128,23 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 			}
 			return float64(hi - lo)
 		}
+		// Split annotation: task i always writes only X[i]. The reads are
+		// pointwise only when every input is pipelined (j = i·pn/n, which
+		// the chain path uses only when pn = n, i.e. j = i); a strided
+		// non-pipelined input makes the kernel's reads unbounded, so the
+		// annotation degrades to reads-all and the edge stays on the
+		// barrier path.
+		ann := &split.Annotation{Read: split.AccessAll, Write: split.AccessElement}
+		allPip := true
+		for _, in := range inputs {
+			if !in.pipelined {
+				allPip = false
+				break
+			}
+		}
+		if allPip {
+			ann = split.Pointwise()
+		}
 		specs[nd.Name] = rts.OpSpec{
 			Op: sched.Op{
 				Name:      nd.Name,
@@ -135,7 +153,8 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 				TimeRange: bodyRange,
 				Bytes:     8,
 			},
-			Mu: 1,
+			Mu:    1,
+			Split: ann,
 		}
 	}
 	return func(name string) rts.OpSpec { return specs[name] }, st, nil

@@ -48,6 +48,7 @@ import (
 	"orchestra/internal/obs"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
+	"orchestra/internal/split"
 	"orchestra/internal/stats"
 	"orchestra/internal/trace"
 )
@@ -164,7 +165,8 @@ func newEngine(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts, p int) (*en
 	total := 0
 	for i, nd := range order {
 		spec := bind(nd.Name)
-		o := &opState{idx: i, name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange}
+		o := &opState{idx: i, name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange,
+			split: spec.Split, bytes: spec.Op.Bytes}
 		if o.body == nil {
 			o.n = 0
 		}
@@ -186,6 +188,7 @@ func newEngine(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts, p int) (*en
 
 	// Dataflow edges. Pipelined edges get a delivery granularity; in
 	// the barriered modes every edge degrades to completion-gated.
+	var pairs []edgePair
 	for _, ed := range g.Edges {
 		if ed.Carried {
 			continue
@@ -198,6 +201,14 @@ func newEngine(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts, p int) (*en
 		}
 		e.ops[t].in = append(e.ops[t].in, inEdge{from: f, pipelined: pip, batch: batch})
 		e.ops[f].out = append(e.ops[f].out, &outEdge{to: t, pipelined: pip, batch: batch})
+		pairs = append(pairs, edgePair{from: f, to: t,
+			inIdx: len(e.ops[t].in) - 1, outIdx: len(e.ops[f].out) - 1, attr: ed.Chain})
+	}
+	if e.pipelined && opts.Chain == rts.ChainAuto {
+		// Cache chaining rides on split mode: convert annotation- or
+		// compiler-qualified edges before the doneMark pass below, so
+		// producers whose only consumers chain skip prefix tracking.
+		e.setupChains(pairs)
 	}
 	for _, o := range e.ops {
 		for _, oe := range o.out {
@@ -244,6 +255,8 @@ func (w *worker) reset(i int) {
 	w.slowSeen = false
 	w.wakeBuf = w.wakeBuf[:0]
 	w.labelOp = -1
+	w.chainQ = w.chainQ[:0]
+	w.crashed = false
 }
 
 // execute runs the prepared engine to completion on its attached
@@ -328,6 +341,10 @@ func (e *engine) execute(opts rts.RunOpts, launch func(func())) (trace.Result, e
 		Chunks:     int(e.chunks.Load()),
 		Steals:     int(e.steals.Load()),
 		Messages:   int(e.batches.Load()),
+
+		ChainHits:      int(e.chainHits.Load()),
+		ChainSpills:    int(e.chainSpills.Load()),
+		ChainFallbacks: int(e.chainFB.Load()),
 	}
 	for i, w := range e.workers {
 		res.Busy[i] = w.busy
@@ -344,16 +361,29 @@ type inEdge struct {
 	from      int
 	pipelined bool
 	batch     int
+	// chain marks an edge converted to cache-chain delivery (setupChains):
+	// the consumer's tasks are issued by block coverage, not by the gate.
+	chain bool
 }
 
 // outEdge is a producer's delivery obligation toward one consumer.
-// notified and sentFull are guarded by the producer's progressMu.
+// notified, sentFull and coverLeft are guarded by the producer's
+// progressMu.
 type outEdge struct {
 	to        int
 	pipelined bool
 	batch     int
 	notified  int // last batch count delivered
 	sentFull  bool
+	// chain marks a cache-chain edge; halo widens each consumer block's
+	// read span on both sides; coverLeft[b] counts the producer tasks of
+	// block b's span still incomplete.
+	chain     bool
+	halo      int
+	coverLeft []int32
+	// barrier marks a non-chain in-edge of a chain-managed consumer: the
+	// producer's full completion delivers every block at once.
+	barrier bool
 }
 
 // opState is one operator's runtime state.
@@ -368,6 +398,18 @@ type opState struct {
 	bodyRange func(lo, hi int) float64
 	in        []inEdge
 	out       []*outEdge
+	// split is the kernel's data-access annotation (nil = undeclared).
+	split *split.Annotation
+	// bytes is the kernel's per-task byte estimate, sizing chain blocks.
+	bytes int64
+	// chain, when non-nil, marks this operator chain-managed: its tasks
+	// are issued as cache-sized blocks by producer coverage instead of
+	// through the release gate.
+	chain *chainState
+	// chainOut caps this producer's TAPER grain at its smallest chain
+	// consumer block (0 = no chain out-edges), so one chunk enables
+	// about one cache-resident block.
+	chainOut int
 
 	// unsched counts tasks not yet taken into any chunk.
 	unsched atomic.Int64
@@ -424,6 +466,12 @@ type worker struct {
 	// labelOp is the operator currently named in this goroutine's
 	// pprof labels, or -1.
 	labelOp int
+	// chainQ holds consumer blocks this worker enabled and will run
+	// depth-first while their inputs are cache-resident. Owner-only.
+	chainQ []chainItem
+	// crashed is set when a fault crashes this worker mid-chain after
+	// its queued blocks were handed to the survivors; the loop-top exits.
+	crashed bool
 }
 
 // postInbox hands a segment to this worker from another goroutine.
@@ -480,6 +528,12 @@ type engine struct {
 	chunks  atomic.Int64
 	steals  atomic.Int64
 	batches atomic.Int64
+
+	// Cache-chain counters: blocks run in place, blocks spilled to the
+	// deques at the depth limit, blocks released to survivors on crash.
+	chainHits   atomic.Int64
+	chainSpills atomic.Int64
+	chainFB     atomic.Int64
 
 	// rec, when non-nil, receives the run's event trace; start is the
 	// wall-clock origin its timestamps are relative to. Workers emit
@@ -743,6 +797,11 @@ func (e *engine) runWorker(w *worker) {
 		defer pprof.SetGoroutineLabels(context.Background())
 	}
 	for {
+		if w.crashed {
+			// A fault crashed this worker inside a chain drain; its queued
+			// blocks have already been released to the survivors.
+			return
+		}
 		if e.canceled.Load() {
 			// Cooperative cancellation: whatever this worker still holds
 			// is abandoned (the engine is discarded wholesale), but the
@@ -804,6 +863,12 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 		o.statsMu.Lock()
 		c := o.taper.NextChunk(rem, e.liveP(), o.stats)
 		c = o.taper.ScaleChunk(c, seg.lo, o.stats)
+		if o.chainOut > 0 && c > o.chainOut {
+			// Cache-aware producer chunking: one chunk enables about one
+			// consumer block, which then runs on this worker while the
+			// chunk's output is still resident.
+			c = o.chainOut
+		}
 		if e.rec != nil {
 			e.rec.Taper(w.id, seg.op, rem, c, o.stats.Global.N(),
 				o.stats.Global.Mean(), o.stats.Global.StdDev(), time.Since(e.start).Seconds())
@@ -867,15 +932,20 @@ func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
 		time.Sleep(time.Duration((w.slowF - 1) * chunkEl * float64(time.Second)))
 	}
 	e.chunks.Add(1)
-	e.complete(w, o, seg.lo, hi)
+	e.complete(w, o, seg.lo, hi, 0)
+	if len(w.chainQ) > 0 {
+		e.drainChain(w)
+	}
 }
 
 // complete records the chunk [lo, hi) as done, advances the
 // contiguous prefix, and releases newly enabled consumer tasks
 // directly from this worker: pipelined edges whenever a new
 // granularity batch of the prefix completes, ordinary edges only on
-// full completion.
-func (e *engine) complete(w *worker, o *opState, lo, hi int) {
+// full completion. Chain edges instead deliver block coverage, and
+// blocks the chunk fully enables land on this worker's chain queue at
+// depth+1 (drained by the caller).
+func (e *engine) complete(w *worker, o *opState, lo, hi int, depth int32) {
 	k := hi - lo
 	full := int(o.done.Add(int64(k))) == o.n
 	wake := w.wakeBuf[:0]
@@ -897,6 +967,17 @@ func (e *engine) complete(w *worker, o *opState, lo, hi int) {
 			}
 		}
 		for _, oe := range o.out {
+			if oe.chain {
+				e.chainCover(w, o, oe, lo, hi, depth)
+				continue
+			}
+			if oe.barrier {
+				if full && !oe.sentFull {
+					oe.sentFull = true
+					e.chainBarrier(w, oe, depth)
+				}
+				continue
+			}
 			trigger := false
 			if oe.pipelined {
 				if nb := prefix / oe.batch; nb > oe.notified {

@@ -121,6 +121,18 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 				"name": "realloc", "cat": "fault", "ts": e.T0 * scale,
 				"args": map[string]any{"live": e.Arg},
 			})
+		case KindChain:
+			events = append(events, ev{
+				"ph": "i", "s": "t", "pid": 1, "tid": e.Worker,
+				"name": "chain " + name, "cat": "chain", "ts": e.T0 * scale,
+				"args": map[string]any{"lo": e.Lo, "n": e.N, "depth": e.Arg},
+			})
+		case KindSpill:
+			events = append(events, ev{
+				"ph": "i", "s": "t", "pid": 1, "tid": e.Worker,
+				"name": "spill " + name, "cat": "chain", "ts": e.T0 * scale,
+				"args": map[string]any{"lo": e.Lo, "n": e.N},
+			})
 		}
 	}
 

@@ -77,6 +77,17 @@ const (
 	// estimates were recomputed over the Arg surviving workers (the
 	// fresh AllocEstimate rows carry the numbers).
 	KindRealloc
+	// KindChain is a cache-chain hit at T0: tasks [Lo, Lo+N) of
+	// consumer operator Op ran on Worker immediately after the
+	// producer chunk that enabled them, while the producer's output
+	// was still cache-resident. Arg is the chain depth. The chunk's
+	// span is the accompanying KindChunk event.
+	KindChain
+	// KindSpill is a chain fallback at T0: an enabled consumer block
+	// of tasks [Lo, Lo+N) of Op could not be run in place (depth
+	// limit, crash, cancellation) and was released to the ordinary
+	// work-stealing path instead.
+	KindSpill
 )
 
 func (k Kind) String() string {
@@ -97,6 +108,10 @@ func (k Kind) String() string {
 		return "retry"
 	case KindRealloc:
 		return "realloc"
+	case KindChain:
+		return "chain"
+	case KindSpill:
+		return "spill"
 	}
 	return "?"
 }
@@ -277,6 +292,28 @@ func (r *Recorder) Retry(w, victim, op, lo, n int, t float64) {
 	}
 	r.ring(w).emit(Event{Kind: KindRetry, Worker: int32(w), Op: int32(op),
 		Lo: int32(lo), N: int32(n), Arg: int32(victim), T0: t})
+}
+
+// Chain records a cache-chain hit: worker w ran consumer tasks
+// [lo, lo+n) of operator op at chain depth depth, immediately after
+// completing the producer chunk that enabled them.
+func (r *Recorder) Chain(w, op, lo, n, depth int, t float64) {
+	if r == nil {
+		return
+	}
+	r.ring(w).emit(Event{Kind: KindChain, Worker: int32(w), Op: int32(op),
+		Lo: int32(lo), N: int32(n), Arg: int32(depth), T0: t})
+}
+
+// Spill records a chain fallback: an enabled consumer block of tasks
+// [lo, lo+n) of op was released to the work-stealing path instead of
+// running in place on worker w.
+func (r *Recorder) Spill(w, op, lo, n int, t float64) {
+	if r == nil {
+		return
+	}
+	r.ring(w).emit(Event{Kind: KindSpill, Worker: int32(w), Op: int32(op),
+		Lo: int32(lo), N: int32(n), T0: t})
 }
 
 // Realloc records that the allocation estimates were recomputed over

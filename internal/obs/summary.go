@@ -35,6 +35,7 @@ func Summary(t *Trace) string {
 		cover              []bool
 		busy               float64
 		chunks, steals     int
+		chains, spills     int
 		minGrain, maxGrain int
 		start, end         float64
 	}
@@ -85,6 +86,10 @@ func Summary(t *Trace) string {
 			}
 		case KindSteal:
 			r.steals++
+		case KindChain:
+			r.chains++
+		case KindSpill:
+			r.spills++
 		case KindTaper:
 			g := int(e.N)
 			if r.minGrain < 0 || g < r.minGrain {
@@ -118,8 +123,12 @@ func Summary(t *Trace) string {
 		if r.minGrain >= 0 {
 			grain = fmt.Sprintf("  grain %d..%d", r.minGrain, r.maxGrain)
 		}
-		fmt.Fprintf(&b, "  %-*s |%s| busy %8.4g  chunks %4d  steals %3d%s\n",
-			nameW, n, bar, r.busy, r.chunks, r.steals, grain)
+		chain := ""
+		if r.chains+r.spills > 0 {
+			chain = fmt.Sprintf("  chained %d (spilled %d)", r.chains, r.spills)
+		}
+		fmt.Fprintf(&b, "  %-*s |%s| busy %8.4g  chunks %4d  steals %3d%s%s\n",
+			nameW, n, bar, r.busy, r.chunks, r.steals, grain, chain)
 	}
 	for w := 0; w < t.Workers; w++ {
 		fmt.Fprintf(&b, "  worker %-3d utilization %5.1f%%\n", w, 100*workerBusy[w]/span)

@@ -12,6 +12,7 @@ import (
 
 	"orchestra/internal/machine"
 	"orchestra/internal/sched"
+	"orchestra/internal/split"
 )
 
 // OpSpec describes one parallel operation to the runtime: the
@@ -31,6 +32,13 @@ type OpSpec struct {
 	// boundaries during execution given n tasks on p processors. Nil
 	// means no steady-state communication.
 	CommBytes func(n, p int) int64
+	// Split, when non-nil, annotates the kernel's data-access
+	// decomposition (internal/split): which predecessor elements task
+	// i reads and which output elements it writes. The native backend
+	// combines producer and consumer annotations per dataflow edge to
+	// decide cache-chain scheduling; a nil annotation means the
+	// conservative AccessAll behaviour (never chained).
+	Split *split.Annotation
 }
 
 // SampleStats fills Mu and Sigma by sampling k task times (the

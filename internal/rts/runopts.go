@@ -80,7 +80,27 @@ type RunOpts struct {
 	// finishes first — so partial side effects never include a
 	// half-executed task. A nil Ctx means the run cannot be canceled.
 	Ctx context.Context
+	// Chain selects the cache-chain policy for pipelined edges in
+	// ModeSplit on the native backend. The zero value (ChainAuto)
+	// chains edges whose kernels carry compatible split annotations
+	// (or that the compiler marked Chain); ChainOff disables chaining
+	// so every pipelined edge keeps the prefix-gate path — the
+	// before/after knob the pipeline benchmarks flip. The simulator
+	// ignores it.
+	Chain ChainPolicy
 }
+
+// ChainPolicy selects how the native backend treats chain-eligible
+// edges in ModeSplit.
+type ChainPolicy int
+
+const (
+	// ChainAuto (the default) cache-chains annotation-compatible
+	// producer/consumer edges.
+	ChainAuto ChainPolicy = iota
+	// ChainOff forces every pipelined edge through the prefix gate.
+	ChainOff
+)
 
 // RunOption mutates a RunOpts; see NewRunOpts.
 type RunOption func(*RunOpts)
@@ -124,6 +144,9 @@ func WithFaultPlan(p *fault.Plan) RunOption { return func(o *RunOpts) { o.Fault 
 // deadline abandons the run with an error wrapping ErrCanceled.
 func WithContext(ctx context.Context) RunOption { return func(o *RunOpts) { o.Ctx = ctx } }
 
+// WithChain sets the cache-chain policy for pipelined edges.
+func WithChain(c ChainPolicy) RunOption { return func(o *RunOpts) { o.Chain = c } }
+
 // canceled reports whether the run's context has fired.
 func (o RunOpts) canceled() bool {
 	return o.Ctx != nil && o.Ctx.Err() != nil
@@ -143,6 +166,11 @@ func (o RunOpts) Validate() error {
 	}
 	if o.Omega < 0 {
 		return fmt.Errorf("rts: negative omega %g", o.Omega)
+	}
+	switch o.Chain {
+	case ChainAuto, ChainOff:
+	default:
+		return fmt.Errorf("rts: unknown chain policy %d", int(o.Chain))
 	}
 	return nil
 }

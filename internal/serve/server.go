@@ -63,7 +63,10 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	done, failed, canceled int64
-	started                time.Time
+	// Pipeline counters, accumulated over every completed job's result:
+	// cache-chain activity on the pool (see trace.Result).
+	chainHits, chainSpills, chainFallbacks int64
+	started                                time.Time
 }
 
 // New starts a daemon: the pool's worker goroutines spin up here and
@@ -478,6 +481,11 @@ func (s *Server) finishJob(j *Job, res *trace.Result, digest, traceJSON string, 
 	switch state {
 	case StateDone:
 		s.done++
+		if res != nil {
+			s.chainHits += int64(res.ChainHits)
+			s.chainSpills += int64(res.ChainSpills)
+			s.chainFallbacks += int64(res.ChainFallbacks)
+		}
 	case StateCanceled:
 		s.canceled++
 	default:
@@ -501,7 +509,19 @@ type Stats struct {
 	Pool          native.PoolStats `json:"pool"`
 	Cache         CacheStats       `json:"cache"`
 	Jobs          JobCounts        `json:"jobs"`
+	Pipeline      PipelineStats    `json:"pipeline"`
 	Allocations   []AllocDecision  `json:"allocations"`
+}
+
+// PipelineStats aggregates the cache-chain scheduler's activity across
+// every job the pool has completed: chunks run in place on the chain
+// path, blocks spilled back to the work-stealing deques at the depth
+// limit, and blocks released to surviving workers during crash
+// recovery.
+type PipelineStats struct {
+	ChainHits      int64 `json:"chain_hits"`
+	ChainSpills    int64 `json:"chain_spills"`
+	ChainFallbacks int64 `json:"chain_fallbacks"`
 }
 
 // JobCounts aggregates job states.
@@ -518,6 +538,7 @@ type JobCounts struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	jc := JobCounts{Total: len(s.jobs), Done: s.done, Failed: s.failed, Canceled: s.canceled}
+	ps := PipelineStats{ChainHits: s.chainHits, ChainSpills: s.chainSpills, ChainFallbacks: s.chainFallbacks}
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
@@ -539,6 +560,7 @@ func (s *Server) Stats() Stats {
 		Pool:          s.pool.Stats(),
 		Cache:         s.cache.stats(),
 		Jobs:          jc,
+		Pipeline:      ps,
 		Allocations:   s.alloc.snapshot(),
 	}
 }

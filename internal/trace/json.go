@@ -25,6 +25,13 @@ type resultJSON struct {
 	Chunks     int       `json:"chunks"`
 	Steals     int       `json:"steals"`
 	Messages   int       `json:"messages"`
+	// The chain counters are omitempty: runs without cache chaining
+	// (every simulator run, pre-chain files) encode byte-identically
+	// to the original schema-1 form, so goldens and old BENCH files
+	// stay valid without a schema bump.
+	ChainHits      int `json:"chain_hits,omitempty"`
+	ChainSpills    int `json:"chain_spills,omitempty"`
+	ChainFallbacks int `json:"chain_fallbacks,omitempty"`
 }
 
 // MarshalJSON encodes the result in the versioned wire format.
@@ -40,6 +47,10 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Chunks:     r.Chunks,
 		Steals:     r.Steals,
 		Messages:   r.Messages,
+
+		ChainHits:      r.ChainHits,
+		ChainSpills:    r.ChainSpills,
+		ChainFallbacks: r.ChainFallbacks,
 	})
 }
 
@@ -63,6 +74,10 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		Chunks:     w.Chunks,
 		Steals:     w.Steals,
 		Messages:   w.Messages,
+
+		ChainHits:      w.ChainHits,
+		ChainSpills:    w.ChainSpills,
+		ChainFallbacks: w.ChainFallbacks,
 	}
 	return nil
 }

@@ -31,6 +31,19 @@ type Result struct {
 	Steals int
 	// Messages counts point-to-point messages.
 	Messages int
+	// ChainHits counts consumer chunks executed on the cache-chain
+	// path: run by the worker that completed the enabling producer
+	// chunk, while its output was still cache-resident. Zero on the
+	// simulator and in non-chained native modes.
+	ChainHits int
+	// ChainSpills counts enabled consumer blocks the chain path
+	// handed back to the work-stealing deques (depth limit or
+	// cancellation) instead of running in place.
+	ChainSpills int
+	// ChainFallbacks counts enabled consumer blocks released to other
+	// workers because the enabling worker could not keep them (crash
+	// recovery).
+	ChainFallbacks int
 }
 
 // Speedup reports SeqTime / Makespan.
