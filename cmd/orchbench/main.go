@@ -28,12 +28,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, hotpath, pipeline, or all (native, hotpath and pipeline are wall-clock and never part of all)")
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, hotpath, pipeline, search, or all (native, hotpath, pipeline and search are wall-clock and never part of all)")
 	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "output file for the pipeline experiment's sweep")
+	searchOut := flag.String("search-out", "BENCH_search.json", "output file for the search experiment's report")
+	repeats := flag.Int("repeats", 3, "search experiment: best-of-N repeats per measured program")
 	modesFlag := cliflag.Modes(flag.CommandLine, "modes", "all", "native experiment: modes to sweep (static, taper, split, all, or a comma list)")
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
 			run[e] = true
 		}
-	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "hotpath", "pipeline":
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "hotpath", "pipeline", "search":
 		run[*exp] = true
 	default:
 		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
@@ -205,6 +207,36 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d points to %s\n\n", len(rep.Points), *pipelineOut)
+	}
+
+	if run["search"] {
+		// Wall-clock profile-guided split search: always-seq vs
+		// always-split (wholesale, even on one worker) vs the program the
+		// search emits from a profile of the split run. The binder
+		// conserves work across graphs, and the digest column proves every
+		// program executed each original task exactly once.
+		workers := []int{1, 2, 4, 8}
+		fmt.Printf("=== Search: profile-guided split search (GOMAXPROCS=%d) ===\n\n", runtime.GOMAXPROCS(0))
+		rep := experiment.Search(size(1024), *seed, workers, 2000, *repeats)
+		fmt.Print(experiment.FormatSearch(rep))
+		if !rep.DigestsAgree() {
+			fmt.Fprintln(os.Stderr, "orchbench: searched-program coverage digests differ")
+			os.Exit(1)
+		}
+		file := struct {
+			Schema int                     `json:"schema"`
+			Report experiment.SearchReport `json:"report"`
+		}{Schema: trace.SchemaVersion, Report: rep}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*searchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d points to %s\n\n", len(rep.Points), *searchOut)
 	}
 
 	if run["ablations"] {

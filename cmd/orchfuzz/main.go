@@ -14,6 +14,14 @@
 //	orchfuzz -minimize 14 -out repro.f  # shrink seed 14's divergence
 //	orchfuzz -seed 14 -trace-dir traces # export diverging schedules
 //	orchfuzz -faults -count 200         # campaign under fault injection
+//	orchfuzz -search -count 200         # campaign through the split search
+//
+// With -search, each program's lowered graph is additionally profiled
+// on the simulator, fed through the profile-guided split search
+// (internal/search), and the searched graph — the search may turn
+// per-edge pipelining and chaining off — is run across a compact
+// backend matrix and compared bitwise against the sequential baseline:
+// the search must never change values, only the schedule.
 //
 // With -faults, each program additionally runs under a seed-derived
 // random fault plan (worker crashes, stalls, slowdowns, message
@@ -54,6 +62,7 @@ func main() {
 		out      = flag.String("out", "", "write the minimized reproducer here instead of stdout")
 		traceDir = flag.String("trace-dir", "", "write Chrome traces of diverging configurations into this directory")
 		faults   = flag.Bool("faults", false, "check each program under a seed-derived random fault plan")
+		searchIt = flag.Bool("search", false, "check each program through the profile-guided split search")
 	)
 	fixedFault := cliflag.Fault(flag.CommandLine, "fault", "check each program under this exact fault plan (internal/fault syntax) instead of random ones")
 	flag.Parse()
@@ -79,6 +88,9 @@ func main() {
 			var p *fault.Plan
 			rep, prog, p = fuzz.CheckSeedFaults(s, cfg)
 			plan = " under " + p.String()
+		case *searchIt:
+			rep, prog = fuzz.CheckSeedSearched(s, cfg)
+			plan = " searched"
 		default:
 			rep, prog = fuzz.CheckSeed(s, cfg)
 		}

@@ -1,0 +1,386 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"orchestra/internal/native"
+	"orchestra/internal/obs"
+	"orchestra/internal/rts"
+	"orchestra/internal/search"
+	"orchestra/internal/trace"
+	"orchestra/internal/workload"
+)
+
+// This file is the profile-guided split-search benchmark: for every
+// paper workload and worker count it measures always-sequential,
+// always-split (the transformed graph applied wholesale, bypassing the
+// workload.GraphFor one-worker guard), and the program the search
+// emits from a profile of the split run. Tasks burn real CPU
+// proportional to the workload's drawn task times, and — unlike
+// NativeSweep's SpinBinder — the binder conserves work across graphs:
+// a part operator spins exactly the partitioned times of its original
+// phase, so seq, split and every hybrid execute the same total work
+// and differ only in orchestration. A coverage digest per run proves
+// each original task executed exactly once regardless of which graph
+// ran it.
+
+// Coverage counts executions of every original task of an application
+// across whatever graph is running. Part operators map their task
+// indices back to the original phase through the workload's part
+// metadata, so structurally different graphs fill the same counters.
+type Coverage struct {
+	phases []string
+	counts map[string][]int64
+}
+
+// NewCoverage allocates counters for every task of every original
+// phase.
+func NewCoverage(app *workload.App) *Coverage {
+	c := &Coverage{counts: map[string][]int64{}}
+	for _, ph := range app.Phases() {
+		c.phases = append(c.phases, ph)
+		c.counts[ph] = make([]int64, app.Bind(ph).Op.N)
+	}
+	return c
+}
+
+// Err reports the first original task not executed exactly once, nil
+// when coverage is exact.
+func (c *Coverage) Err() error {
+	for _, ph := range c.phases {
+		for i, n := range c.counts[ph] {
+			if n != 1 {
+				return fmt.Errorf("task %s[%d] executed %d times, want 1", ph, i, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Digest fingerprints the coverage: SHA-256 over every phase's name,
+// length and counters. Two runs digest identically iff they executed
+// the same multiset of original tasks — the cross-graph conformance
+// check the benchmark's digest column reports.
+func (c *Coverage) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, ph := range c.phases {
+		h.Write([]byte(ph))
+		h.Write([]byte{0})
+		cnt := c.counts[ph]
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(cnt)))
+		h.Write(buf[:])
+		for _, n := range cnt {
+			binary.LittleEndian.PutUint64(buf[:], uint64(n))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// conservingBinder wraps the application's operation specs so each
+// task spins unitWork iterations per drawn time unit and records its
+// original task in cov. Statistics (μ, σ, hints) stay the workload's
+// precomputed values; only the execution body changes.
+func conservingBinder(app *workload.App, cov *Coverage, unitWork int) rts.Binder {
+	if unitWork < 1 {
+		unitWork = 1
+	}
+	return func(name string) rts.OpSpec {
+		spec := app.Bind(name)
+		part, ok := app.PartOrigin(name)
+		if !ok {
+			part = workload.Part{Phase: name}
+		}
+		counts := cov.counts[part.Phase]
+		idx := part.Index
+		base := spec.Op.Time
+		uw := float64(unitWork)
+		record := func(i int) float64 {
+			t := base(i)
+			native.Spin(int(t * uw))
+			o := i
+			if idx != nil {
+				o = idx[i]
+			}
+			atomic.AddInt64(&counts[o], 1)
+			return t
+		}
+		spec.Op.Time = record
+		spec.Op.TimeRange = func(lo, hi int) float64 {
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += record(i)
+			}
+			return sum
+		}
+		return spec
+	}
+}
+
+// SearchPoint is one (application, worker count) cell of the search
+// benchmark.
+type SearchPoint struct {
+	App     string `json:"app"`
+	Workers int    `json:"workers"`
+	// Seq, Split and Searched are the measured runs (best of repeats)
+	// of the three programs; Searched aliases Seq or Split when the
+	// search emitted a baseline, so equal plans report equal numbers.
+	Seq      trace.Result `json:"seq"`
+	Split    trace.Result `json:"split"`
+	Searched trace.Result `json:"searched"`
+	// Plan is the searched candidate's ID ("seq", "split", or a hybrid
+	// description); Scores is the full ranked evidence.
+	Plan   string         `json:"plan"`
+	Scores []search.Score `json:"scores"`
+	// SeqDigest/SplitDigest/SearchedDigest are coverage digests: equal
+	// digests prove every original task executed exactly once under
+	// every program.
+	SeqDigest      string `json:"seq_digest"`
+	SplitDigest    string `json:"split_digest"`
+	SearchedDigest string `json:"searched_digest"`
+}
+
+// DigestsMatch reports whether all three programs covered the original
+// tasks identically.
+func (pt SearchPoint) DigestsMatch() bool {
+	return pt.SeqDigest == pt.SplitDigest && pt.SplitDigest == pt.SearchedDigest
+}
+
+// SearchReport is the search benchmark's full result set.
+type SearchReport struct {
+	Tasks    int           `json:"tasks"`
+	Seed     uint64        `json:"seed"`
+	UnitWork int           `json:"unit_work"`
+	Repeats  int           `json:"repeats"`
+	Points   []SearchPoint `json:"points"`
+}
+
+// DigestsAgree reports whether every cell's three programs produced
+// identical coverage.
+func (r SearchReport) DigestsAgree() bool {
+	for _, pt := range r.Points {
+		if !pt.DigestsMatch() {
+			return false
+		}
+	}
+	return true
+}
+
+// Search runs the profile-guided split-search benchmark: for each
+// application and worker count, measure always-seq and always-split,
+// profile the split run, search the hybrid space with measured
+// validation (finalists are actually run; baselines reuse their
+// measured numbers), and measure the emitted program. Epsilon is
+// effectively zero here — the benchmark adopts the measured best, and
+// ties still break toward the less-transformed program — so the
+// searched makespan is the minimum over every validated candidate by
+// construction.
+func Search(n int, seed uint64, workers []int, unitWork, repeats int) SearchReport {
+	if repeats < 1 {
+		repeats = 1
+	}
+	rep := SearchReport{Tasks: n, Seed: seed, UnitWork: unitWork, Repeats: repeats}
+	for _, app := range workload.All(n, seed) {
+		origin := func(part string) string {
+			if p, ok := app.PartOrigin(part); ok {
+				return p.Phase
+			}
+			return part
+		}
+		parts := map[string][]string{}
+		for _, nd := range app.SplitGraph.Nodes {
+			if p, ok := app.PartOrigin(nd.Name); ok && p.Phase != nd.Name {
+				parts[p.Phase] = append(parts[p.Phase], nd.Name)
+			}
+		}
+		cands, err := search.HybridCandidates(app.SeqGraph, app.SplitGraph, origin)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: search candidates for %s: %v", app.Name, err))
+		}
+		for _, w := range workers {
+			r := repeats
+			if w == 1 {
+				// One-worker cells differ only by orchestration overhead,
+				// deep in the noise floor of a wall-clock run; extra
+				// repeats push the best-of minimum toward the true floor,
+				// where the least-overhead program wins.
+				r = repeats + 4
+			}
+			pt := searchPoint(app, cands, parts, w, unitWork, r)
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep
+}
+
+// measured is one candidate's best-of-repeats native run.
+type measured struct {
+	res    trace.Result
+	digest string
+	cov    error
+}
+
+func searchPoint(app *workload.App, cands []search.Candidate, parts map[string][]string, w, unitWork, repeats int) SearchPoint {
+	// Every program runs under the split-mode executor (TAPER chunking
+	// plus dataflow gates) so the cells compare graphs, not scheduler
+	// modes; on a chain graph the gates are trivially open and the
+	// executor degrades to plain TAPER.
+	runOnce := func(c search.Candidate, sink obs.Sink) measured {
+		cov := NewCoverage(app)
+		bind := conservingBinder(app, cov, unitWork)
+		res, err := native.Backend{}.Run(c.Graph, bind, rts.RunOpts{
+			Processors: w, Mode: rts.ModeSplit, Sink: sink,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiment: search %s/%s/p=%d: %v", app.Name, c.ID, w, err))
+		}
+		return measured{res: res, digest: cov.Digest(), cov: cov.Err()}
+	}
+	run := func(c search.Candidate, sink obs.Sink) measured {
+		best := runOnce(c, sink)
+		for r := 1; r < repeats; r++ {
+			m := runOnce(c, nil)
+			if m.res.Makespan < best.res.Makespan {
+				best.res = m.res
+			}
+		}
+		return best
+	}
+
+	var seqC, splitC search.Candidate
+	for _, c := range cands {
+		if c.ID == "seq" {
+			seqC = c
+		}
+		if c.ID == "split" {
+			splitC = c
+		}
+	}
+
+	// The split run doubles as the profiling run.
+	var col obs.Collector
+	byID := map[string]measured{
+		"split": run(splitC, &col),
+		"seq":   run(seqC, nil),
+	}
+	prof, err := search.FromTrace(col.Trace, 0)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: search profile %s/p=%d: %v", app.Name, w, err))
+	}
+
+	validate := func(c search.Candidate) (float64, error) {
+		m, ok := byID[c.ID]
+		if !ok {
+			m = run(c, nil)
+			byID[c.ID] = m
+		}
+		return m.res.Makespan, nil
+	}
+	// With more than one worker the benchmark adopts the measured best
+	// outright (epsilon ~0), so the searched makespan cannot lose to a
+	// baseline. On one worker nothing overlaps and the programs differ
+	// only by orchestration overhead, well inside measurement noise —
+	// there the adoption margin does its real job and the tie goes to
+	// the sequential program.
+	eps := 1e-9
+	if w == 1 {
+		eps = search.DefaultEpsilon
+	}
+	plan, err := search.Run(prof, cands, search.Options{
+		P: w, Parts: parts, Epsilon: eps, Validate: validate,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: search %s/p=%d: %v", app.Name, w, err))
+	}
+
+	// Measurement gets the last word: if a baseline's best-of minimum
+	// beats the emitted plan's, re-measure the two head-to-head with
+	// alternating runs (immune to clock-speed drift between the earlier
+	// measurement blocks) and adopt the baseline if it still wins. The
+	// emitted program is the profitable subset — when measurement says
+	// a transformation does not pay, the subset shrinks to the
+	// baseline.
+	planID := plan.Best.ID
+	candByID := map[string]search.Candidate{}
+	for _, c := range cands {
+		candByID[c.ID] = c
+	}
+	playoff := func(aID, bID string) {
+		for r := 0; r < repeats+2; r++ {
+			for _, id := range []string{aID, bID} {
+				m := runOnce(candByID[id], nil)
+				if cur := byID[id]; m.res.Makespan < cur.res.Makespan {
+					cur.res = m.res
+					byID[id] = cur
+				}
+			}
+		}
+	}
+	for _, bid := range []string{"seq", "split"} {
+		if bid != planID && byID[bid].res.Makespan < byID[planID].res.Makespan {
+			playoff(planID, bid)
+		}
+	}
+	for _, bid := range []string{"seq", "split"} {
+		if byID[bid].res.Makespan < byID[planID].res.Makespan {
+			planID = bid
+		}
+	}
+	for i := range plan.Scores {
+		plan.Scores[i].Chosen = plan.Scores[i].ID == planID
+	}
+
+	chosen := byID[planID]
+	for id, m := range byID {
+		if m.cov != nil {
+			panic(fmt.Sprintf("experiment: search %s/%s/p=%d coverage: %v", app.Name, id, w, m.cov))
+		}
+	}
+	return SearchPoint{
+		App:            app.Name,
+		Workers:        w,
+		Seq:            byID["seq"].res,
+		Split:          byID["split"].res,
+		Searched:       chosen.res,
+		Plan:           planID,
+		Scores:         plan.Scores,
+		SeqDigest:      byID["seq"].digest,
+		SplitDigest:    byID["split"].digest,
+		SearchedDigest: chosen.digest,
+	}
+}
+
+// FormatSearch renders the benchmark as an aligned table.
+func FormatSearch(r SearchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %3s %10s %10s %10s  %-7s %-40s %s\n",
+		"app", "p", "seq(s)", "split(s)", "searched", "vs best", "plan", "digest")
+	pts := append([]SearchPoint(nil), r.Points...)
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].App != pts[j].App {
+			return pts[i].App < pts[j].App
+		}
+		return pts[i].Workers < pts[j].Workers
+	})
+	for _, pt := range pts {
+		best := pt.Seq.Makespan
+		if pt.Split.Makespan < best {
+			best = pt.Split.Makespan
+		}
+		digest := "MATCH"
+		if !pt.DigestsMatch() {
+			digest = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "%-9s %3d %10.4f %10.4f %10.4f  %6.2f%% %-40s %s\n",
+			pt.App, pt.Workers, pt.Seq.Makespan, pt.Split.Makespan, pt.Searched.Makespan,
+			100*(best-pt.Searched.Makespan)/best, pt.Plan, digest)
+	}
+	return b.String()
+}

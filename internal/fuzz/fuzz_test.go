@@ -25,6 +25,23 @@ func TestCampaignSmoke(t *testing.T) {
 	}
 }
 
+// TestSearchedCampaignSmoke is the same canary for the searched-program
+// rung: a slice of seeds through profile → split search → searched-graph
+// execution, bitwise against the sequential baseline. The full campaign
+// lives in cmd/orchfuzz -search (and the CI search job).
+func TestSearchedCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign smoke is not short")
+	}
+	cfg := DefaultGenConfig()
+	for seed := uint64(1); seed <= 15; seed++ {
+		rep, prog := CheckSeedSearched(seed, cfg)
+		if rep.Failed() {
+			t.Fatalf("seed %d diverged:\n%s\nprogram:\n%s", seed, rep, source.Format(prog))
+		}
+	}
+}
+
 // FuzzPipeline drives the full differential ladder — reference
 // interpreter, compiled-program interpreter, lowered sequential run,
 // and the whole simulator/native backend matrix — from a single seed.

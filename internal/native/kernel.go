@@ -239,6 +239,12 @@ func SpinBinder(g *delirium.Graph, count func(node *delirium.Node) int, cv float
 	return func(name string) rts.OpSpec { return specs[name] }
 }
 
+// Spin burns approximately iters iterations of floating-point work.
+// Exported for binders elsewhere (the search benchmark's
+// work-conserving binder) that need the same calibrated busy-loop
+// SpinBinder uses.
+func Spin(iters int) { spin(iters) }
+
 // spinSink defeats dead-code elimination of the spin loop.
 var spinSink float64
 

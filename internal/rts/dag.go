@@ -124,7 +124,7 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 		f, t := index[e.From], index[e.To]
 		ie := inEdge{from: f, pipelined: e.Pipelined}
 		if e.Pipelined {
-			ie.batch = ChoosePairGranularity(cfg, specs[f], p, specs[f].Op.Bytes)
+			ie.batch = ChoosePairGranularityOmega(cfg, specs[f], p, specs[f].Op.Bytes, omega)
 		}
 		inEdges[t] = append(inEdges[t], ie)
 	}
@@ -150,7 +150,7 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 			lspecs[i] = specs[idxs[i]]
 			lnames[i] = n.Name
 		}
-		shares := AllocateMany(cfg, lspecs, p, rec, lnames...)
+		shares := AllocateManyOmega(cfg, lspecs, p, omega, rec, lnames...)
 		base := 0
 		for i, o := range idxs {
 			alloc[o] = shares[i]
@@ -460,7 +460,7 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 			rnames = append(rnames, order[o].Name)
 		}
 		if len(rspecs) > 0 {
-			ReallocateOnLoss(cfg, rspecs, live, rec, rnames...)
+			ReallocateOnLossOmega(cfg, rspecs, live, omega, rec, rnames...)
 		}
 	}
 
@@ -530,8 +530,25 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 				bestOp = o
 			}
 		}
-		if bestOp >= 0 && tryDispatch(gp, bestOp) {
-			return
+		if bestOp >= 0 {
+			if tryDispatch(gp, bestOp) {
+				return
+			}
+			// The best operator can refuse the dispatch even with its
+			// gate open: hinted queues are expensive-first, not index-
+			// ordered, so every gate-enabled task may sit behind a
+			// blocked queue front. Parking here would stall the run —
+			// nothing wakes an idle processor until some chunk
+			// completes, and with one processor there is no other chunk
+			// — so fall back to any other executable operator.
+			for o := range specs {
+				if o == bestOp || unsched[o] <= 0 || gate(o)-dispatched(o) <= 0 {
+					continue
+				}
+				if tryDispatch(gp, o) {
+					return
+				}
+			}
 		}
 		idle = append(idle, gp)
 	}

@@ -153,6 +153,45 @@ func TestExecuteDAGPipelinedGateOverlaps(t *testing.T) {
 	}
 }
 
+// TestExecuteDAGOneProcHintedNoStall pins a dispatch deadlock: on one
+// processor, topological tie-breaking can leave an operator's queue
+// owned by a phantom processor (allocation shares can sum past p), so
+// it is reachable only through the steal path. When the idle
+// processor's single "best operator" pick was an op whose gate-enabled
+// tasks all sat behind blocked queue fronts (hinted queues are
+// expensive-first, not index-ordered), the old code parked the
+// processor without trying the other — dispatchable — operator, and
+// nothing ever woke it. The trigger was as mundane as the *edge
+// declaration order* of the psirrfan split graph, so both orders run
+// here.
+func TestExecuteDAGOneProcHintedNoStall(t *testing.T) {
+	hinted := func(name string, n int, seed uint64) OpSpec {
+		s := boundedIrregularSpec(n, seed)
+		s.Op.Name = name
+		return s
+	}
+	orders := map[string][][2]string{
+		"stalling": {{"projI", "outI"}, {"projPre", "projI"}, {"projPre", "update"}, {"update", "outD"}},
+		"working":  {{"update", "outD"}, {"projI", "outI"}, {"projPre", "update"}, {"projPre", "projI"}},
+	}
+	for label, edges := range orders {
+		g := dagGraph(t, edges, map[[2]string]bool{{"update", "outD"}: true},
+			"projPre", "projI", "update", "outI", "outD")
+		bind := func(name string) OpSpec { return hinted(name, 64, 7) }
+		r, err := ExecuteDAG(machine.DefaultConfig(1), g, bind, RunOpts{Processors: 1})
+		if err != nil {
+			t.Fatalf("%s edge order: %v", label, err)
+		}
+		var busy float64
+		for _, b := range r.Busy {
+			busy += b
+		}
+		if busy < r.SeqTime {
+			t.Errorf("%s edge order: lost work: busy %v < seq %v", label, busy, r.SeqTime)
+		}
+	}
+}
+
 func TestExecuteDAGIndependentSources(t *testing.T) {
 	g := dagGraph(t, nil, nil, "a", "b", "c")
 	bind := func(string) OpSpec { return uniformSpec(512, 1) }

@@ -42,8 +42,12 @@ type OpSpec struct {
 }
 
 // SampleStats fills Mu and Sigma by sampling k task times (the
-// runtime's sampling phase). It samples evenly across the iteration
-// space.
+// runtime's sampling phase). It samples exactly k indices spread
+// evenly across the iteration space: index ⌊j·N/k⌋ for j = 0..k-1,
+// which are distinct whenever k ≤ N. (A naive floor stride N/k walks
+// up to ~2k-1 indices — N=100, k=3 would sample i = 0, 33, 66, 99 —
+// silently blowing a small sampling budget and skewing μ/σ toward
+// whatever the tail of the iteration space holds.)
 func (s *OpSpec) SampleStats(k int) {
 	if k <= 0 || s.Op.N == 0 {
 		return
@@ -51,14 +55,10 @@ func (s *OpSpec) SampleStats(k int) {
 	if k > s.Op.N {
 		k = s.Op.N
 	}
-	step := s.Op.N / k
-	if step < 1 {
-		step = 1
-	}
 	var mean, m2 float64
 	n := 0
-	for i := 0; i < s.Op.N; i += step {
-		t := s.Op.Time(i)
+	for j := 0; j < k; j++ {
+		t := s.Op.Time(j * s.Op.N / k)
 		n++
 		d := t - mean
 		mean += d / float64(n)
@@ -103,7 +103,30 @@ func (e Estimate) Total() float64 {
 	return e.Setup + e.Compute + e.Lag + e.Comm + e.Sched
 }
 
-// FinishEstimate implements equation (1):
+// EffectiveOmega resolves a TAPER confidence-width override the same
+// way the executed policy does (sched.Taper.NextChunk): a positive
+// omega is used as-is, anything else falls back to the paper's
+// √(2·ln(p+1)). Every estimator that predicts scheduling behaviour
+// must resolve ω through this function — predicting with the default
+// while the executor honours an override would model a different
+// scheduler than the one that runs.
+func EffectiveOmega(p int, omega float64) float64 {
+	if omega > 0 {
+		return omega
+	}
+	if p < 1 {
+		p = 1
+	}
+	return math.Sqrt(2 * math.Log(float64(p)+1))
+}
+
+// FinishEstimate implements equation (1) with the default TAPER
+// confidence width; see FinishEstimateOmega.
+func FinishEstimate(cfg machine.Config, spec OpSpec, p int) Estimate {
+	return FinishEstimateOmega(cfg, spec, p, 0)
+}
+
+// FinishEstimateOmega implements equation (1):
 //
 //	finish = setup + compute + lag + comm + sched
 //
@@ -113,8 +136,9 @@ func (e Estimate) Total() float64 {
 // with variance σ², approximately σ·√(N/p)·√(2·ln p). comm: the
 // runtime communication estimate. sched: the predicted number of
 // scheduling events per processor times the per-event overhead, with
-// the chunk count predicted from the TAPER recurrence.
-func FinishEstimate(cfg machine.Config, spec OpSpec, p int) Estimate {
+// the chunk count predicted from the TAPER recurrence under the
+// effective confidence width omega (0 = the policy default).
+func FinishEstimateOmega(cfg machine.Config, spec OpSpec, p int, omega float64) Estimate {
 	if p < 1 {
 		p = 1
 	}
@@ -149,7 +173,7 @@ func FinishEstimate(cfg machine.Config, spec OpSpec, p int) Estimate {
 		e.Comm = float64(spec.CommBytes(n, p)) / float64(p) * cfg.ByteCost
 	}
 
-	e.Sched = float64(PredictChunks(n, p, cv(spec))) / float64(p) * cfg.SchedOverhead
+	e.Sched = float64(PredictChunksOmega(n, p, cv(spec), omega)) / float64(p) * cfg.SchedOverhead
 	return e
 }
 
@@ -160,16 +184,26 @@ func cv(spec OpSpec) float64 {
 	return sanitize(spec.Sigma/spec.Mu, 0)
 }
 
-// PredictChunks predicts how many chunks TAPER will schedule for n
-// tasks on p processors given the coefficient of variation of task
+// PredictChunks predicts the TAPER chunk count under the default
+// confidence width; see PredictChunksOmega.
+func PredictChunks(n, p int, cv float64) int {
+	return PredictChunksOmega(n, p, cv, 0)
+}
+
+// PredictChunksOmega predicts how many chunks TAPER will schedule for
+// n tasks on p processors given the coefficient of variation of task
 // times, by iterating the chunk-size recurrence (§4.1.2: "we need to
 // predict, at runtime, the number of chunks that will be scheduled").
-func PredictChunks(n, p int, cv float64) int {
+// omega overrides the confidence width exactly as RunOpts.Omega
+// overrides the executed policy's (0 = the policy default), so the
+// prediction tracks the scheduler that actually runs during -omega
+// sweeps.
+func PredictChunksOmega(n, p int, cv, omega float64) int {
 	if n <= 0 || p < 1 {
 		return 0
 	}
 	cv = sanitize(cv, 0)
-	omega := math.Sqrt(2 * math.Log(float64(p)+1))
+	omega = EffectiveOmega(p, omega)
 	chunks := 0
 	r := n
 	for r > 0 {

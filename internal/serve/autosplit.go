@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"orchestra/internal/search"
+)
+
+// The daemon's autosplit hook: a submission with "autosplit": true has
+// its graph tuned by the profile-guided split search (internal/search).
+// The first such job doubles as the profiling run — it executes the
+// graph as submitted with an event sink, feeds the trace through the
+// search, and caches the emitted plan; every later autosplit
+// submission of the same graph at the same grant and ω skips straight
+// to the searched graph. The cache rides on the same content address
+// as the graph cache (compile.Fingerprint / compile.GraphFingerprint),
+// so "same graph" means same fingerprint, under any job name.
+//
+// The search only weakens edge attributes (GraphCandidates), so a
+// searched schedule is always admissible under the submitted graph's
+// gating: kernel digests are unaffected, only the makespan moves.
+
+// planCache stores searched plans keyed by graph fingerprint, worker
+// grant, and ω. Unlike the graph cache there is no singleflight: two
+// racing first jobs each profile and the later store wins, which is
+// harmless — both plans came from valid profiles of the same graph.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*search.Plan
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: map[string]*search.Plan{}}
+}
+
+// planKey scopes a cached plan to everything the search conditioned
+// on: the grant is the search's P, ω shifts the estimator's chunk
+// model, and the fingerprint pins the graph.
+func planKey(fp string, grant int, omega float64) string {
+	return fmt.Sprintf("%s|p=%d|omega=%g", fp, grant, omega)
+}
+
+func (c *planCache) get(key string) (*search.Plan, bool) {
+	c.mu.Lock()
+	p, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return p, ok
+}
+
+func (c *planCache) put(key string, p *search.Plan) {
+	c.mu.Lock()
+	c.entries[key] = p
+	c.mu.Unlock()
+}
+
+// PlanCacheStats is the /stats view of the searched-plan cache.
+type PlanCacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return PlanCacheStats{Entries: n, Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

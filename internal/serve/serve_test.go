@@ -322,6 +322,53 @@ func TestConcurrentSubmissionsShareOnePool(t *testing.T) {
 	}
 }
 
+// TestAutosplitPlanCache pins the autosplit hook: the first autosplit
+// submission of a graph is the profiling run and caches the searched
+// plan under the graph fingerprint; repeats at the same grant reuse it;
+// and the searched schedule never moves the kernel digest.
+func TestAutosplitPlanCache(t *testing.T) {
+	s, ts := newTestServer(t)
+	src := figure1(t)
+	req := SubmitRequest{Program: src, N: 128, Processors: 2, Autosplit: true}
+
+	code, first := postJob(t, ts, req)
+	if code != http.StatusOK || first.State != StateDone {
+		t.Fatalf("first submit: %d %s (%s)", code, first.State, first.Error)
+	}
+	if !strings.HasPrefix(first.Plan, "profiled:") {
+		t.Fatalf("first submit plan = %q, want profiled:<id>", first.Plan)
+	}
+
+	code, second := postJob(t, ts, req)
+	if code != http.StatusOK || second.State != StateDone {
+		t.Fatalf("second submit: %d %s (%s)", code, second.State, second.Error)
+	}
+	wantPlan := "cached:" + strings.TrimPrefix(first.Plan, "profiled:")
+	if second.Plan != wantPlan {
+		t.Errorf("second submit plan = %q, want %q", second.Plan, wantPlan)
+	}
+	if second.Digest != first.Digest || first.Digest == "" {
+		t.Errorf("digests: profiled %.12s, cached %.12s — searched plan must not change values",
+			first.Digest, second.Digest)
+	}
+
+	// A plain submission of the same program is untouched by the cache.
+	code, plain := postJob(t, ts, SubmitRequest{Program: src, N: 128, Processors: 2})
+	if code != http.StatusOK || plain.State != StateDone {
+		t.Fatalf("plain submit: %d %s (%s)", code, plain.State, plain.Error)
+	}
+	if plain.Plan != "" {
+		t.Errorf("plain submit plan = %q, want empty", plain.Plan)
+	}
+	if plain.Digest != first.Digest {
+		t.Errorf("plain digest %.12s != autosplit digest %.12s", plain.Digest, first.Digest)
+	}
+
+	if st := s.Stats(); st.Plans.Entries != 1 || st.Plans.Misses != 1 || st.Plans.Hits != 1 {
+		t.Errorf("plan cache stats = %+v, want 1 entry, 1 miss, 1 hit", st.Plans)
+	}
+}
+
 // TestServerCloseReleasesEverything checks Close cancels in-flight
 // jobs, rejects new ones, and leaves no goroutines behind.
 func TestServerCloseReleasesEverything(t *testing.T) {

@@ -34,6 +34,7 @@ import (
 	"orchestra/internal/native"
 	"orchestra/internal/obs"
 	"orchestra/internal/rts"
+	"orchestra/internal/search"
 	"orchestra/internal/trace"
 )
 
@@ -54,6 +55,7 @@ type Server struct {
 	cfg   Config
 	pool  *native.Pool
 	cache *graphCache
+	plans *planCache
 	alloc allocLog
 
 	mu     sync.Mutex
@@ -79,6 +81,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    native.NewPool(cfg.PoolSize),
 		cache:   newGraphCache(),
+		plans:   newPlanCache(),
 		jobs:    map[string]*Job{},
 		started: time.Now(),
 	}
@@ -139,6 +142,11 @@ type SubmitRequest struct {
 	// Trace captures the job's execution trace and returns it as a
 	// Chrome trace-event JSON string in the job status.
 	Trace bool `json:"trace,omitempty"`
+	// Autosplit runs the job through the profile-guided split search:
+	// the first submission of a graph profiles it and caches the
+	// searched plan under the graph's fingerprint; repeats at the same
+	// grant and ω execute the searched graph directly (see autosplit.go).
+	Autosplit bool `json:"autosplit,omitempty"`
 	// Async returns the job id immediately instead of waiting for the
 	// result; poll or wait on the status endpoint.
 	Async bool `json:"async,omitempty"`
@@ -181,6 +189,7 @@ type Job struct {
 	id       string
 	server   *Server
 	graph    *delirium.Graph
+	fp       string
 	cacheHit bool
 	req      SubmitRequest
 	mode     rts.Mode
@@ -197,6 +206,7 @@ type Job struct {
 	result    *trace.Result
 	digest    string
 	traceJSON string
+	planInfo  string
 	errMsg    string
 	submitted time.Time
 	startedAt time.Time
@@ -225,7 +235,11 @@ type JobStatus struct {
 	Digest string `json:"digest,omitempty"`
 	// TraceJSON is the Chrome trace-event export when Trace was set.
 	TraceJSON string `json:"trace_json,omitempty"`
-	Error     string `json:"error,omitempty"`
+	// Plan reports the autosplit outcome: "profiled:<id>" when this job
+	// was the profiling run that cached the searched plan, "cached:<id>"
+	// when it reused one.
+	Plan  string `json:"plan,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Status snapshots the job.
@@ -243,6 +257,7 @@ func (j *Job) Status() JobStatus {
 		Result:    j.result,
 		Digest:    j.digest,
 		TraceJSON: j.traceJSON,
+		Plan:      j.planInfo,
 		Error:     j.errMsg,
 	}
 	if !j.startedAt.IsZero() {
@@ -328,11 +343,14 @@ func (s *Server) prepare(req SubmitRequest) (*Job, error) {
 	}
 
 	var g *delirium.Graph
+	var fp string
 	var hit bool
 	var err error
 	if req.Program != "" {
+		fp = compile.Fingerprint(req.Program, req.Options.resolve())
 		g, hit, err = s.cache.compileKeyed(req.Program, req.Options.resolve())
 	} else {
+		fp = compile.GraphFingerprint(req.Graph)
 		g, hit, err = s.cache.decodeKeyed(req.Graph)
 	}
 	if err != nil {
@@ -350,6 +368,7 @@ func (s *Server) prepare(req SubmitRequest) (*Job, error) {
 	j := &Job{
 		server:    s,
 		graph:     g,
+		fp:        fp,
 		cacheHit:  hit,
 		req:       req,
 		mode:      mode,
@@ -416,10 +435,45 @@ func (s *Server) runJob(j *Job) {
 	if j.req.Trace {
 		opts.Sink = &col
 	}
-	res, err := s.pool.Run(j.graph, bind, opts)
+
+	// Autosplit: reuse a cached searched plan when one exists for this
+	// graph at this grant and ω; otherwise this run doubles as the
+	// profiling run, so force the event sink on. The binder stays keyed
+	// to the submitted graph — the searched graph shares its nodes and
+	// only weakens edge attributes, so kernel read patterns (and hence
+	// the digest) are unchanged.
+	runGraph := j.graph
+	key := planKey(j.fp, grant, omega)
+	profiling := false
+	if j.req.Autosplit {
+		if p, ok := s.plans.get(key); ok {
+			runGraph = p.Best.Graph
+			j.mu.Lock()
+			j.planInfo = "cached:" + p.Best.ID
+			j.mu.Unlock()
+		} else {
+			profiling = true
+			opts.Sink = &col
+		}
+	}
+
+	res, err := s.pool.Run(runGraph, bind, opts)
 	if err != nil {
 		s.finishJob(j, nil, "", "", err)
 		return
+	}
+
+	if profiling && col.Trace != nil {
+		if prof, perr := search.FromTrace(col.Trace, omega); perr == nil {
+			plan, serr := search.Run(prof, search.GraphCandidates(j.graph),
+				search.Options{P: grant, Omega: omega})
+			if serr == nil {
+				s.plans.put(key, plan)
+				j.mu.Lock()
+				j.planInfo = "profiled:" + plan.Best.ID
+				j.mu.Unlock()
+			}
+		}
 	}
 	digest := ""
 	if st != nil {
@@ -508,6 +562,7 @@ type Stats struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Pool          native.PoolStats `json:"pool"`
 	Cache         CacheStats       `json:"cache"`
+	Plans         PlanCacheStats   `json:"plans"`
 	Jobs          JobCounts        `json:"jobs"`
 	Pipeline      PipelineStats    `json:"pipeline"`
 	Allocations   []AllocDecision  `json:"allocations"`
@@ -559,6 +614,7 @@ func (s *Server) Stats() Stats {
 		UptimeSeconds: uptime,
 		Pool:          s.pool.Stats(),
 		Cache:         s.cache.stats(),
+		Plans:         s.plans.stats(),
 		Jobs:          jc,
 		Pipeline:      ps,
 		Allocations:   s.alloc.snapshot(),

@@ -63,6 +63,13 @@ func Psirrfan(cfg Config) *App {
 	g.AddEdge(&delirium.Edge{From: "update", To: "outD", Bytes: 16, PerTask: true, Pipelined: true})
 	g.AddEdge(&delirium.Edge{From: "projI", To: "outI", Bytes: 16, PerTask: true})
 	app.SplitGraph = g
+	projIdxI, projIdxD := maskIdx(mask)
+	app.setParts(map[string]Part{
+		"projI":   {Phase: "proj", Index: projIdxI},
+		"projPre": {Phase: "proj", Index: projIdxD},
+		"outI":    {Phase: "output", Index: projIdxI},
+		"outD":    {Phase: "output", Index: projIdxD},
+	})
 	return app
 }
 
@@ -126,6 +133,13 @@ func Climate(cfg Config) *App {
 	g.AddEdge(&delirium.Edge{From: "cloud", To: "radD", Bytes: 24, PerTask: true, Pipelined: true})
 	g.AddEdge(&delirium.Edge{From: "dynI", To: "radI", Bytes: 24, PerTask: true})
 	app.SplitGraph = g
+	idxI, idxD := maskIdx(mask)
+	app.setParts(map[string]Part{
+		"dynI":   {Phase: "dynamics", Index: idxI},
+		"dynPre": {Phase: "dynamics", Index: idxD},
+		"radI":   {Phase: "rad", Index: idxI},
+		"radD":   {Phase: "rad", Index: idxD},
+	})
 	return app
 }
 
@@ -160,6 +174,11 @@ func EMU(cfg Config) *App {
 	}}
 	app.SeqGraph = chain("emu", []string{"eval", "fan"}, 12)
 	app.SplitGraph = maskedSplitGraph("emu-split", "", "eval", "fanI", "fanD", 12)
+	idxI, idxD := maskIdx(mask)
+	app.setParts(map[string]Part{
+		"fanI": {Phase: "fan", Index: idxI},
+		"fanD": {Phase: "fan", Index: idxD},
+	})
 	return app
 }
 
@@ -225,6 +244,13 @@ func Vortex(cfg Config) *App {
 	g.AddEdge(&delirium.Edge{From: "vel", To: "moveD", Bytes: 16, PerTask: true, Pipelined: true})
 	g.AddEdge(&delirium.Edge{From: "treeI", To: "moveI", Bytes: 16, PerTask: true})
 	app.SplitGraph = g
+	idxI, idxD := maskIdx(mask)
+	app.setParts(map[string]Part{
+		"treeI":   {Phase: "tree", Index: idxI},
+		"treePre": {Phase: "tree", Index: idxD},
+		"moveI":   {Phase: "move", Index: idxI},
+		"moveD":   {Phase: "move", Index: idxD},
+	})
 	return app
 }
 

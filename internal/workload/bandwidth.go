@@ -114,5 +114,7 @@ func MemChain(cfg Config) (*App, *interp.State) {
 			e.Pipelined = true
 		}
 	}
-	return &App{Name: "memchain", SeqGraph: seq, SplitGraph: sp, ops: ops}, st
+	app := &App{Name: "memchain", SeqGraph: seq, SplitGraph: sp, ops: ops}
+	app.setParts(nil) // every operator is its own phase; no rewrites
+	return app, st
 }

@@ -51,6 +51,38 @@ type App struct {
 	SplitGraph *delirium.Graph
 	// ops binds node names to operations.
 	ops map[string]rts.OpSpec
+	// parts maps a split-graph operator to the original phase it came
+	// from, and to the original task indices its tasks cover (nil =
+	// identity: the operator IS the phase). This is the metadata the
+	// profile-guided split search (internal/search) uses to compose
+	// hybrid graphs — any subset of phase rewrites applied — and what
+	// coverage digests use to prove a hybrid executed every original
+	// task exactly once.
+	parts map[string]Part
+}
+
+// Part locates a split-graph operator inside the original program:
+// task i of the operator corresponds to task Index[i] of phase Phase
+// (a nil Index is the identity — the operator is the whole phase).
+type Part struct {
+	Phase string
+	Index []int
+}
+
+// PartOrigin reports where operator name came from. Operators of the
+// sequential graph map to themselves.
+func (a *App) PartOrigin(name string) (Part, bool) {
+	p, ok := a.parts[name]
+	return p, ok
+}
+
+// Phases returns the original program's phases in order.
+func (a *App) Phases() []string {
+	out := make([]string, 0, len(a.SeqGraph.Nodes))
+	for _, nd := range a.SeqGraph.Nodes {
+		out = append(out, nd.Name)
+	}
+	return out
 }
 
 // Bind resolves a node name to its operation.
@@ -137,6 +169,39 @@ func partition(times []float64, mask []bool) (indep, dep []float64) {
 		}
 	}
 	return indep, dep
+}
+
+// maskIdx returns the original indices each partition half covers, in
+// the same order partition emits them.
+func maskIdx(mask []bool) (indep, dep []int) {
+	for i, m := range mask {
+		if m {
+			dep = append(dep, i)
+		} else {
+			indep = append(indep, i)
+		}
+	}
+	return indep, dep
+}
+
+// setParts records part metadata: every operator of either graph maps
+// to itself (identity) unless overridden as a partitioned half of an
+// original phase. Must be called after both graphs are built.
+func (a *App) setParts(override map[string]Part) {
+	a.parts = map[string]Part{}
+	for _, g := range []*delirium.Graph{a.SeqGraph, a.SplitGraph} {
+		if g == nil {
+			continue
+		}
+		for _, nd := range g.Nodes {
+			if _, ok := a.parts[nd.Name]; !ok {
+				a.parts[nd.Name] = Part{Phase: nd.Name}
+			}
+		}
+	}
+	for name, p := range override {
+		a.parts[name] = p
+	}
 }
 
 // chain builds a linear phase graph.
