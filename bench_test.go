@@ -223,7 +223,7 @@ func BenchmarkNativeBackend(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				last, err = native.Backend{}.Run(out.Graph, bind,
+				last, err = native.Backend{}.Run(out.Graph, rts.BindClosure(bind),
 					rts.RunOpts{Processors: workers, Mode: mode})
 				if err != nil {
 					b.Fatal(err)

@@ -22,16 +22,21 @@ import (
 	"runtime"
 
 	"orchestra/internal/cliflag"
+	"orchestra/internal/dist"
 	"orchestra/internal/experiment"
 	"orchestra/internal/trace"
 	"orchestra/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, hotpath, pipeline, search, or all (native, hotpath, pipeline and search are wall-clock and never part of all)")
+	// The dist experiment's coordinator forks this binary as its
+	// workers; divert those forks before touching flags.
+	dist.MaybeWorker()
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, dist, hotpath, pipeline, search, or all (the wall-clock experiments — native, dist, hotpath, pipeline, search — are never part of all)")
 	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
+	distOut := flag.String("dist-out", "BENCH_dist.json", "output file for the dist experiment's series")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "output file for the pipeline experiment's sweep")
 	searchOut := flag.String("search-out", "BENCH_search.json", "output file for the search experiment's report")
@@ -47,7 +52,7 @@ func main() {
 		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
 			run[e] = true
 		}
-	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "hotpath", "pipeline", "search":
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "dist", "hotpath", "pipeline", "search":
 		run[*exp] = true
 	default:
 		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
@@ -127,6 +132,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d points to %s\n\n", len(points), *nativeOut)
+	}
+
+	if run["dist"] {
+		// Wall-clock distributed measurements: forked worker processes
+		// over Unix sockets, with real protocol comm time set beside the
+		// simulator cost model's prediction, and an array-kernel digest
+		// cross-check against the native backend for every point.
+		workers := []int{1, 2, 4}
+		fmt.Printf("=== Dist backend: multi-process workers over Unix sockets (GOMAXPROCS=%d) ===\n", runtime.GOMAXPROCS(0))
+		fmt.Println("wall-clock measurements; CPU-spinning log-normal tasks, cv 1")
+		fmt.Println()
+		rep := experiment.DistSweep(size(1024), *seed, workers, 2000, modes)
+		fmt.Print(experiment.FormatDist(rep))
+		if !rep.DigestsAgree() {
+			fmt.Fprintln(os.Stderr, "orchbench: dist and native array-kernel digests differ")
+			os.Exit(1)
+		}
+		file := struct {
+			Schema int                   `json:"schema"`
+			Report experiment.DistReport `json:"report"`
+		}{Schema: trace.SchemaVersion, Report: rep}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*distOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d points to %s\n\n", len(rep.Points), *distOut)
 	}
 
 	if run["hotpath"] {

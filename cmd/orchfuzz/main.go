@@ -15,6 +15,14 @@
 //	orchfuzz -seed 14 -trace-dir traces # export diverging schedules
 //	orchfuzz -faults -count 200         # campaign under fault injection
 //	orchfuzz -search -count 200         # campaign through the split search
+//	orchfuzz -dist -count 200           # campaign including the dist backend
+//
+// With -dist, the backend matrix gains the distributed runtime: each
+// program additionally runs on forked worker processes over Unix
+// sockets (the coordinator re-executes this binary in worker mode),
+// with the binding shipped by kernel name and rebuilt on each worker,
+// and every final state compared bitwise against the same sequential
+// baseline as the in-process backends.
 //
 // With -search, each program's lowered graph is additionally profiled
 // on the simulator, fed through the profile-guided split search
@@ -47,6 +55,7 @@ import (
 	"strings"
 
 	"orchestra/internal/cliflag"
+	"orchestra/internal/dist"
 	"orchestra/internal/fault"
 	"orchestra/internal/fuzz"
 	"orchestra/internal/obs"
@@ -54,6 +63,9 @@ import (
 )
 
 func main() {
+	// The dist rung's coordinator forks this binary as its workers;
+	// divert those forks before touching flags.
+	dist.MaybeWorker()
 	var (
 		seed     = flag.Uint64("seed", 1, "first generator seed")
 		count    = flag.Int("count", 1, "number of programs to check")
@@ -63,6 +75,7 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "write Chrome traces of diverging configurations into this directory")
 		faults   = flag.Bool("faults", false, "check each program under a seed-derived random fault plan")
 		searchIt = flag.Bool("search", false, "check each program through the profile-guided split search")
+		distIt   = flag.Bool("dist", false, "extend the backend matrix with the distributed (multi-process) backend")
 	)
 	fixedFault := cliflag.Fault(flag.CommandLine, "fault", "check each program under this exact fault plan (internal/fault syntax) instead of random ones")
 	flag.Parse()
@@ -91,6 +104,9 @@ func main() {
 		case *searchIt:
 			rep, prog = fuzz.CheckSeedSearched(s, cfg)
 			plan = " searched"
+		case *distIt:
+			rep, prog = fuzz.CheckSeedDist(s, cfg)
+			plan = " +dist"
 		default:
 			rep, prog = fuzz.CheckSeed(s, cfg)
 		}

@@ -256,14 +256,21 @@ func localDigest(src string, n, work int, m rts.Mode) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	bind, st, err := native.ArrayKernels(out.Graph, n, work)
+	params := rts.KernelParams{}
+	params.SetInt("n", n)
+	params.SetInt("work", work)
+	bound, err := rts.Bind(out.Graph, rts.NamedBinding("array", params))
 	if err != nil {
 		return "", err
 	}
-	if _, err := (native.Backend{}.Run(out.Graph, bind, rts.RunOpts{Mode: m})); err != nil {
+	if _, err := (native.Backend{}.Run(out.Graph, bound, rts.RunOpts{Mode: m})); err != nil {
 		return "", err
 	}
-	return native.StateDigest(st), nil
+	d, ok := bound.Digest()
+	if !ok {
+		return "", fmt.Errorf("array kernel produced no digest")
+	}
+	return d, nil
 }
 
 // summarize computes the latency document from per-job seconds.

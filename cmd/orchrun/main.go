@@ -1,7 +1,7 @@
 // Command orchrun executes a Delirium dataflow graph (as produced by
 // orchc) under one of the three runtime configurations of the paper's
 // evaluation: static, TAPER, or TAPER with the split-exposed
-// concurrency — on either execution backend:
+// concurrency — on any registered execution backend:
 //
 //   - -backend sim (default): the discrete-event Ncube-2-style
 //     simulator; node task times are drawn from a log-normal with
@@ -10,11 +10,19 @@
 //     same log-normal draws are converted to real CPU spinning
 //     (-unitwork floating-point iterations per time unit), and the
 //     reported makespan/efficiency are wall-clock measurements.
+//   - -backend dist: the distributed runtime of internal/dist; -p
+//     worker processes are forked from this binary and driven over
+//     Unix-domain sockets, and the report additionally carries real
+//     per-message communication time. Backend options ride on the
+//     flag, e.g. -backend dist:heartbeat_ms=5.
 //
-// Graph nodes are bound to synthetic parallel operations. A node's
-// task count comes from its tasks= annotation (a symbolic trip count
-// such as "n", resolved with the -n flag) when present, else from
-// -tasks.
+// Graph nodes are bound to kernels resolved by name from the process
+// registry: "lognormal" (modeled timings) on the simulator, "spin"
+// (real CPU spinning) on the measured backends, or "array" (real
+// array kernels over a memory image, with a result digest) under
+// -kernel. A node's task count comes from its tasks= annotation (a
+// symbolic trip count such as "n", resolved with the -n flag) when
+// present, else from -tasks.
 //
 // Profiling: -cpuprofile and -memprofile write runtime/pprof profiles
 // of the run. With the native backend, profiling also enables pprof
@@ -36,13 +44,14 @@
 //
 // crashes worker 0 at its second chunk boundary; the run survives on
 // the remaining workers, and -trace/-gantt show the fault, retry and
-// reallocation events the recovery leaves behind. delay:/loss: perturb
-// the simulator's message cost model (the native backend has no
-// modelled messages and ignores them).
+// reallocation events the recovery leaves behind. On the dist backend
+// a crash is a literal SIGKILL of the worker process. delay:/loss:
+// perturb the simulator's message cost model (the measured backends
+// have no modelled messages and ignore them).
 //
 // Usage:
 //
-//	orchrun [-p procs] [-backend sim|native] [-mode static|taper|split|all]
+//	orchrun [-p procs] [-backend sim|native|dist] [-mode static|taper|split|all]
 //	        [-tasks n] [-cv x] [-seed s] [-unitwork w] [-fault plan]
 //	        [-trace out.json|out.csv] [-gantt]
 //	        [-cpuprofile f] [-memprofile f] file.graph
@@ -52,7 +61,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -60,18 +68,18 @@ import (
 
 	"orchestra/internal/cliflag"
 	"orchestra/internal/delirium"
-	"orchestra/internal/interp"
-	"orchestra/internal/native"
+	"orchestra/internal/dist"
 	"orchestra/internal/obs"
 	"orchestra/internal/rts"
-	"orchestra/internal/sched"
 	"orchestra/internal/search"
-	"orchestra/internal/source"
 	"orchestra/internal/trace"
-	"orchestra/internal/stats"
 )
 
 func main() {
+	// A dist coordinator forks this same binary as its workers;
+	// MaybeWorker diverts those forks into the worker loop before any
+	// flag parsing happens.
+	dist.MaybeWorker()
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -80,14 +88,14 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("orchrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	p := fs.Int("p", 64, "number of processors (sim) or worker goroutines (native; 0 = GOMAXPROCS)")
-	backend := cliflag.Backend(fs, "backend", "sim", "execution backend: sim or native")
+	p := fs.Int("p", 64, "number of processors (sim), worker goroutines (native; 0 = GOMAXPROCS), or worker processes (dist)")
+	backend := cliflag.Backend(fs, "backend", "sim", "execution backend (sim, native, dist), with optional options: name[:k=v,...]")
 	mode := cliflag.Modes(fs, "mode", "split", "execution mode: static, taper, split, or all")
 	tasks := fs.Int("tasks", 2048, "tasks per operator without a tasks= annotation")
 	nParam := fs.Int("n", 2048, "value of the symbolic problem size n in tasks= annotations")
 	cv := fs.Float64("cv", 1.0, "coefficient of variation of task times")
 	seed := fs.Uint64("seed", 1, "workload seed")
-	unitWork := fs.Int("unitwork", 4000, "native backend: floating-point iterations per task-time unit")
+	unitWork := fs.Int("unitwork", 4000, "measured backends: floating-point iterations per task-time unit")
 	kernel := fs.Bool("kernel", false, "bind real array kernels instead of synthetic timings and print the result digest (see -kernelwork)")
 	kernelWork := fs.Int("kernelwork", 1, "with -kernel: function-evaluation rounds per task")
 	traceOut := fs.String("trace", "", "write an execution trace to this file (Chrome trace-event JSON; CSV if the name ends in .csv)")
@@ -146,57 +154,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	count := func(n *delirium.Node) int {
-		c := *tasks
-		if n.Tasks != "" {
-			if v, ok := resolveTasks(n.Tasks, *nParam); ok {
-				c = v
-			}
-		}
-		if c < 1 {
-			c = 1
-		}
-		return c
+	// Kernel selection, as a serializable name + parameters: the "array"
+	// kernels under -kernel, real CPU spinning on the measured backends,
+	// modeled log-normal costs on the simulator. The dist backend ships
+	// this binding to its worker processes verbatim.
+	params := rts.KernelParams{}
+	var kernelName string
+	switch {
+	case *kernel:
+		kernelName = "array"
+		params.SetInt("n", *nParam)
+		params.SetInt("work", *kernelWork)
+	case backend.Measured():
+		kernelName = "spin"
+		params.SetInt("unitwork", *unitWork)
+	default:
+		kernelName = "lognormal"
 	}
-	var bind rts.Binder
-	if *kernel {
-		// Real array kernels, rebuilt fresh inside the mode loop (each
-		// execution must start from zeroed arrays): deterministic numeric
-		// results whose digest identifies the run's output bitwise —
-		// comparable across backends, modes, and the serve daemon's
-		// pooled execution.
-	} else if backend.Native() {
-		// Real CPU-bound tasks: the drawn log-normal time units become
-		// spin iterations, so TAPER's measured statistics see the same
-		// irregularity the simulator models.
-		bind = native.SpinBinder(g, count, *cv, *seed, *unitWork)
-	} else {
-		bind = simBinder(g, count, *cv, *seed)
+	if !*kernel {
+		params.SetInt("tasks", *tasks)
+		params.SetInt("n", *nParam)
+		params.SetFloat("cv", *cv)
+		params.SetUint64("seed", *seed)
 	}
+	binding := rts.NamedBinding(kernelName, params)
 
 	if st, err := g.Summarize(); err == nil {
 		fmt.Fprintln(stdout, "graph:", st)
 	}
 	unit := ""
-	if backend.Native() {
+	if backend.Measured() {
 		unit = " s"
 	}
 	plan := faultFlag.Plan()
 
 	for _, m := range modes {
-		var kernelState *interp.State
-		if *kernel {
-			bind, kernelState, err = native.ArrayKernels(g, *nParam, *kernelWork)
-			if err != nil {
-				fmt.Fprintln(stderr, "orchrun:", err)
-				return 2
-			}
+		// Rebind per execution: array kernels must start every run from
+		// zeroed arrays, and re-instantiating the synthetic kernels is
+		// cheap.
+		bound, err := rts.Bind(g, binding)
+		if err != nil {
+			fmt.Fprintln(stderr, "orchrun:", err)
+			return 2
 		}
 		opts := rts.RunOpts{Processors: *p, Mode: m, Omega: *omega, Fault: plan}
 		if *noChain {
 			opts.Chain = rts.ChainOff
 		}
-		if backend.Native() && profiling {
+		if backend.Measured() && !backend.Distributed() && profiling {
 			// Label worker goroutines so profiles can be sliced by operator.
 			opts.Labels = true
 		}
@@ -204,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if tracing || *autosplit {
 			opts.Sink = &col
 		}
-		r, err := be.Run(g, bind, opts)
+		r, err := be.Run(g, bound, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "orchrun:", err)
 			return 1
@@ -216,10 +221,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				chained += fmt.Sprintf(" (spilled %d)", r.ChainSpills+r.ChainFallbacks)
 			}
 		}
-		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d%s)\n",
-			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages, chained)
-		if *kernel {
-			fmt.Fprintf(stdout, "digest %s\n", native.StateDigest(kernelState))
+		comm := ""
+		if r.Comm > 0 {
+			comm = fmt.Sprintf(", comm %.4g s/%d B", r.Comm, r.CommBytes)
+		}
+		fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (chunks %d, steals %d, msgs %d%s%s)\n",
+			m, r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), r.Chunks, r.Steals, r.Messages, chained, comm)
+		if d, ok := bound.Digest(); ok {
+			fmt.Fprintf(stdout, "digest %s\n", d)
 		}
 		if tracing {
 			if err := writeTrace(*traceOut, *gantt, col.Trace, stdout); err != nil {
@@ -228,7 +237,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if *autosplit {
-			if code := runSearched(be, g, bind, opts, col.Trace, r, *kernel, *nParam, *kernelWork, unit, stdout, stderr); code != 0 {
+			if code := runSearched(be, g, binding, opts, col.Trace, r, unit, stdout, stderr); code != 0 {
 				return code
 			}
 		}
@@ -254,11 +263,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // (the candidates only ever weaken edge attributes, so any schedule a
 // candidate admits was admitted by the profiled graph and results are
 // unchanged by construction), and re-run the emitted graph for
-// comparison. With -kernel, the kernels are rebuilt from the original
-// graph — reads follow the original edge attributes — and only the
-// schedule follows the searched graph, so the digest must match the
+// comparison. Kernels are rebound from the original graph — reads
+// follow the original edge attributes — and only the schedule follows
+// the searched graph, so an array-kernel digest must match the
 // profiled run's.
-func runSearched(be rts.Backend, g *delirium.Graph, bind rts.Binder, opts rts.RunOpts, tr *obs.Trace, base trace.Result, kernel bool, nParam, kernelWork int, unit string, stdout, stderr io.Writer) int {
+func runSearched(be rts.Backend, g *delirium.Graph, binding rts.Binding, opts rts.RunOpts, tr *obs.Trace, base trace.Result, unit string, stdout, stderr io.Writer) int {
 	prof, err := search.FromTrace(tr, opts.Omega)
 	if err != nil {
 		fmt.Fprintln(stderr, "orchrun: autosplit:", err)
@@ -285,19 +294,15 @@ func runSearched(be rts.Backend, g *delirium.Graph, bind rts.Binder, opts rts.Ru
 		fmt.Fprintln(stdout, "autosplit: the graph as written is the profitable subset; keeping it")
 		return 0
 	}
-	var kernelState *interp.State
-	if kernel {
-		// Kernels are built from the original graph (their read patterns
-		// follow its edge attributes); the searched graph only reorders
-		// the schedule.
-		bind, kernelState, err = native.ArrayKernels(g, nParam, kernelWork)
-		if err != nil {
-			fmt.Fprintln(stderr, "orchrun: autosplit:", err)
-			return 2
-		}
+	// Bind against the original graph (kernel read patterns follow its
+	// edge attributes); the searched graph only reorders the schedule.
+	bound, err := rts.Bind(g, binding)
+	if err != nil {
+		fmt.Fprintln(stderr, "orchrun: autosplit:", err)
+		return 2
 	}
 	opts.Sink = nil
-	r, err := be.Run(plan.Best.Graph, bind, opts)
+	r, err := be.Run(plan.Best.Graph, bound, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "orchrun: autosplit:", err)
 		return 1
@@ -308,8 +313,8 @@ func runSearched(be rts.Backend, g *delirium.Graph, bind rts.Binder, opts rts.Ru
 	}
 	fmt.Fprintf(stdout, "%-12s makespan %10.4g%s  speedup %8.1f  efficiency %5.1f%%  (%+.1f%% vs profiled run)\n",
 		"searched", r.Makespan, unit, r.Speedup(), 100*r.Efficiency(), delta)
-	if kernel {
-		fmt.Fprintf(stdout, "digest %s\n", native.StateDigest(kernelState))
+	if d, ok := bound.Digest(); ok {
+		fmt.Fprintf(stdout, "digest %s\n", d)
 	}
 	return 0
 }
@@ -342,58 +347,4 @@ func writeTrace(path string, gantt bool, t *obs.Trace, stdout io.Writer) error {
 		fmt.Fprint(stdout, obs.Summary(t))
 	}
 	return nil
-}
-
-// simBinder binds every node to a synthetic operation whose task
-// times are log-normal with the requested cv: sigma^2 = ln(1+cv^2).
-func simBinder(g *delirium.Graph, count func(*delirium.Node) int, cv float64, seed uint64) rts.Binder {
-	sigma := math.Sqrt(math.Log(1 + cv*cv))
-	mu := -sigma * sigma / 2 // unit mean
-	specs := map[string]rts.OpSpec{}
-	for _, n := range g.Nodes {
-		rng := stats.NewRNG(seed ^ hash(n.Name))
-		times := make([]float64, count(n))
-		for i := range times {
-			times[i] = rng.LogNormal(mu, sigma)
-		}
-		t := times
-		spec := rts.OpSpec{Op: sched.Op{
-			Name:  n.Name,
-			N:     len(t),
-			Time:  func(i int) float64 { return t[i] },
-			Bytes: 64,
-			Hint:  func(i int) float64 { return t[i] },
-		}}
-		spec.SampleStats(128)
-		specs[n.Name] = spec
-	}
-	return func(name string) rts.OpSpec { return specs[name] }
-}
-
-// resolveTasks evaluates a symbolic trip-count annotation with every
-// identifier bound to n.
-func resolveTasks(expr string, n int) (int, bool) {
-	scratch, err := source.Parse("program s\n integer v\n v = " + expr + "\nend\n")
-	if err != nil {
-		return 0, false
-	}
-	st := interp.NewState()
-	rhs := scratch.Body[0].(*source.Assign).RHS
-	source.WalkExpr(rhs, func(e source.Expr) {
-		if id, ok := e.(*source.Ident); ok {
-			st.Scalars[id.Name] = float64(n)
-		}
-	})
-	if err := interp.Run(scratch, st); err != nil {
-		return 0, false
-	}
-	return int(st.Scalars["v"]), true
-}
-
-func hash(s string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * 1099511628211
-	}
-	return h
 }

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"strings"
 
-	"orchestra/internal/core"
+	_ "orchestra/internal/core" // register backends and kernels
 	"orchestra/internal/fault"
 	"orchestra/internal/rts"
 )
@@ -61,11 +61,16 @@ func (v *ModesValue) Single() (rts.Mode, error) {
 	return v.modes[0], nil
 }
 
-// BackendValue is a -backend flag: one of core.BackendNames. The name
-// is validated at parse time; the backend itself is constructed later
-// via New, when the processor count is known.
+// BackendValue is a -backend flag: one of rts.BackendNames, optionally
+// followed by backend-specific options ("dist:heartbeat_ms=5,bin=/x").
+// The name is validated at parse time against the backend registry;
+// the backend itself is constructed later via New, when the processor
+// count is known — unknown options fail there with a structured
+// rts.OptionError listing what the backend does accept.
 type BackendValue struct {
 	name string
+	info rts.BackendInfo
+	opts map[string]string
 }
 
 // Backend registers a backend flag on fs. def must be a valid backend
@@ -81,13 +86,23 @@ func Backend(fs *flag.FlagSet, name, def, usage string) *BackendValue {
 
 // Set implements flag.Value, rejecting unknown backend names.
 func (v *BackendValue) Set(s string) error {
-	for _, n := range core.BackendNames() {
-		if s == n {
-			v.name = s
-			return nil
+	name, rest, hasOpts := strings.Cut(s, ":")
+	info, ok := rts.LookupBackend(name)
+	if !ok {
+		return fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(rts.BackendNames(), ", "))
+	}
+	opts := map[string]string{}
+	if hasOpts && rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, val, ok := strings.Cut(kv, "=")
+			if !ok || k == "" {
+				return fmt.Errorf("bad backend option %q (want key=value)", kv)
+			}
+			opts[k] = val
 		}
 	}
-	return fmt.Errorf("unknown backend %q (valid: %s)", s, strings.Join(core.BackendNames(), ", "))
+	v.name, v.info, v.opts = name, info, opts
+	return nil
 }
 
 // String implements flag.Value.
@@ -96,12 +111,21 @@ func (v *BackendValue) String() string { return v.name }
 // Name returns the validated backend name.
 func (v *BackendValue) Name() string { return v.name }
 
-// Native reports whether the native backend was selected — the
-// commands branch on this for binder construction and unit labels.
-func (v *BackendValue) Native() bool { return v.name == "native" }
+// Measured reports whether the selected backend executes real work in
+// wall-clock time — the commands branch on this for kernel selection
+// and unit labels (a modeled backend wants modeled task times; a
+// measured one wants tasks that actually compute).
+func (v *BackendValue) Measured() bool { return v.info.Measured }
 
-// New constructs the selected backend for p processors.
-func (v *BackendValue) New(p int) (rts.Backend, error) { return core.NewBackend(v.name, p) }
+// Distributed reports whether the selected backend runs worker
+// processes rather than goroutines.
+func (v *BackendValue) Distributed() bool { return v.info.Distributed }
+
+// New constructs the selected backend for p processors through the
+// backend registry, applying any options given on the flag.
+func (v *BackendValue) New(p int) (rts.Backend, error) {
+	return rts.OpenBackend(v.name, rts.BackendConfig{Processors: p, Options: v.opts})
+}
 
 // FaultValue is a -fault flag: a fault plan in internal/fault syntax,
 // empty for none.

@@ -76,16 +76,20 @@ func TestModesSingle(t *testing.T) {
 
 func TestBackendFlag(t *testing.T) {
 	cases := []struct {
-		args       []string
-		wantName   string
-		wantNative bool
-		wantErr    bool
+		args         []string
+		wantName     string
+		wantMeasured bool
+		wantDist     bool
+		wantErr      bool
 	}{
-		{nil, "sim", false, false},
-		{[]string{"-backend", "sim"}, "sim", false, false},
-		{[]string{"-backend", "native"}, "native", true, false},
-		{[]string{"-backend", "gpu"}, "", false, true},
-		{[]string{"-backend", ""}, "", false, true},
+		{nil, "sim", false, false, false},
+		{[]string{"-backend", "sim"}, "sim", false, false, false},
+		{[]string{"-backend", "native"}, "native", true, false, false},
+		{[]string{"-backend", "dist"}, "dist", true, true, false},
+		{[]string{"-backend", "dist:heartbeat_ms=5,timeout_ms=500"}, "dist", true, true, false},
+		{[]string{"-backend", "gpu"}, "", false, false, true},
+		{[]string{"-backend", ""}, "", false, false, true},
+		{[]string{"-backend", "sim:heartbeat"}, "", false, false, true}, // option without '='
 	}
 	for _, c := range cases {
 		fs := newFS()
@@ -101,9 +105,9 @@ func TestBackendFlag(t *testing.T) {
 			t.Errorf("%v: %v", c.args, err)
 			continue
 		}
-		if v.Name() != c.wantName || v.Native() != c.wantNative {
-			t.Errorf("%v: name=%q native=%v, want %q/%v",
-				c.args, v.Name(), v.Native(), c.wantName, c.wantNative)
+		if v.Name() != c.wantName || v.Measured() != c.wantMeasured || v.Distributed() != c.wantDist {
+			t.Errorf("%v: name=%q measured=%v distributed=%v, want %q/%v/%v",
+				c.args, v.Name(), v.Measured(), v.Distributed(), c.wantName, c.wantMeasured, c.wantDist)
 		}
 		be, err := v.New(4)
 		if err != nil {
@@ -113,6 +117,23 @@ func TestBackendFlag(t *testing.T) {
 		if be.Name() != c.wantName {
 			t.Errorf("%v: backend.Name() = %q, want %q", c.args, be.Name(), c.wantName)
 		}
+	}
+}
+
+// TestBackendFlagBadOption checks that an unknown option name is
+// rejected at construction with the structured option error.
+func TestBackendFlagBadOption(t *testing.T) {
+	fs := newFS()
+	v := Backend(fs, "backend", "sim", "usage")
+	if err := fs.Parse([]string{"-backend", "dist:warp=9"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := v.New(2)
+	if err == nil {
+		t.Fatal("unknown backend option accepted")
+	}
+	if !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("error %q does not name the bad option", err)
 	}
 }
 

@@ -6,25 +6,29 @@
 // The typical flow mirrors the paper's toolchain:
 //
 //	out, err := core.CompileSource(text, core.DefaultOptions())          // §3: analysis + split
-//	res, err := core.Execute(out, bind, rts.RunOpts{                     // §4: adaptive runtime
-//	        Processors: 512, Mode: core.ModeSplit})
+//	res, err := core.Execute(out, core.BindUniform(1024, 1),             // §4: adaptive runtime
+//	        rts.RunOpts{Processors: 512, Mode: core.ModeSplit})
 //
 // CompileSource runs the symbolic analysis pipeline, applies split and
 // pipelining, and returns the transformed program plus the Delirium
 // dataflow graph. Execute runs that graph on the simulated
 // distributed-memory machine under one of the three evaluation
-// configurations. BindUniform and BindIrregular provide synthetic
-// operation bindings for experimentation; real workloads construct
-// rts.OpSpec values directly (see internal/workload).
+// configurations. BindUniform and BindIrregular return serializable
+// rts.Binding values naming synthetic kernels from the process-wide
+// registry; real workloads register their own kernels (see
+// internal/workload) or construct rts.OpSpec values directly.
+//
+// Importing core registers every backend ("sim", "native", "dist") and
+// the built-in kernel families, so rts.OpenBackend and rts.Bind work
+// by name.
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"orchestra/internal/compile"
-	"orchestra/internal/machine"
-	"orchestra/internal/native"
+	_ "orchestra/internal/dist" // register the "dist" backend
+	_ "orchestra/internal/native"
 	"orchestra/internal/rts"
 	"orchestra/internal/sched"
 	"orchestra/internal/source"
@@ -64,83 +68,111 @@ func CompileSource(text string, opts Options) (*Output, error) {
 }
 
 // Backend re-exports the execution-backend interface: the simulated
-// Ncube-2 machine or the native goroutine runtime.
+// Ncube-2 machine, the native goroutine runtime, or the distributed
+// process runtime.
 type Backend = rts.Backend
 
-// BackendNames lists the recognized backend names, in the order the
-// command-line tools document them.
-func BackendNames() []string { return []string{"sim", "native"} }
+// BackendNames lists the registered backend names, sorted.
+func BackendNames() []string { return rts.BackendNames() }
 
-// NewBackend constructs a backend by name. For "sim", p sizes the
-// simulated machine's cost model (and is the default processor count
-// when RunOpts.Processors is zero); the native backend ignores p —
-// its worker count comes from RunOpts at Run time.
+// NewBackend constructs a backend by name through the backend
+// registry. For "sim", p sizes the simulated machine's cost model (and
+// is the default processor count when RunOpts.Processors is zero); the
+// measured backends treat p as their default worker count, overridden
+// by RunOpts.Processors at Run time.
 func NewBackend(name string, p int) (Backend, error) {
-	switch name {
-	case "sim":
-		return rts.NewSimBackend(machine.DefaultConfig(p)), nil
-	case "native":
-		return native.Backend{}, nil
-	}
-	return nil, fmt.Errorf("core: unknown backend %q (valid: sim, native)", name)
+	return rts.OpenBackend(name, rts.BackendConfig{Processors: p})
 }
 
 // Execute runs a compilation's dataflow graph on a simulated machine
 // under the given options. The machine is sized to opts.Processors.
-func Execute(out *Output, bind rts.Binder, opts RunOpts) (trace.Result, error) {
+func Execute(out *Output, binding rts.Binding, opts RunOpts) (trace.Result, error) {
 	p := opts.Processors
 	if p < 1 {
 		p = 1
 	}
-	return ExecuteOn(rts.NewSimBackend(machine.DefaultConfig(p)), out, bind, opts)
+	be, err := rts.OpenBackend("sim", rts.BackendConfig{Processors: p})
+	if err != nil {
+		return trace.Result{}, err
+	}
+	return ExecuteOn(be, out, binding, opts)
 }
 
 // ExecuteOn runs a compilation's dataflow graph on the given backend
-// under the given options.
-func ExecuteOn(be Backend, out *Output, bind rts.Binder, opts RunOpts) (trace.Result, error) {
-	return be.Run(out.Graph, bind, opts)
+// under the given options, binding kernels by name from the registry.
+func ExecuteOn(be Backend, out *Output, binding rts.Binding, opts RunOpts) (trace.Result, error) {
+	bound, err := rts.Bind(out.Graph, binding)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	return be.Run(out.Graph, bound, opts)
 }
 
 // BindUniform binds every graph node to an operation of n tasks with
-// constant task time.
-func BindUniform(n int, taskTime float64) rts.Binder {
-	return func(name string) rts.OpSpec {
-		spec := rts.OpSpec{Op: sched.Op{
-			Name:  name,
-			N:     n,
-			Time:  func(int) float64 { return taskTime },
-			Bytes: 64,
-			Hint:  func(int) float64 { return taskTime },
-		}}
-		spec.SampleStats(64)
-		return spec
-	}
+// constant task time (the "uniform" registry kernel).
+func BindUniform(n int, taskTime float64) rts.Binding {
+	params := rts.KernelParams{}
+	params.SetInt("tasks", n)
+	params.SetFloat("t", taskTime)
+	return rts.NamedBinding("uniform", params)
 }
 
 // BindIrregular binds every graph node to an operation of n tasks with
 // log-normally distributed task times of unit mean and the given
 // coefficient of variation, seeded per node name so runs are
-// deterministic.
-func BindIrregular(n int, cv float64, seed uint64) rts.Binder {
+// deterministic (the "irregular" registry kernel).
+func BindIrregular(n int, cv float64, seed uint64) rts.Binding {
+	params := rts.KernelParams{}
+	params.SetInt("tasks", n)
+	params.SetFloat("cv", cv)
+	params.SetUint64("seed", seed)
+	return rts.NamedBinding("irregular", params)
+}
+
+func init() {
+	rts.Kernels.MustRegister("uniform", uniformKernel)
+	rts.Kernels.MustRegister("irregular", irregularKernel)
+}
+
+// uniformKernel is BindUniform's constructor: params "tasks" (task
+// count, default 1024) and "t" (constant task time, default 1).
+func uniformKernel(env *rts.BindEnv, op string) (rts.OpSpec, error) {
+	n := env.Params.Int("tasks", 1024)
+	taskTime := env.Params.Float("t", 1)
+	spec := rts.OpSpec{Op: sched.Op{
+		Name:  op,
+		N:     n,
+		Time:  func(int) float64 { return taskTime },
+		Bytes: 64,
+		Hint:  func(int) float64 { return taskTime },
+	}}
+	spec.SampleStats(64)
+	return spec, nil
+}
+
+// irregularKernel is BindIrregular's constructor: params "tasks"
+// (default 1024), "cv" (coefficient of variation, default 1), "seed".
+func irregularKernel(env *rts.BindEnv, op string) (rts.OpSpec, error) {
+	n := env.Params.Int("tasks", 1024)
+	cv := env.Params.Float("cv", 1)
+	seed := env.Params.Uint64("seed", 1)
 	sigma := math.Sqrt(math.Log(1 + cv*cv))
 	mu := -sigma * sigma / 2
-	return func(name string) rts.OpSpec {
-		rng := stats.NewRNG(seed ^ hashName(name))
-		times := make([]float64, n)
-		for i := range times {
-			times[i] = rng.LogNormal(mu, sigma)
-		}
-		t := times
-		spec := rts.OpSpec{Op: sched.Op{
-			Name:  name,
-			N:     n,
-			Time:  func(i int) float64 { return t[i] },
-			Bytes: 64,
-			Hint:  func(i int) float64 { return t[i] },
-		}}
-		spec.SampleStats(128)
-		return spec
+	rng := stats.NewRNG(seed ^ hashName(op))
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = rng.LogNormal(mu, sigma)
 	}
+	t := times
+	spec := rts.OpSpec{Op: sched.Op{
+		Name:  op,
+		N:     n,
+		Time:  func(i int) float64 { return t[i] },
+		Bytes: 64,
+		Hint:  func(i int) float64 { return t[i] },
+	}}
+	spec.SampleStats(128)
+	return spec, nil
 }
 
 // hashName is FNV-1a, keeping per-node workloads distinct.

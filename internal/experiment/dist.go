@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/dist"
+	"orchestra/internal/machine"
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+	"orchestra/internal/trace"
+	"orchestra/internal/workload"
+)
+
+// The distributed-backend sweep: the same Psirrfan/climate graph
+// topologies as the native experiment, but on forked worker processes
+// talking to the coordinator over Unix-domain sockets. Every process
+// boundary the simulator only models is real here — the kernel binding
+// travels by name, segment results travel as byte blobs, and the
+// reported comm column is measured wall-clock protocol overhead, which
+// the table sets beside what the simulator's Ncube-2 cost model
+// (machine.DefaultConfig) predicts for the same message mix.
+//
+// Each spin-kernel timing point is paired with an "array"-kernel run
+// of the same configuration on both the dist and native backends: the
+// array kernels produce durable numeric results and a digest, so the
+// Digest/NativeDigest columns prove the multi-process schedule moved
+// real bytes correctly — bitwise — not just on time.
+
+// DistPoint is one measurement of the distributed sweep.
+type DistPoint struct {
+	App     string       `json:"app"`
+	Mode    string       `json:"mode"`
+	Workers int          `json:"workers"`
+	Result  trace.Result `json:"result"`
+	// ModelCommS is the simulator cost model's prediction for the same
+	// message mix (Chunks grant/done round trips, CommBytes of payload),
+	// converted to seconds with the run's own measured seconds-per-task-
+	// unit — comparable with Result.Comm.
+	ModelCommS float64 `json:"model_comm_s"`
+	// Digest and NativeDigest fingerprint the array-kernel run of this
+	// configuration on the dist and native backends; equality means the
+	// distributed execution produced bitwise the in-process results.
+	Digest       string `json:"digest"`
+	NativeDigest string `json:"native_digest"`
+}
+
+// DistReport is the BENCH_dist.json payload.
+type DistReport struct {
+	Points []DistPoint `json:"points"`
+}
+
+// DigestsAgree reports whether every point's distributed array-kernel
+// digest matches its native one.
+func (r DistReport) DigestsAgree() bool {
+	for _, p := range r.Points {
+		if p.Digest == "" || p.Digest != p.NativeDigest {
+			return false
+		}
+	}
+	return true
+}
+
+// DistSweep measures the distributed backend across apps × modes ×
+// worker counts. The caller's binary must route forked workers with
+// dist.MaybeWorker at the top of main (or TestMain).
+// A nil modes slice sweeps all three modes.
+func DistSweep(tasks int, seed uint64, workers []int, unitWork int, modes []rts.Mode) DistReport {
+	if modes == nil {
+		modes = []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}
+	}
+	apps := []*workload.App{
+		workload.Psirrfan(workload.Config{N: tasks, Seed: seed}),
+		workload.Climate(workload.Config{N: tasks, Seed: seed}),
+	}
+	spin := SpinBinding(tasks, 1.0, seed, unitWork)
+	var rep DistReport
+	for _, app := range apps {
+		for _, mode := range modes {
+			for _, w := range workers {
+				g := app.GraphFor(mode, w)
+				opts := rts.RunOpts{Processors: w, Mode: mode}
+
+				bound, err := rts.Bind(g, spin)
+				if err != nil {
+					panic(fmt.Sprintf("experiment: dist bind %s/%v/p=%d: %v", app.Name, mode, w, err))
+				}
+				r, err := (dist.Backend{}).Run(g, bound, opts)
+				if err != nil {
+					panic(fmt.Sprintf("experiment: dist %s/%v/p=%d: %v", app.Name, mode, w, err))
+				}
+
+				pt := DistPoint{
+					App:        app.Name,
+					Mode:       mode.String(),
+					Workers:    w,
+					Result:     r,
+					ModelCommS: modelComm(g, tasks, seed, r),
+				}
+				pt.Digest, pt.NativeDigest = distDigests(g, tasks, opts)
+				rep.Points = append(rep.Points, pt)
+			}
+		}
+	}
+	return rep
+}
+
+// modelComm converts the run's message mix into the simulator cost
+// model's prediction, in seconds. The model charges per-message
+// software overhead plus per-hop latency plus per-byte transfer, in
+// task-time units; a chunk costs one grant/done round trip (two
+// messages, one hop each on the coordinator star) and its done blob's
+// bytes. Task-time units become seconds through the run itself: the
+// spin kernels' drawn task times sum to seqUnits task units, and the
+// run measured those same draws as Result.SeqTime seconds of
+// execution, so seconds-per-unit needs no calibration constant.
+func modelComm(g *delirium.Graph, tasks int, seed uint64, r trace.Result) float64 {
+	params := rts.KernelParams{}
+	params.SetInt("n", tasks)
+	params.SetInt("tasks", tasks)
+	params.SetFloat("cv", 1.0)
+	params.SetUint64("seed", seed)
+	bound, err := rts.Bind(g, rts.NamedBinding("lognormal", params))
+	if err != nil {
+		return 0
+	}
+	seqUnits := 0.0
+	for _, nd := range g.Nodes {
+		seqUnits += bound.Spec(nd.Name).Op.TotalTime()
+	}
+	if seqUnits <= 0 || r.SeqTime <= 0 {
+		return 0
+	}
+	m := machine.DefaultConfig(r.Processors)
+	units := float64(r.Chunks)*2*(m.MsgOverhead+m.HopLatency) + m.ByteCost*float64(r.CommBytes)
+	return units * (r.SeqTime / seqUnits)
+}
+
+// distDigests runs the array kernels of one configuration on the dist
+// and native backends and returns both digests. Failures surface as
+// empty digests (rendered MISMATCH) rather than aborting the sweep.
+func distDigests(g *delirium.Graph, n int, opts rts.RunOpts) (distDigest, nativeDigest string) {
+	params := rts.KernelParams{}
+	params.SetInt("n", n)
+	params.SetInt("work", 1)
+	binding := rts.NamedBinding("array", params)
+	run := func(be rts.Backend) string {
+		bound, err := rts.Bind(g, binding) // fresh zeroed arrays per run
+		if err != nil {
+			return ""
+		}
+		if _, err := be.Run(g, bound, opts); err != nil {
+			return ""
+		}
+		d, _ := bound.Digest()
+		return d
+	}
+	return run(dist.Backend{}), run(native.Backend{})
+}
+
+// FormatDist renders the sweep as an aligned table: wall-clock
+// measurements, measured vs modeled comm, and the digest verdict.
+func FormatDist(rep DistReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %7s %12s %8s %7s %8s %11s %11s  %s\n",
+		"app", "mode", "workers", "makespan(s)", "speedup", "chunks", "msgs", "comm(s)", "model(s)", "digest")
+	for _, p := range rep.Points {
+		r := p.Result
+		verdict := "MISMATCH"
+		if p.Digest != "" && p.Digest == p.NativeDigest {
+			verdict = "ok " + p.Digest[:12]
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %7d %12.4f %8.2f %7d %8d %11.4f %11.4f  %s\n",
+			p.App, p.Mode, p.Workers, r.Makespan, r.Speedup(), r.Chunks, r.Messages,
+			r.Comm, p.ModelCommS, verdict)
+	}
+	return b.String()
+}

@@ -4,12 +4,25 @@ import (
 	"fmt"
 	"strings"
 
-	"orchestra/internal/delirium"
 	"orchestra/internal/native"
 	"orchestra/internal/rts"
 	"orchestra/internal/trace"
 	"orchestra/internal/workload"
 )
+
+// SpinBinding names the "spin" registry kernel with the parameters the
+// native and dist sweeps share: n resolves each node's tasks="n"
+// annotation, cv/seed draw the log-normal task times, unitwork scales
+// one drawn time unit to CPU iterations.
+func SpinBinding(tasks int, cv float64, seed uint64, unitWork int) rts.Binding {
+	params := rts.KernelParams{}
+	params.SetInt("n", tasks)
+	params.SetInt("tasks", tasks)
+	params.SetFloat("cv", cv)
+	params.SetUint64("seed", seed)
+	params.SetInt("unitwork", unitWork)
+	return rts.NamedBinding("spin", params)
+}
 
 // NativePoint is one measurement of the native-backend sweep:
 // real wall-clock execution of a paper workload's graph topology with
@@ -36,7 +49,7 @@ func NativeSweep(tasks int, seed uint64, workers []int, unitWork int, modes []rt
 		modes = []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}
 	}
 	app := workload.Psirrfan(workload.Config{N: tasks, Seed: seed})
-	count := func(*delirium.Node) int { return tasks }
+	binding := SpinBinding(tasks, 1.0, seed, unitWork)
 	var out []NativePoint
 	for _, mode := range modes {
 		for _, w := range workers {
@@ -44,8 +57,11 @@ func NativeSweep(tasks int, seed uint64, workers []int, unitWork int, modes []rt
 			// graph only pays off when it has workers to overlap on (see
 			// workload.App.GraphFor).
 			g := app.GraphFor(mode, w)
-			bind := native.SpinBinder(g, count, 1.0, seed, unitWork)
-			r, err := native.Backend{}.Run(g, bind, rts.RunOpts{Processors: w, Mode: mode})
+			bound, err := rts.Bind(g, binding)
+			if err != nil {
+				panic(fmt.Sprintf("experiment: bind %v/p=%d: %v", mode, w, err))
+			}
+			r, err := native.Backend{}.Run(g, bound, rts.RunOpts{Processors: w, Mode: mode})
 			if err != nil {
 				panic(fmt.Sprintf("experiment: native %v/p=%d: %v", mode, w, err))
 			}

@@ -49,7 +49,7 @@ func Pipeline(tasks int, seed uint64, workers []int, repeats int) PipelineReport
 			for r := 0; r < repeats; r++ {
 				app, st := workload.MemChain(workload.Config{N: tasks, Seed: seed})
 				g := app.GraphFor(rts.ModeSplit, w)
-				res, err := (native.Backend{}).Run(g, app.Bind, rts.RunOpts{
+				res, err := (native.Backend{}).Run(g, rts.BindClosure(app.Bind), rts.RunOpts{
 					Processors: w, Mode: rts.ModeSplit, Chain: chain,
 				})
 				if err != nil {

@@ -234,7 +234,7 @@ func searchPoint(app *workload.App, cands []search.Candidate, parts map[string][
 	// executor degrades to plain TAPER.
 	runOnce := func(c search.Candidate, sink obs.Sink) measured {
 		cov := NewCoverage(app)
-		bind := conservingBinder(app, cov, unitWork)
+		bind := rts.BindClosure(conservingBinder(app, cov, unitWork))
 		res, err := native.Backend{}.Run(c.Graph, bind, rts.RunOpts{
 			Processors: w, Mode: rts.ModeSplit, Sink: sink,
 		})

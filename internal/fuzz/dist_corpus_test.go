@@ -1,0 +1,40 @@
+package fuzz
+
+import (
+	"os"
+	"testing"
+
+	"orchestra/internal/dist"
+)
+
+// TestMain routes dist worker forks: the fourth oracle rung re-executes
+// this test binary as its worker processes.
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestCorpusReproducersDist replays every committed reproducer through
+// the extended ladder: the dist configurations fork real worker
+// processes and resolve each program through the "fuzz" registry
+// kernel, so a divergence here means the orchestration disagrees with
+// itself across a process boundary.
+func TestCorpusReproducersDist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes per configuration")
+	}
+	entries := corpusEntries(t)
+	for name, e := range entries {
+		e := e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep := CheckProgramDist(e.prog, e.seed)
+			if rep.Skip != "" {
+				t.Fatalf("reproducer no longer checkable: %s", rep.Skip)
+			}
+			if rep.Failed() {
+				t.Fatalf("dist regression:\n%s", rep)
+			}
+		})
+	}
+}

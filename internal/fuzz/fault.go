@@ -55,9 +55,9 @@ func CheckProgramFaults(prog *source.Program, seed uint64, plan *fault.Plan) *Re
 		return rep
 	}
 	for _, cfg := range faultMatrix(plan) {
-		in := base.low.NewInstance(false)
 		before := len(rep.Divs)
-		if _, err := cfg.backend.Run(base.low.Graph, in.Binder(), cfg.opts); err != nil {
+		in, err := runConfig(prog, seed, base.low, cfg, nil)
+		if err != nil {
 			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-error", Detail: err.Error()})
 			continue
 		}
@@ -67,7 +67,7 @@ func CheckProgramFaults(prog *source.Program, seed uint64, plan *fault.Plan) *Re
 			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "fault-value", Detail: d})
 		}
 		if len(rep.Divs) > before {
-			if t := captureTrace(base.low, cfg); t != nil {
+			if t := captureTrace(prog, seed, base.low, cfg); t != nil {
 				for i := before; i < len(rep.Divs); i++ {
 					rep.Divs[i].Trace = t
 				}

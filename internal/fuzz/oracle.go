@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"orchestra/internal/compile"
+	"orchestra/internal/dist"
 	"orchestra/internal/interp"
 	"orchestra/internal/machine"
 	"orchestra/internal/native"
@@ -274,6 +275,10 @@ type backendConfig struct {
 	backend  rts.Backend
 	opts     rts.RunOpts
 	checkSim bool
+	// dist marks the fourth rung: the run executes on forked worker
+	// processes, bound by name through the registry rather than through
+	// an in-process closure.
+	dist bool
 }
 
 // matrix builds the standard configuration matrix: the simulator over
@@ -307,6 +312,23 @@ func matrix() []backendConfig {
 			name:    fmt.Sprintf("native/p=4/%s/omega=%g", rts.ModeSplit, omega),
 			backend: native.Backend{},
 			opts:    rts.RunOpts{Processors: 4, Mode: rts.ModeSplit, Omega: omega},
+		})
+	}
+	return cfgs
+}
+
+// distMatrix is the fourth oracle rung: the same program on real
+// forked worker processes. It is opt-in (CheckProgramDist) because
+// every cell forks its worker set — orders of magnitude costlier than
+// an in-process run.
+func distMatrix() []backendConfig {
+	var cfgs []backendConfig
+	for _, m := range []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit} {
+		cfgs = append(cfgs, backendConfig{
+			name:    fmt.Sprintf("dist/p=3/%s", m),
+			backend: dist.Backend{},
+			opts:    rts.RunOpts{Processors: 3, Mode: m},
+			dist:    true,
 		})
 	}
 	return cfgs
@@ -394,6 +416,18 @@ func runBaseline(prog *source.Program, seed uint64, rep *Report) *baseline {
 // the seed-derived initial image. The returned report distinguishes
 // invalid/unsupported programs (Skip) from real divergences.
 func CheckProgram(prog *source.Program, seed uint64) *Report {
+	return checkProgram(prog, seed, false)
+}
+
+// CheckProgramDist runs the ladder plus the fourth rung: the dist
+// backend on forked worker processes, bound by name through the
+// registry. The calling binary must invoke dist.MaybeWorker first
+// thing in main (or TestMain) — the dist backend re-executes it.
+func CheckProgramDist(prog *source.Program, seed uint64) *Report {
+	return checkProgram(prog, seed, true)
+}
+
+func checkProgram(prog *source.Program, seed uint64, withDist bool) *Report {
 	rep := &Report{Seed: seed}
 	base := runBaseline(prog, seed, rep)
 	if base == nil {
@@ -403,10 +437,14 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 
 	// Rung 3: every backend configuration, compared bitwise against the
 	// lowered baseline.
-	for _, cfg := range matrix() {
-		in := low.NewInstance(cfg.checkSim)
+	cfgs := matrix()
+	if withDist {
+		cfgs = append(cfgs, distMatrix()...)
+	}
+	for _, cfg := range cfgs {
 		before := len(rep.Divs)
-		if _, err := cfg.backend.Run(low.Graph, in.Binder(), cfg.opts); err != nil {
+		in, err := runConfig(prog, seed, low, cfg, nil)
+		if err != nil {
 			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-error", Detail: err.Error()})
 			continue
 		}
@@ -423,7 +461,7 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 		if len(rep.Divs) > before {
 			// Re-execute the diverging configuration with tracing so the
 			// divergence report carries the schedule.
-			if t := captureTrace(low, cfg); t != nil {
+			if t := captureTrace(prog, seed, low, cfg); t != nil {
 				for i := before; i < len(rep.Divs); i++ {
 					rep.Divs[i].Trace = t
 				}
@@ -433,14 +471,34 @@ func CheckProgram(prog *source.Program, seed uint64) *Report {
 	return rep
 }
 
+// runConfig executes one matrix cell and returns the instance holding
+// its final memory. In-process cells bind the instance's closure; dist
+// cells ship the program text through the registry binding, and the
+// returned instance is the coordinator's local image (every worker's
+// digest was already verified against it by the dist backend itself).
+func runConfig(prog *source.Program, seed uint64, low *Lowered, cfg backendConfig, sink obs.Sink) (*Instance, error) {
+	opts := cfg.opts
+	opts.Sink = sink
+	if !cfg.dist {
+		in := low.NewInstance(cfg.checkSim)
+		_, err := cfg.backend.Run(low.Graph, rts.BindClosure(in.Binder()), opts)
+		return in, err
+	}
+	bound, err := rts.Bind(low.Graph, FuzzBinding(prog, seed))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cfg.backend.Run(low.Graph, bound, opts); err != nil {
+		return nil, err
+	}
+	return InstanceOf(bound), nil
+}
+
 // captureTrace re-runs one matrix configuration with an event sink
 // attached and returns the collected trace (nil if the re-run errors).
-func captureTrace(low *Lowered, cfg backendConfig) *obs.Trace {
-	in := low.NewInstance(cfg.checkSim)
-	opts := cfg.opts
+func captureTrace(prog *source.Program, seed uint64, low *Lowered, cfg backendConfig) *obs.Trace {
 	var col obs.Collector
-	opts.Sink = &col
-	if _, err := cfg.backend.Run(low.Graph, in.Binder(), opts); err != nil {
+	if _, err := runConfig(prog, seed, low, cfg, &col); err != nil {
 		return nil
 	}
 	return col.Trace
@@ -450,4 +508,11 @@ func captureTrace(low *Lowered, cfg backendConfig) *obs.Trace {
 func CheckSeed(seed uint64, cfg GenConfig) (*Report, *source.Program) {
 	prog := NewGen(seed, cfg).Program()
 	return CheckProgram(prog, seed), prog
+}
+
+// CheckSeedDist generates program #seed and checks it including the
+// dist rung.
+func CheckSeedDist(seed uint64, cfg GenConfig) (*Report, *source.Program) {
+	prog := NewGen(seed, cfg).Program()
+	return CheckProgramDist(prog, seed), prog
 }

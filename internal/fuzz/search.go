@@ -69,7 +69,7 @@ func CheckProgramSearched(prog *source.Program, seed uint64) *Report {
 	profIn := low.NewInstance(true)
 	var col obs.Collector
 	simBe := rts.NewSimBackend(machine.DefaultConfig(8))
-	if _, err := simBe.Run(low.Graph, profIn.Binder(), rts.RunOpts{
+	if _, err := simBe.Run(low.Graph, rts.BindClosure(profIn.Binder()), rts.RunOpts{
 		Processors: 8, Mode: rts.ModeSplit, Sink: &col,
 	}); err != nil {
 		rep.Divs = append(rep.Divs, Divergence{Config: "search/profile", Kind: "backend-error", Detail: err.Error()})
@@ -92,7 +92,7 @@ func CheckProgramSearched(prog *source.Program, seed uint64) *Report {
 
 	for _, cfg := range searchedMatrix() {
 		in := low.NewInstance(cfg.checkSim)
-		if _, err := cfg.backend.Run(plan.Best.Graph, in.Binder(), cfg.opts); err != nil {
+		if _, err := cfg.backend.Run(plan.Best.Graph, rts.BindClosure(in.Binder()), cfg.opts); err != nil {
 			rep.Divs = append(rep.Divs, Divergence{Config: cfg.name, Kind: "backend-error", Detail: err.Error()})
 			continue
 		}

@@ -25,7 +25,7 @@ func TestRunPreCanceledContext(t *testing.T) {
 			return 1
 		}}, Mu: 1}
 	}
-	_, err := (Backend{}).Run(chainGraph(t, false), bind, rts.RunOpts{Processors: 2, Ctx: ctx})
+	_, err := (Backend{}).Run(chainGraph(t, false), rts.BindClosure(bind), rts.RunOpts{Processors: 2, Ctx: ctx})
 	if !rts.IsCanceled(err) {
 		t.Fatalf("error = %v, want one wrapping rts.ErrCanceled", err)
 	}
@@ -46,7 +46,7 @@ func TestRunDeadlineExceeded(t *testing.T) {
 	bind := func(name string) rts.OpSpec {
 		return rts.OpSpec{Op: sched.Op{Name: name, N: 10, Time: func(i int) float64 { return 1 }}, Mu: 1}
 	}
-	_, err := (Backend{}).Run(chainGraph(t, false), bind, rts.RunOpts{Processors: 2, Ctx: ctx})
+	_, err := (Backend{}).Run(chainGraph(t, false), rts.BindClosure(bind), rts.RunOpts{Processors: 2, Ctx: ctx})
 	if !rts.IsCanceled(err) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("error = %v, want one wrapping both rts.ErrCanceled and context.DeadlineExceeded", err)
 	}
@@ -77,7 +77,7 @@ func TestRunMidRunCancelReleasesGoroutines(t *testing.T) {
 		}
 		errCh := make(chan error, 1)
 		go func() {
-			_, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Ctx: ctx})
+			_, err := (Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Ctx: ctx})
 			errCh <- err
 		}()
 		<-started
@@ -111,7 +111,7 @@ func TestRunContextFiringAfterCompletion(t *testing.T) {
 	bind := func(name string) rts.OpSpec {
 		return rts.OpSpec{Op: sched.Op{Name: name, N: 50, Time: func(i int) float64 { return 1 }}, Mu: 1}
 	}
-	if _, err := (Backend{}).Run(chainGraph(t, true), bind, rts.RunOpts{Processors: 2, Ctx: ctx}); err != nil {
+	if _, err := (Backend{}).Run(chainGraph(t, true), rts.BindClosure(bind), rts.RunOpts{Processors: 2, Ctx: ctx}); err != nil {
 		t.Fatalf("run with live context: %v", err)
 	}
 	cancel()

@@ -30,7 +30,7 @@ func benchmarkPipeline(b *testing.B, chain rts.ChainPolicy) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := (native.Backend{}).Run(g, bind, rts.RunOpts{
+		if _, err := (native.Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{
 			Processors: 4, Mode: rts.ModeSplit, Chain: chain,
 		}); err != nil {
 			b.Fatal(err)
@@ -56,7 +56,7 @@ func TestChainNoPerChunkAllocs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := (native.Backend{}).Run(g, bind, rts.RunOpts{
+			if _, err := (native.Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{
 				Processors: 4, Mode: rts.ModeSplit, Chain: rts.ChainAuto,
 			}); err != nil {
 				t.Fatal(err)

@@ -56,7 +56,7 @@ func runChainGraph(t *testing.T, g *delirium.Graph, p, n int, mode rts.Mode, cha
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := native.Backend{}.Run(g, bind, rts.RunOpts{Processors: p, Mode: mode, Chain: chain})
+	r, err := native.Backend{}.Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: p, Mode: mode, Chain: chain})
 	if err != nil {
 		t.Fatalf("p=%d mode=%v chain=%v: %v", p, mode, chain, err)
 	}
@@ -136,7 +136,7 @@ func runChainFault(t *testing.T, g *delirium.Graph, p, n int, plan *fault.Plan) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := native.Backend{}.Run(g, bind, rts.RunOpts{
+	r, err := native.Backend{}.Run(g, rts.BindClosure(bind), rts.RunOpts{
 		Processors: p, Mode: rts.ModeSplit, Chain: rts.ChainAuto, Fault: plan,
 	})
 	if err != nil {
@@ -201,7 +201,7 @@ func TestChainQuickstartParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := (native.Backend{}).Run(out.Graph, bind, rts.RunOpts{Processors: p, Mode: rts.ModeSplit, Chain: rts.ChainAuto}); err != nil {
+		if _, err := (native.Backend{}).Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{Processors: p, Mode: rts.ModeSplit, Chain: rts.ChainAuto}); err != nil {
 			t.Fatal(err)
 		}
 		for name, want := range ref {

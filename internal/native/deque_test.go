@@ -71,7 +71,7 @@ func TestExecuteRejectsOversizedOp(t *testing.T) {
 		return rts.OpSpec{Op: sched.Op{Name: name, N: maxTasks,
 			Time: func(i int) float64 { return 1 }}, Mu: 1}
 	}
-	if _, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 1, Mode: rts.ModeSplit}); err == nil {
+	if _, err := (Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 1, Mode: rts.ModeSplit}); err == nil {
 		t.Fatalf("Execute accepted an operator with %d tasks", maxTasks)
 	}
 }

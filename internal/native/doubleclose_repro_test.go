@@ -23,7 +23,7 @@ func TestEmptyGraphWithFaultPlanRepro(t *testing.T) {
 	bind := func(string) rts.OpSpec { return rts.OpSpec{} }
 	plan := mustPlan(t, "crash:1@0")
 	opts := rts.RunOpts{Processors: 4, Fault: plan}
-	if _, err := (native.Backend{}.Run(out.Graph, bind, opts)); err != nil {
+	if _, err := (native.Backend{}.Run(out.Graph, rts.BindClosure(bind), opts)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -30,7 +30,7 @@ func runNativeFault(t *testing.T, out *core.Output, p int, mode rts.Mode, n, wor
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = native.Backend{}.Run(out.Graph, bind, rts.RunOpts{
+	_, err = native.Backend{}.Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{
 		Processors: p, Mode: mode, Fault: plan, Sink: sink,
 	})
 	if err != nil {
@@ -166,7 +166,7 @@ func TestNativeFaultRejections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = native.Backend{}.Run(out.Graph, bind, rts.RunOpts{
+	_, err = native.Backend{}.Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{
 		Processors: 2, Mode: rts.ModeTaper,
 		Fault: mustPlan(t, "crash:0@0,stall:1@0:1"),
 	})
@@ -192,7 +192,7 @@ func BenchmarkHotpathFaultDisabled(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := (native.Backend{}).Run(out.Graph, bind, rts.RunOpts{
+		if _, err := (native.Backend{}).Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{
 			Processors: 4, Mode: rts.ModeSplit,
 		}); err != nil {
 			b.Fatal(err)
@@ -219,7 +219,7 @@ func BenchmarkHotpathFaultCrash(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := (native.Backend{}).Run(out.Graph, bind, rts.RunOpts{
+		if _, err := (native.Backend{}).Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{
 			Processors: 4, Mode: rts.ModeSplit, Fault: plan,
 		}); err != nil {
 			b.Fatal(err)

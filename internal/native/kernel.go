@@ -67,7 +67,7 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 	}
 	st := interp.NewState()
 	specs := map[string]rts.OpSpec{}
-	for idx, nd := range order {
+	for _, nd := range order {
 		st.Alloc(nd.Name, n)
 		arr := st.Arrays[nd.Name]
 		// Snapshot the predecessor arrays and their edge kinds, in
@@ -85,7 +85,13 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 			inputs = append(inputs, input{from: e.From, arr: st.Arrays[e.From], pipelined: e.Pipelined})
 		}
 		sort.Slice(inputs, func(a, b int) bool { return inputs[a].from < inputs[b].from })
-		nodeID := float64(idx)
+		// The node's identity in task values must be canonical across an
+		// Encode/Decode round trip: Encode sorts the edge list, which can
+		// legally reorder TopoOrder's tie-breaking, so a topological
+		// *index* would differ between a graph and its wire form (the
+		// dist backend binds the decoded graph inside worker processes).
+		// Hash the name instead — names survive the wire unchanged.
+		nodeID := float64(hashName(nd.Name) % (1 << 20))
 		w := work
 		ins := inputs
 		body := func(i int) float64 {
@@ -155,6 +161,21 @@ func ArrayKernels(g *delirium.Graph, n, work int) (rts.Binder, *interp.State, er
 			},
 			Mu:    1,
 			Split: ann,
+			// Cross-process transport (rts.OpSpec.Pack/Apply): task i owns
+			// exactly X[i], so a segment's durable results are the raw
+			// IEEE-754 bits of arr[lo:hi].
+			Pack: func(lo, hi int) []byte {
+				blob := make([]byte, 8*(hi-lo))
+				for i := lo; i < hi; i++ {
+					binary.LittleEndian.PutUint64(blob[8*(i-lo):], math.Float64bits(arr[i]))
+				}
+				return blob
+			},
+			Apply: func(lo, hi int, blob []byte) {
+				for i := lo; i < hi && 8*(i-lo)+8 <= len(blob); i++ {
+					arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[8*(i-lo):]))
+				}
+			},
 		}
 	}
 	return func(name string) rts.OpSpec { return specs[name] }, st, nil

@@ -66,6 +66,24 @@ type Backend struct{}
 // Name implements rts.Backend.
 func (Backend) Name() string { return "native" }
 
+// nativeSupported declares the optional RunOpts capabilities of the
+// native backend: all of them. Message faults in a plan have no
+// native equivalent (the backend exchanges no modelled messages) and
+// are trivially satisfied; see newEngine.
+var nativeSupported = rts.Supported{Pin: true, Labels: true, Chain: true, Fault: true}
+
+func init() {
+	rts.RegisterBackend(rts.BackendInfo{Name: "native", Measured: true},
+		func(cfg rts.BackendConfig) (rts.Backend, error) {
+			if err := rts.CheckOptions("native", cfg.Options); err != nil {
+				return nil, err
+			}
+			// The worker count is a per-run knob (RunOpts.Processors);
+			// cfg.Processors has nothing to size on a stateless backend.
+			return Backend{}, nil
+		})
+}
+
 // Run implements rts.Backend: it runs the graph on opts.Processors
 // worker goroutines (GOMAXPROCS when zero) under opts.Mode. The modes
 // parallel the simulator's: ModeStatic uses a fixed block decomposition
@@ -75,8 +93,11 @@ func (Backend) Name() string { return "native" }
 // pipelined producer/consumer pairs. A non-nil opts.Sink receives the
 // run's event trace, timestamped from the wall clock. A non-nil
 // opts.Ctx cancels the run cooperatively at chunk boundaries.
-func (Backend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.Result, error) {
-	e, err := newEngine(g, bind, opts, defaultProcs(opts.Processors))
+func (Backend) Run(g *delirium.Graph, b *rts.Bound, opts rts.RunOpts) (trace.Result, error) {
+	if err := opts.CheckSupported("native", nativeSupported); err != nil {
+		return trace.Result{}, err
+	}
+	e, err := newEngine(g, b.Binder(), opts, defaultProcs(opts.Processors))
 	if err != nil {
 		return trace.Result{}, err
 	}

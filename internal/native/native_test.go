@@ -51,7 +51,7 @@ func TestExecuteRunsEveryTaskOnce(t *testing.T) {
 	for _, mode := range allModes() {
 		for _, workers := range []int{1, 4} {
 			counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-			r, err := (Backend{}).Run(chainGraph(t, true), countBinder(n, counts),
+			r, err := (Backend{}).Run(chainGraph(t, true), rts.BindClosure(countBinder(n, counts)),
 				rts.RunOpts{Processors: workers, Mode: mode})
 			if err != nil {
 				t.Fatalf("%v/p=%d: %v", mode, workers, err)
@@ -95,7 +95,7 @@ func TestDependencyGating(t *testing.T) {
 			}
 			return rts.OpSpec{Op: sched.Op{Name: name, N: n, Time: body}, Mu: 1}
 		}
-		if _, err := (Backend{}).Run(chainGraph(t, false), bind, rts.RunOpts{Processors: 4, Mode: mode}); err != nil {
+		if _, err := (Backend{}).Run(chainGraph(t, false), rts.BindClosure(bind), rts.RunOpts{Processors: 4, Mode: mode}); err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
 		if v := violations.Load(); v != 0 {
@@ -140,7 +140,7 @@ func TestPipelinedPrefixSafety(t *testing.T) {
 		}
 		return rts.OpSpec{Op: sched.Op{Name: name, N: n, Time: body}, Mu: 1}
 	}
-	if _, err := (Backend{}).Run(chainGraph(t, true), bind, rts.RunOpts{Processors: 4, Mode: rts.ModeSplit}); err != nil {
+	if _, err := (Backend{}).Run(chainGraph(t, true), rts.BindClosure(bind), rts.RunOpts{Processors: 4, Mode: rts.ModeSplit}); err != nil {
 		t.Fatal(err)
 	}
 	if v := violations.Load(); v != 0 {
@@ -171,7 +171,7 @@ func TestStealsUnderImbalance(t *testing.T) {
 			},
 		}, Mu: 1}
 	}
-	r, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 4, Mode: rts.ModeTaper})
+	r, err := (Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 4, Mode: rts.ModeTaper})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for _, mode := range allModes() {
 		counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-		if _, err := (Backend{}).Run(chainGraph(t, true), countBinder(400, counts), rts.RunOpts{Processors: 8, Mode: mode}); err != nil {
+		if _, err := (Backend{}).Run(chainGraph(t, true), rts.BindClosure(countBinder(400, counts)), rts.RunOpts{Processors: 8, Mode: mode}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -219,7 +219,7 @@ func TestShutdownWithInFlightTasks(t *testing.T) {
 			},
 		}, Mu: 1}
 	}
-	r, err := (Backend{}).Run(chainGraph(t, true), bind, rts.RunOpts{Processors: 8, Mode: rts.ModeSplit})
+	r, err := (Backend{}).Run(chainGraph(t, true), rts.BindClosure(bind), rts.RunOpts{Processors: 8, Mode: rts.ModeSplit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestZeroTaskOperator(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := (Backend{}).Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeSplit})
+		_, err := (Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeSplit})
 		done <- err
 	}()
 	select {
@@ -263,7 +263,7 @@ func TestZeroTaskOperator(t *testing.T) {
 // TestUnknownMode checks the error path.
 func TestUnknownMode(t *testing.T) {
 	counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-	_, err := (Backend{}).Run(chainGraph(t, false), countBinder(4, counts), rts.RunOpts{Processors: 2, Mode: rts.Mode(99)})
+	_, err := (Backend{}).Run(chainGraph(t, false), rts.BindClosure(countBinder(4, counts)), rts.RunOpts{Processors: 2, Mode: rts.Mode(99)})
 	if err == nil {
 		t.Fatal("expected an error for an unknown mode")
 	}
@@ -275,12 +275,12 @@ func TestUnknownMode(t *testing.T) {
 func TestAdaptiveChunking(t *testing.T) {
 	const n, workers = 4000, 4
 	counts := map[string]*atomic.Int64{"a": {}, "b": {}}
-	rStatic, err := (Backend{}).Run(chainGraph(t, false), countBinder(n, counts), rts.RunOpts{Processors: workers, Mode: rts.ModeStatic})
+	rStatic, err := (Backend{}).Run(chainGraph(t, false), rts.BindClosure(countBinder(n, counts)), rts.RunOpts{Processors: workers, Mode: rts.ModeStatic})
 	if err != nil {
 		t.Fatal(err)
 	}
 	counts = map[string]*atomic.Int64{"a": {}, "b": {}}
-	rTaper, err := (Backend{}).Run(chainGraph(t, false), countBinder(n, counts), rts.RunOpts{Processors: workers, Mode: rts.ModeTaper})
+	rTaper, err := (Backend{}).Run(chainGraph(t, false), rts.BindClosure(countBinder(n, counts)), rts.RunOpts{Processors: workers, Mode: rts.ModeTaper})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestTraceCollection(t *testing.T) {
 	for _, mode := range allModes() {
 		counts := map[string]*atomic.Int64{"a": {}, "b": {}}
 		var col obs.Collector
-		r, err := (Backend{}).Run(chainGraph(t, true), countBinder(n, counts),
+		r, err := (Backend{}).Run(chainGraph(t, true), rts.BindClosure(countBinder(n, counts)),
 			rts.RunOpts{Processors: 4, Mode: mode, Sink: &col})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)

@@ -53,7 +53,7 @@ func runKernels(t *testing.T, out *core.Output, backend string, p int, mode rts.
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.ExecuteOn(be, out, bind, core.RunOpts{Processors: p, Mode: mode}); err != nil {
+	if _, err := be.Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{Processors: p, Mode: mode}); err != nil {
 		t.Fatalf("%s/%v: %v", backend, mode, err)
 	}
 	return st.Arrays
@@ -105,7 +105,7 @@ func TestNativeSpeedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := native.Backend{}.Run(out.Graph, bind, rts.RunOpts{Processors: 4, Mode: rts.ModeSplit})
+	r, err := native.Backend{}.Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{Processors: 4, Mode: rts.ModeSplit})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -126,13 +126,16 @@ func (p *Pool) Stats() PoolStats {
 // still waiting for leases or already executing, returning an error
 // wrapping rts.ErrCanceled either way. Run is safe to call from any
 // number of goroutines; jobs acquire workers FIFO.
-func (p *Pool) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.Result, error) {
+func (p *Pool) Run(g *delirium.Graph, b *rts.Bound, opts rts.RunOpts) (trace.Result, error) {
+	if err := opts.CheckSupported("native", nativeSupported); err != nil {
+		return trace.Result{}, err
+	}
 	want := opts.Processors
 	if want <= 0 || want > p.size {
 		want = p.size
 	}
 	opts.Processors = want
-	e, err := newEngine(g, bind, opts, want)
+	e, err := newEngine(g, b.Binder(), opts, want)
 	if err != nil {
 		return trace.Result{}, err
 	}
@@ -273,6 +276,6 @@ type PooledBackend struct{ Pool *Pool }
 func (PooledBackend) Name() string { return "native" }
 
 // Run implements rts.Backend via Pool.Run.
-func (b PooledBackend) Run(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts) (trace.Result, error) {
-	return b.Pool.Run(g, bind, opts)
+func (b PooledBackend) Run(g *delirium.Graph, bound *rts.Bound, opts rts.RunOpts) (trace.Result, error) {
+	return b.Pool.Run(g, bound, opts)
 }

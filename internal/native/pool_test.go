@@ -43,7 +43,7 @@ func oneShotDigest(t *testing.T, g *delirium.Graph, n int, opts rts.RunOpts) str
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Backend{}).Run(g, bind, opts); err != nil {
+	if _, err := (Backend{}).Run(g, rts.BindClosure(bind), opts); err != nil {
 		t.Fatal(err)
 	}
 	return StateDigest(st)
@@ -56,7 +56,7 @@ func poolDigest(t *testing.T, p *Pool, g *delirium.Graph, n int, opts rts.RunOpt
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(g, bind, opts); err != nil {
+	if _, err := p.Run(g, rts.BindClosure(bind), opts); err != nil {
 		t.Fatal(err)
 	}
 	return StateDigest(st)
@@ -116,7 +116,7 @@ func TestPoolConcurrentRunsBitwiseIdentical(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			if _, err := p.Run(g, bind, rts.RunOpts{Processors: 2, Mode: modes[i]}); err != nil {
+			if _, err := p.Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: modes[i]}); err != nil {
 				errs[i] = err
 				return
 			}
@@ -164,7 +164,7 @@ func TestPoolFaultIsolationBetweenJobs(t *testing.T) {
 				faultyErr = err
 				return
 			}
-			_, faultyErr = p.Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Fault: plan})
+			_, faultyErr = p.Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Fault: plan})
 			faultyDig = StateDigest(st)
 		}()
 		go func() {
@@ -174,7 +174,7 @@ func TestPoolFaultIsolationBetweenJobs(t *testing.T) {
 				healthyErr = err
 				return
 			}
-			_, healthyErr = p.Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeTaper})
+			_, healthyErr = p.Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeTaper})
 			healthyDig = StateDigest(st)
 		}()
 		wg.Wait()
@@ -223,7 +223,7 @@ func TestPoolCancelReleasesWorkers(t *testing.T) {
 		}
 		errCh := make(chan error, 1)
 		go func() {
-			_, err := p.Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Ctx: ctx})
+			_, err := p.Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeTaper, Ctx: ctx})
 			errCh <- err
 		}()
 		<-started
@@ -266,7 +266,7 @@ func TestPoolCancelWhileQueued(t *testing.T) {
 	}
 	holdErr := make(chan error, 1)
 	go func() {
-		_, err := p.Run(g, bind, rts.RunOpts{Processors: 2, Mode: rts.ModeStatic})
+		_, err := p.Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeStatic})
 		holdErr <- err
 	}()
 	// Wait until the holder owns both workers.
@@ -288,7 +288,7 @@ func TestPoolCancelWhileQueued(t *testing.T) {
 				return 1
 			}}, Mu: 1}
 		}
-		_, err := p.Run(g, bind2, rts.RunOpts{Processors: 2, Mode: rts.ModeStatic, Ctx: ctx})
+		_, err := p.Run(g, rts.BindClosure(bind2), rts.RunOpts{Processors: 2, Mode: rts.ModeStatic, Ctx: ctx})
 		queuedErr <- err
 	}()
 	// Wait until the second job is queued behind the first.
@@ -325,13 +325,13 @@ func TestPoolCloseStopsWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(g, bind, rts.RunOpts{Mode: rts.ModeSplit}); err != nil {
+	if _, err := p.Run(g, rts.BindClosure(bind), rts.RunOpts{Mode: rts.ModeSplit}); err != nil {
 		t.Fatal(err)
 	}
 	p.Close()
 	p.Close() // idempotent
 
-	if _, err := p.Run(g, bind, rts.RunOpts{Mode: rts.ModeSplit}); err == nil {
+	if _, err := p.Run(g, rts.BindClosure(bind), rts.RunOpts{Mode: rts.ModeSplit}); err == nil {
 		t.Error("Run on a closed pool succeeded")
 	}
 

@@ -133,6 +133,13 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 				"name": "spill " + name, "cat": "chain", "ts": e.T0 * scale,
 				"args": map[string]any{"lo": e.Lo, "n": e.N},
 			})
+		case KindMsg:
+			events = append(events, ev{
+				"ph": "X", "pid": 1, "tid": e.Worker, "name": "msg " + name,
+				"cat": "msg", "ts": e.T0 * scale, "dur": (e.T1 - e.T0) * scale,
+				"args": map[string]any{"lo": e.Lo, "n": e.N, "bytes": e.Arg,
+					"exec": e.V0, "comm": e.T1 - e.T0 - e.V0},
+			})
 		}
 	}
 

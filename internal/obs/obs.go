@@ -88,6 +88,13 @@ const (
 	// limit, crash, cancellation) and was released to the ordinary
 	// work-stealing path instead.
 	KindSpill
+	// KindMsg is one measured inter-process message round on the dist
+	// backend: a segment grant for tasks [Lo, Lo+N) of Op sent to
+	// worker process Worker at T0, whose completion arrived back at
+	// T1. Arg carries the data-block payload bytes the round moved;
+	// V0 is the worker-reported execution time, so T1-T0-V0 is the
+	// round's pure communication cost.
+	KindMsg
 )
 
 func (k Kind) String() string {
@@ -112,6 +119,8 @@ func (k Kind) String() string {
 		return "chain"
 	case KindSpill:
 		return "spill"
+	case KindMsg:
+		return "msg"
 	}
 	return "?"
 }
@@ -314,6 +323,18 @@ func (r *Recorder) Spill(w, op, lo, n int, t float64) {
 	}
 	r.ring(w).emit(Event{Kind: KindSpill, Worker: int32(w), Op: int32(op),
 		Lo: int32(lo), N: int32(n), T0: t})
+}
+
+// Msg records one measured message round on the dist backend: a grant
+// for tasks [lo, lo+n) of operator op was sent to worker process w at
+// t0, its completion arrived at t1, the worker reported exec seconds
+// of execution, and the round moved bytes of data-block payload.
+func (r *Recorder) Msg(w, op, lo, n int, bytes int64, t0, t1, exec float64) {
+	if r == nil {
+		return
+	}
+	r.ring(w).emit(Event{Kind: KindMsg, Worker: int32(w), Op: int32(op),
+		Lo: int32(lo), N: int32(n), Arg: int32(bytes), T0: t0, T1: t1, V0: exec})
 }
 
 // Realloc records that the allocation estimates were recomputed over

@@ -55,6 +55,7 @@ func Summary(t *Trace) string {
 		return c
 	}
 	faults, retries, reallocs := 0, 0, 0
+	msgs, msgComm, msgBytes := 0, 0.0, int64(0)
 	for _, e := range t.Events {
 		switch e.Kind {
 		case KindFault:
@@ -63,6 +64,12 @@ func Summary(t *Trace) string {
 			retries++
 		case KindRealloc:
 			reallocs++
+		case KindMsg:
+			msgs++
+			if c := e.T1 - e.T0 - e.V0; c > 0 {
+				msgComm += c
+			}
+			msgBytes += int64(e.Arg)
 		}
 		if e.Op < 0 || int(e.Op) >= len(rows) {
 			continue
@@ -148,6 +155,10 @@ func Summary(t *Trace) string {
 	if faults+retries+reallocs > 0 {
 		fmt.Fprintf(&b, "  faults: %d observed, %d chunk retries, %d reallocations\n",
 			faults, retries, reallocs)
+	}
+	if msgs > 0 {
+		fmt.Fprintf(&b, "  messages: %d rounds, %.4g %s comm, %d payload bytes\n",
+			msgs, msgComm, unit, msgBytes)
 	}
 	if t.Dropped > 0 {
 		fmt.Fprintf(&b, "  (dropped %d events to ring overflow)\n", t.Dropped)

@@ -1,0 +1,152 @@
+package rts
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orchestra/internal/machine"
+)
+
+// This file is the backend registry: backends self-register by name at
+// package init time and every consumer — the cliflag parser, the six
+// command binaries, the serve daemon, the fuzz oracle matrix — opens
+// them through OpenBackend. Adding a backend means one init function,
+// not six switch statements; the per-command `switch backend
+// {"sim","native"}` blocks this replaces were exactly the seam that
+// made a third backend a cross-cutting change.
+
+// BackendConfig parameterizes the construction of one Backend
+// instance. Processors is the default worker count the instance is
+// sized for (individual runs may still override via RunOpts);
+// Options carries backend-specific string options — unknown keys are
+// rejected by the factory with an *OptionError, never ignored.
+type BackendConfig struct {
+	// Processors sizes the backend (simulated machine processors,
+	// forked worker processes). Zero lets the backend choose.
+	Processors int
+	// Options holds backend-specific settings by name. Every factory
+	// rejects keys it does not understand.
+	Options map[string]string
+}
+
+// BackendFactory constructs a Backend instance from a configuration.
+type BackendFactory func(cfg BackendConfig) (Backend, error)
+
+// BackendInfo describes a registered backend to generic consumers
+// (flag help, unit labels, harness matrices) without hard-coding
+// names.
+type BackendInfo struct {
+	// Name is the registration name ("sim", "native", "dist").
+	Name string
+	// Measured reports whether the backend executes tasks for real and
+	// reports wall-clock seconds (native, dist), as opposed to charging
+	// modeled costs to a simulated clock (sim). Consumers use it for
+	// unit labels and for choosing measured-work kernels over modeled
+	// ones.
+	Measured bool
+	// Distributed reports whether workers run in separate OS processes
+	// with no shared memory, which requires a Shippable binding.
+	Distributed bool
+}
+
+type backendEntry struct {
+	info    BackendInfo
+	factory BackendFactory
+}
+
+var (
+	backendMu  sync.RWMutex
+	backendReg = map[string]backendEntry{}
+)
+
+// RegisterBackend adds a backend factory under info.Name. Backends
+// call it from an init function; duplicate or empty names panic, since
+// they indicate a build-level wiring error no caller can recover from.
+func RegisterBackend(info BackendInfo, factory BackendFactory) {
+	if info.Name == "" {
+		panic("rts: backend registration with empty name")
+	}
+	if factory == nil {
+		panic("rts: backend " + info.Name + " registered with nil factory")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendReg[info.Name]; dup {
+		panic("rts: backend " + info.Name + " registered twice")
+	}
+	backendReg[info.Name] = backendEntry{info: info, factory: factory}
+}
+
+// OpenBackend constructs an instance of the named backend. Unknown
+// names report the registered alternatives; unknown cfg.Options keys
+// surface as *OptionError from the factory.
+func OpenBackend(name string, cfg BackendConfig) (Backend, error) {
+	backendMu.RLock()
+	e, ok := backendReg[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rts: unknown backend %q (registered: %v)", name, BackendNames())
+	}
+	return e.factory(cfg)
+}
+
+// LookupBackend returns the registration metadata for name.
+func LookupBackend(name string) (BackendInfo, bool) {
+	backendMu.RLock()
+	e, ok := backendReg[name]
+	backendMu.RUnlock()
+	return e.info, ok
+}
+
+// BackendNames lists the registered backend names, sorted. Sorting
+// keeps the list independent of package-init order, which Go does not
+// pin down across builds.
+func BackendNames() []string {
+	backendMu.RLock()
+	names := make([]string, 0, len(backendReg))
+	for n := range backendReg {
+		names = append(names, n)
+	}
+	backendMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// CheckOptions rejects unknown keys in a BackendConfig.Options map.
+// Factories call it with the set of keys they understand, so a typo'd
+// option fails loudly at open time instead of silently configuring
+// nothing.
+func CheckOptions(backend string, opts map[string]string, known ...string) error {
+	var bad []string
+	for k := range opts {
+		ok := false
+		for _, kn := range known {
+			if k == kn {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return &OptionError{Backend: backend, Fields: bad, Known: known}
+}
+
+func init() {
+	RegisterBackend(BackendInfo{Name: "sim"}, func(cfg BackendConfig) (Backend, error) {
+		if err := CheckOptions("sim", cfg.Options); err != nil {
+			return nil, err
+		}
+		p := cfg.Processors
+		if p < 1 {
+			p = 1
+		}
+		return NewSimBackend(machine.DefaultConfig(p)), nil
+	})
+}

@@ -33,7 +33,7 @@ func TestSimRunPreCanceledContext(t *testing.T) {
 	}
 	be := NewSimBackend(machine.DefaultConfig(4))
 	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
-		_, err := be.Run(g, bind, RunOpts{Mode: mode, Ctx: ctx})
+		_, err := be.Run(g, BindClosure(bind), RunOpts{Mode: mode, Ctx: ctx})
 		if !IsCanceled(err) {
 			t.Errorf("%v: error = %v, want one wrapping ErrCanceled", mode, err)
 		}
@@ -58,7 +58,7 @@ func TestSimRunCancelMidRun(t *testing.T) {
 				return 1
 			}}, Mu: 1}
 		}
-		_, err := be.Run(g, bind, RunOpts{Mode: mode, Ctx: ctx})
+		_, err := be.Run(g, BindClosure(bind), RunOpts{Mode: mode, Ctx: ctx})
 		cancel()
 		if !IsCanceled(err) {
 			t.Errorf("%v: error = %v, want one wrapping ErrCanceled", mode, err)
@@ -75,7 +75,7 @@ func TestSimRunNilContext(t *testing.T) {
 	}
 	be := NewSimBackend(machine.DefaultConfig(4))
 	for _, mode := range []Mode{ModeStatic, ModeTaper, ModeSplit} {
-		if _, err := be.Run(g, bind, RunOpts{Mode: mode}); err != nil {
+		if _, err := be.Run(g, BindClosure(bind), RunOpts{Mode: mode}); err != nil {
 			t.Errorf("%v: %v", mode, err)
 		}
 	}

@@ -39,6 +39,19 @@ type OpSpec struct {
 	// decide cache-chain scheduling; a nil annotation means the
 	// conservative AccessAll behaviour (never chained).
 	Split *split.Annotation
+	// Pack serializes the durable results of tasks [lo, hi) of this
+	// operation into an opaque blob, and Apply installs such a blob
+	// into this process's memory image. The pair is how the
+	// distributed backend moves data between shared-nothing worker
+	// processes: after a worker executes a segment it Packs the range,
+	// the coordinator relays the blob, and every other process Applies
+	// it before any dependent task runs. The blob format is private to
+	// the kernel; both hooks see the same [lo, hi) task range. Nil for
+	// kernels without durable data (synthetic timing kernels), whose
+	// results need no transport.
+	Pack func(lo, hi int) []byte
+	// Apply is Pack's receiving half; see Pack.
+	Apply func(lo, hi int, blob []byte)
 }
 
 // SampleStats fills Mu and Sigma by sampling k task times (the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"orchestra/internal/fault"
 	"orchestra/internal/obs"
@@ -146,6 +147,78 @@ func WithContext(ctx context.Context) RunOption { return func(o *RunOpts) { o.Ct
 
 // WithChain sets the cache-chain policy for pipelined edges.
 func WithChain(c ChainPolicy) RunOption { return func(o *RunOpts) { o.Chain = c } }
+
+// Supported declares which optional RunOpts capabilities a backend
+// implements, for CheckSupported. The split is by what the option
+// asks for: Pin and Labels request an effect (OS-thread pinning,
+// pprof labels) that a backend either produces or cannot; Chain and
+// Fault are constraints a backend may satisfy trivially (a backend
+// that never chains satisfies ChainOff by construction, which is why
+// the simulator declares Chain support without a chaining
+// implementation).
+type Supported struct {
+	// Pin: the backend can lock workers to OS threads.
+	Pin bool
+	// Labels: the backend can attach pprof worker/operator labels.
+	Labels bool
+	// Chain: the backend honours the cache-chain policy (possibly
+	// trivially, by never chaining).
+	Chain bool
+	// Fault: the backend can execute fault plans.
+	Fault bool
+}
+
+// OptionError reports options a backend does not understand or cannot
+// honour: RunOpts fields outside the backend's Supported set, or
+// unknown keys in a BackendConfig.Options map. It replaces the old
+// behaviour of silently ignoring such options — a run configured with
+// an inapplicable option now fails loudly at Run (or OpenBackend)
+// time, naming every offending field.
+type OptionError struct {
+	// Backend is the rejecting backend's name.
+	Backend string
+	// Fields lists the offending option names, sorted.
+	Fields []string
+	// Known, when non-nil, lists the option keys the backend does
+	// accept (set for BackendConfig.Options rejections).
+	Known []string
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	msg := fmt.Sprintf("rts: backend %q does not support option(s) %s",
+		e.Backend, strings.Join(e.Fields, ", "))
+	if len(e.Known) > 0 {
+		msg += fmt.Sprintf(" (known: %s)", strings.Join(e.Known, ", "))
+	} else if e.Known != nil {
+		msg += " (backend takes no options)"
+	}
+	return msg
+}
+
+// CheckSupported verifies that every non-default optional field of o
+// falls inside the backend's declared capability set, returning a
+// structured *OptionError naming the offending fields otherwise.
+// Backends call it at the top of Run, after Validate.
+func (o RunOpts) CheckSupported(backend string, sup Supported) error {
+	var bad []string
+	if o.Pin && !sup.Pin {
+		bad = append(bad, "Pin")
+	}
+	if o.Labels && !sup.Labels {
+		bad = append(bad, "Labels")
+	}
+	if o.Chain != ChainAuto && !sup.Chain {
+		bad = append(bad, "Chain")
+	}
+	if o.Fault != nil && !sup.Fault {
+		bad = append(bad, "Fault")
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return &OptionError{Backend: backend, Fields: bad}
+}
 
 // canceled reports whether the run's context has fired.
 func (o RunOpts) canceled() bool {

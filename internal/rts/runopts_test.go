@@ -1,9 +1,11 @@
 package rts
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"orchestra/internal/fault"
 	"orchestra/internal/machine"
 	"orchestra/internal/obs"
 )
@@ -91,6 +93,89 @@ func TestParseModes(t *testing.T) {
 	}
 	if _, err := ParseModes("taper,bogus"); err == nil {
 		t.Fatal("ParseModes accepted an invalid entry")
+	}
+}
+
+// TestCheckSupported is the option-validation table: every RunOpts
+// field outside a backend's declared capability set must surface as a
+// structured *OptionError naming exactly the offending fields, and
+// supported (or default) options must pass silently.
+func TestCheckSupported(t *testing.T) {
+	all := Supported{Pin: true, Labels: true, Chain: true, Fault: true}
+	none := Supported{}
+	plan := &fault.Plan{}
+	cases := []struct {
+		name       string
+		opts       RunOpts
+		sup        Supported
+		wantFields []string
+	}{
+		{"defaults pass anywhere", RunOpts{}, none, nil},
+		{"everything supported", RunOpts{Pin: true, Labels: true, Chain: ChainOff, Fault: plan}, all, nil},
+		{"pin unsupported", RunOpts{Pin: true}, none, []string{"Pin"}},
+		{"labels unsupported", RunOpts{Labels: true}, none, []string{"Labels"}},
+		{"chain unsupported", RunOpts{Chain: ChainOff}, none, []string{"Chain"}},
+		{"chain auto is a default", RunOpts{Chain: ChainAuto}, none, nil},
+		{"fault unsupported", RunOpts{Fault: plan}, none, []string{"Fault"}},
+		{"several at once", RunOpts{Pin: true, Labels: true, Fault: plan},
+			Supported{Fault: true}, []string{"Pin", "Labels"}},
+		{"sim-shaped set", RunOpts{Pin: true, Chain: ChainOff},
+			Supported{Chain: true, Fault: true}, []string{"Pin"}},
+	}
+	for _, c := range cases {
+		err := c.opts.CheckSupported("testbe", c.sup)
+		if c.wantFields == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %v is not an *OptionError", c.name, err)
+			continue
+		}
+		if oe.Backend != "testbe" {
+			t.Errorf("%s: backend %q, want %q", c.name, oe.Backend, "testbe")
+		}
+		if len(oe.Fields) != len(c.wantFields) {
+			t.Errorf("%s: fields %v, want %v", c.name, oe.Fields, c.wantFields)
+			continue
+		}
+		for i := range oe.Fields {
+			if oe.Fields[i] != c.wantFields[i] {
+				t.Errorf("%s: fields %v, want %v", c.name, oe.Fields, c.wantFields)
+				break
+			}
+		}
+		for _, f := range c.wantFields {
+			if !strings.Contains(err.Error(), f) {
+				t.Errorf("%s: message %q does not name field %s", c.name, err, f)
+			}
+		}
+	}
+}
+
+// TestCheckOptionsUnknownKeys covers the BackendConfig.Options side of
+// the same contract: unknown keys are rejected with the known set
+// attached, never silently ignored.
+func TestCheckOptionsUnknownKeys(t *testing.T) {
+	if err := CheckOptions("be", map[string]string{"a": "1"}, "a", "b"); err != nil {
+		t.Fatalf("known key rejected: %v", err)
+	}
+	err := CheckOptions("be", map[string]string{"z": "1", "a": "2", "q": "3"}, "a")
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not an *OptionError", err)
+	}
+	if len(oe.Fields) != 2 || oe.Fields[0] != "q" || oe.Fields[1] != "z" {
+		t.Fatalf("fields %v, want sorted [q z]", oe.Fields)
+	}
+	if len(oe.Known) != 1 || oe.Known[0] != "a" {
+		t.Fatalf("known %v, want [a]", oe.Known)
+	}
+	if !strings.Contains(err.Error(), "known: a") {
+		t.Fatalf("message %q does not list the known keys", err)
 	}
 }
 

@@ -111,7 +111,7 @@ func TestHTTPSubmitSyncCacheAndParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (native.Backend{}).Run(out.Graph, bind, rts.RunOpts{Mode: rts.ModeSplit}); err != nil {
+	if _, err := (native.Backend{}).Run(out.Graph, rts.BindClosure(bind), rts.RunOpts{Mode: rts.ModeSplit}); err != nil {
 		t.Fatal(err)
 	}
 	if want := native.StateDigest(state); st.Digest != want {

@@ -30,7 +30,6 @@ import (
 	"orchestra/internal/compile"
 	"orchestra/internal/delirium"
 	"orchestra/internal/fault"
-	"orchestra/internal/interp"
 	"orchestra/internal/native"
 	"orchestra/internal/obs"
 	"orchestra/internal/rts"
@@ -406,15 +405,23 @@ func (s *Server) runJob(j *Job) {
 	j.startedAt = time.Now()
 	j.mu.Unlock()
 
-	var bind rts.Binder
-	var st *interp.State
-	var err error
+	// Kernels resolve by name from the registry; the request's binder
+	// names map onto the registered kernel families ("kernel" predates
+	// the registry and aliases "array").
+	params := rts.KernelParams{}
+	kernelName := "array"
 	if j.req.Binder == "spin" {
-		bind = native.SpinBinder(j.graph, func(*delirium.Node) int { return j.req.N },
-			j.req.CV, j.req.Seed, j.req.UnitWork)
+		kernelName = "spin"
+		params.SetInt("tasks", j.req.N)
+		params.SetInt("n", j.req.N)
+		params.SetFloat("cv", j.req.CV)
+		params.SetUint64("seed", j.req.Seed)
+		params.SetInt("unitwork", j.req.UnitWork)
 	} else {
-		bind, st, err = native.ArrayKernels(j.graph, j.req.N, j.req.Work)
+		params.SetInt("n", j.req.N)
+		params.SetInt("work", j.req.Work)
 	}
+	bound, err := rts.Bind(j.graph, rts.NamedBinding(kernelName, params))
 	if err != nil {
 		s.finishJob(j, nil, "", "", err)
 		return
@@ -457,7 +464,7 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 
-	res, err := s.pool.Run(runGraph, bind, opts)
+	res, err := s.pool.Run(runGraph, bound, opts)
 	if err != nil {
 		s.finishJob(j, nil, "", "", err)
 		return
@@ -476,8 +483,8 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 	digest := ""
-	if st != nil {
-		digest = native.StateDigest(st)
+	if d, ok := bound.Digest(); ok {
+		digest = d
 	}
 	traceJSON := ""
 	if j.req.Trace && col.Trace != nil {

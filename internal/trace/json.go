@@ -32,6 +32,10 @@ type resultJSON struct {
 	ChainHits      int `json:"chain_hits,omitempty"`
 	ChainSpills    int `json:"chain_spills,omitempty"`
 	ChainFallbacks int `json:"chain_fallbacks,omitempty"`
+	// Likewise omitempty: only the dist backend measures real
+	// inter-process communication, so sim/native files are unchanged.
+	Comm      float64 `json:"comm,omitempty"`
+	CommBytes int64   `json:"comm_bytes,omitempty"`
 }
 
 // MarshalJSON encodes the result in the versioned wire format.
@@ -51,6 +55,8 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		ChainHits:      r.ChainHits,
 		ChainSpills:    r.ChainSpills,
 		ChainFallbacks: r.ChainFallbacks,
+		Comm:           r.Comm,
+		CommBytes:      r.CommBytes,
 	})
 }
 
@@ -78,6 +84,8 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		ChainHits:      w.ChainHits,
 		ChainSpills:    w.ChainSpills,
 		ChainFallbacks: w.ChainFallbacks,
+		Comm:           w.Comm,
+		CommBytes:      w.CommBytes,
 	}
 	return nil
 }

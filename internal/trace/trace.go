@@ -44,6 +44,16 @@ type Result struct {
 	// workers because the enabling worker could not keep them (crash
 	// recovery).
 	ChainFallbacks int
+	// Comm is the measured total communication time in Unit: on the
+	// dist backend, wall-clock time spent moving grants, data blocks
+	// and completions over sockets (send→receive, minus the worker's
+	// own execution time). Zero on shared-memory backends; the
+	// simulator folds its *modeled* message costs into Makespan
+	// instead.
+	Comm float64
+	// CommBytes is the measured payload volume behind Comm: data-block
+	// bytes actually serialized across process boundaries.
+	CommBytes int64
 }
 
 // Speedup reports SeqTime / Makespan.

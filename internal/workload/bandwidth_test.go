@@ -14,7 +14,7 @@ func runMemChain(t *testing.T, p, n int, mode rts.Mode, chain rts.ChainPolicy) (
 	t.Helper()
 	app, st := workload.MemChain(workload.Config{N: n, Seed: 7})
 	g := app.GraphFor(mode, p)
-	r, err := (native.Backend{}).Run(g, app.Bind, rts.RunOpts{Processors: p, Mode: mode, Chain: chain})
+	r, err := (native.Backend{}).Run(g, rts.BindClosure(app.Bind), rts.RunOpts{Processors: p, Mode: mode, Chain: chain})
 	if err != nil {
 		t.Fatalf("p=%d mode=%v: %v", p, mode, err)
 	}
