@@ -32,7 +32,7 @@ func main() {
 	// The dist experiment's coordinator forks this binary as its
 	// workers; divert those forks before touching flags.
 	dist.MaybeWorker()
-	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, dist, hotpath, pipeline, search, or all (the wall-clock experiments — native, dist, hotpath, pipeline, search — are never part of all)")
+	exp := flag.String("exp", "all", "experiment: fig6, table1, table2, ablations, iterated, policies, native, dist, hotpath, pipeline, search, nested, or all (the wall-clock experiments — native, dist, hotpath, pipeline, search, nested — are never part of all)")
 	n := flag.Int("n", 0, "problem size override (0 = per-experiment default)")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	nativeOut := flag.String("native-out", "BENCH_native.json", "output file for the native experiment's series")
@@ -40,6 +40,7 @@ func main() {
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "before/after file for the hotpath experiment")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "output file for the pipeline experiment's sweep")
 	searchOut := flag.String("search-out", "BENCH_search.json", "output file for the search experiment's report")
+	nestedOut := flag.String("nested-out", "BENCH_nested.json", "output file for the nested experiment's report")
 	repeats := flag.Int("repeats", 3, "search experiment: best-of-N repeats per measured program")
 	modesFlag := cliflag.Modes(flag.CommandLine, "modes", "all", "native experiment: modes to sweep (static, taper, split, all, or a comma list)")
 	flag.Parse()
@@ -52,7 +53,7 @@ func main() {
 		for _, e := range []string{"fig6", "table1", "table2", "ablations", "iterated", "policies"} {
 			run[e] = true
 		}
-	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "dist", "hotpath", "pipeline", "search":
+	case "fig6", "table1", "table2", "ablations", "iterated", "policies", "native", "dist", "hotpath", "pipeline", "search", "nested":
 		run[*exp] = true
 	default:
 		fmt.Fprintf(os.Stderr, "orchbench: unknown experiment %q\n", *exp)
@@ -273,6 +274,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d points to %s\n\n", len(rep.Points), *searchOut)
+	}
+
+	if run["nested"] {
+		// Nested-dataflow measurements: runtime expansion vs static
+		// unrolling of the same workloads, with a bitwise digest
+		// cross-check per point. Expansion must change scheduling only —
+		// a digest mismatch is a correctness failure, not noise.
+		procs := []int{1, 2, 4}
+		fmt.Printf("=== Nested: runtime expansion vs static unrolling (GOMAXPROCS=%d) ===\n\n", runtime.GOMAXPROCS(0))
+		rep := experiment.NestedSweep(size(512), procs, modes)
+		fmt.Print(experiment.FormatNested(rep))
+		if !rep.DigestsAgree() {
+			fmt.Fprintln(os.Stderr, "orchbench: nested and statically-unrolled digests differ")
+			os.Exit(1)
+		}
+		file := struct {
+			Schema int                     `json:"schema"`
+			Report experiment.NestedReport `json:"report"`
+		}{Schema: trace.SchemaVersion, Report: rep}
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*nestedOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "orchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d points to %s\n\n", len(rep.Points), *nestedOut)
 	}
 
 	if run["ablations"] {

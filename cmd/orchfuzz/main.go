@@ -16,6 +16,7 @@
 //	orchfuzz -faults -count 200         # campaign under fault injection
 //	orchfuzz -search -count 200         # campaign through the split search
 //	orchfuzz -dist -count 200           # campaign including the dist backend
+//	orchfuzz -nested -count 200         # campaign over recursive dataflow programs
 //
 // With -dist, the backend matrix gains the distributed runtime: each
 // program additionally runs on forked worker processes over Unix
@@ -30,6 +31,14 @@
 // per-edge pipelining and chaining off — is run across a compact
 // backend matrix and compared bitwise against the sequential baseline:
 // the search must never change values, only the schedule.
+//
+// With -nested, the generator emits recursive dataflow programs
+// instead of mini-Fortran: small graphs whose expandable operators
+// carry seed-derived expansion rules that materialize further random
+// sub-graphs (possibly themselves expandable) at execution time. Each
+// program is statically unrolled (internal/compile) into its flat
+// reference, and every runtime-expanding execution across the backend
+// matrix must reproduce the reference's memory digest bitwise.
 //
 // With -faults, each program additionally runs under a seed-derived
 // random fault plan (worker crashes, stalls, slowdowns, message
@@ -76,6 +85,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "check each program under a seed-derived random fault plan")
 		searchIt = flag.Bool("search", false, "check each program through the profile-guided split search")
 		distIt   = flag.Bool("dist", false, "extend the backend matrix with the distributed (multi-process) backend")
+		nested   = flag.Bool("nested", false, "check recursive dataflow programs against their statically unrolled references")
 	)
 	fixedFault := cliflag.Fault(flag.CommandLine, "fault", "check each program under this exact fault plan (internal/fault syntax) instead of random ones")
 	flag.Parse()
@@ -91,8 +101,14 @@ func main() {
 	for s := *seed; s < *seed+uint64(*count); s++ {
 		var rep *fuzz.Report
 		var prog *source.Program
+		progText := "" // printable program; set when prog is nil (nested rung)
 		plan := ""
 		switch {
+		case *nested:
+			var c *fuzz.NestedCase
+			rep, c = fuzz.CheckSeedNested(s)
+			progText = c.String()
+			plan = " nested"
 		case fixedFault.Plan() != nil:
 			prog = fuzz.NewGen(s, cfg).Program()
 			rep = fuzz.CheckProgramFaults(prog, s, fixedFault.Plan())
@@ -122,13 +138,19 @@ func main() {
 		case rep.Failed():
 			failed++
 			fmt.Printf("seed %d%s: %s", s, plan, rep)
-			fmt.Printf("--- program (seed %d) ---\n%s---\n", s, source.Format(prog))
+			if prog != nil {
+				progText = source.Format(prog)
+			}
+			fmt.Printf("--- program (seed %d) ---\n%s---\n", s, progText)
 			if *traceDir != "" {
 				writeTraces(*traceDir, s, rep)
 			}
 		case *verbose:
 			fmt.Printf("seed %d%s: ok\n", s, plan)
-			fmt.Print(source.Format(prog))
+			if prog != nil {
+				progText = source.Format(prog)
+			}
+			fmt.Print(progText)
 		}
 	}
 	checked := *count - skips

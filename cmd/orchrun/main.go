@@ -24,6 +24,16 @@
 // symbolic trip count such as "n", resolved with the -n flag) when
 // present, else from -tasks.
 //
+// Graphs containing expandable nodes (kind=exp, e.g.
+// examples/vortex.graph) are bound to the "nested" workload kernels
+// instead: the expansion rules the graph names (rule=dc divide-and-
+// conquer, rule=vortex adaptive refinement) materialize sub-graphs at
+// execution time, -n sets the problem size, and a result digest is
+// printed — bitwise identical across backends, modes and worker
+// counts, and to the same graph statically unrolled. The dist backend
+// refuses expandable graphs (it cannot ship not-yet-materialized
+// sub-graphs to worker processes).
+//
 // Profiling: -cpuprofile and -memprofile write runtime/pprof profiles
 // of the run. With the native backend, profiling also enables pprof
 // goroutine labels on the workers (worker=<id>, op=<name>), so
@@ -73,6 +83,7 @@ import (
 	"orchestra/internal/rts"
 	"orchestra/internal/search"
 	"orchestra/internal/trace"
+	_ "orchestra/internal/workload" // registers the "nested" kernels
 )
 
 func main() {
@@ -157,10 +168,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Kernel selection, as a serializable name + parameters: the "array"
 	// kernels under -kernel, real CPU spinning on the measured backends,
 	// modeled log-normal costs on the simulator. The dist backend ships
-	// this binding to its worker processes verbatim.
+	// this binding to its worker processes verbatim. Graphs with
+	// expandable (kind=exp) nodes route to the "nested" workload
+	// kernels regardless of the other flags: only they supply the
+	// expansion rules (rule=dc, rule=vortex) such nodes need.
 	params := rts.KernelParams{}
 	var kernelName string
 	switch {
+	case g.HasExpansions():
+		kernelName = "nested"
+		params.SetInt("n", *nParam)
 	case *kernel:
 		kernelName = "array"
 		params.SetInt("n", *nParam)
@@ -171,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		kernelName = "lognormal"
 	}
-	if !*kernel {
+	if !*kernel && kernelName != "nested" {
 		params.SetInt("tasks", *tasks)
 		params.SetInt("n", *nParam)
 		params.SetFloat("cv", *cv)

@@ -1,0 +1,177 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+)
+
+func unrollSpec(name string, n int) rts.OpSpec {
+	return rts.OpSpec{Op: sched.Op{Name: name, N: n, Time: func(int) float64 { return 1 }}, Mu: 1}
+}
+
+// unrollGraph is the fork-join shape: a → x (exp) → out.
+func unrollGraph(t *testing.T) *delirium.Graph {
+	t.Helper()
+	g := delirium.NewGraph("unroll")
+	nodes := []*delirium.Node{
+		{Name: "a", Kind: delirium.Par, Tasks: "4"},
+		{Name: "x", Kind: delirium.Exp, Tasks: "1", Rule: "fj"},
+		{Name: "out", Kind: delirium.Par, Tasks: "4"},
+	}
+	for _, nd := range nodes {
+		if err := g.AddNode(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "a", To: "x", Bytes: 8, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "x", To: "out", Bytes: 8, PerTask: true})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestUnrollForkJoin: a one-level expansion must flatten to a graph
+// with the sub-operators materialized, no expandable nodes left, the
+// expanded operator reduced to its single-task join (Expand stripped),
+// and the parent's in-edges anchored at the sub-graph's sources so
+// ordering is preserved.
+func TestUnrollForkJoin(t *testing.T) {
+	g := unrollGraph(t)
+	bind := func(name string) rts.OpSpec {
+		if name != "x" {
+			return unrollSpec(name, 4)
+		}
+		spec := unrollSpec(name, 1)
+		spec.Expand = func(depth int) (*rts.Expansion, error) {
+			sub := delirium.NewGraph("x")
+			sub.AddNode(&delirium.Node{Name: "x/0", Kind: delirium.Par, Tasks: "8"})
+			sub.AddNode(&delirium.Node{Name: "x/1", Kind: delirium.Par, Tasks: "8"})
+			return &rts.Expansion{Graph: sub, Bind: func(nm string) rts.OpSpec { return unrollSpec(nm, 8) }}, nil
+		}
+		return spec
+	}
+	flat, fbind, err := Unroll(g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.HasExpansions() {
+		t.Fatal("unrolled graph still has expandable nodes")
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatalf("unrolled graph does not validate: %v", err)
+	}
+	for _, name := range []string{"a", "x", "x/0", "x/1", "out"} {
+		if flat.Node(name) == nil {
+			t.Fatalf("unrolled graph lost operator %q", name)
+		}
+	}
+	spec := fbind("x")
+	if spec.Expand != nil {
+		t.Fatal("flat binder kept the Expand rule on the join")
+	}
+	if spec.Op.N != 1 {
+		t.Fatalf("join task count = %d, want 1", spec.Op.N)
+	}
+	// The parent's in-edge must be anchored at the sub-sources: each
+	// sub-operator is ordered after a, and the join after both.
+	for _, sub := range []string{"x/0", "x/1"} {
+		if !hasEdge(flat, "a", sub) {
+			t.Fatalf("no edge a → %s: parent in-edge not anchored at sub-source", sub)
+		}
+		if !hasEdge(flat, sub, "x") {
+			t.Fatalf("no edge %s → x: join not ordered behind sub-sink", sub)
+		}
+	}
+}
+
+// TestUnrollBaseCase: a nil expansion degenerates the operator to just
+// its join, with the original edges intact.
+func TestUnrollBaseCase(t *testing.T) {
+	g := unrollGraph(t)
+	bind := func(name string) rts.OpSpec {
+		if name != "x" {
+			return unrollSpec(name, 4)
+		}
+		spec := unrollSpec(name, 1)
+		spec.Expand = func(depth int) (*rts.Expansion, error) { return nil, nil }
+		return spec
+	}
+	flat, fbind, err := Unroll(g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.HasExpansions() {
+		t.Fatal("base-case unroll left expandable nodes")
+	}
+	if len(flat.Nodes) != 3 {
+		t.Fatalf("base-case unroll has %d nodes, want 3", len(flat.Nodes))
+	}
+	if !hasEdge(flat, "a", "x") || !hasEdge(flat, "x", "out") {
+		t.Fatal("base-case unroll lost the original edges")
+	}
+	if spec := fbind("x"); spec.Op.N != 1 || spec.Expand != nil {
+		t.Fatalf("base-case join spec = {N:%d Expand:%v}, want join form", spec.Op.N, spec.Expand != nil)
+	}
+}
+
+// TestUnrollDepthBound: a rule with no base case must hit the shared
+// depth bound instead of recursing forever.
+func TestUnrollDepthBound(t *testing.T) {
+	g := unrollGraph(t)
+	var rec func(name string) rts.OpSpec
+	rec = func(name string) rts.OpSpec {
+		spec := unrollSpec(name, 1)
+		spec.Expand = func(depth int) (*rts.Expansion, error) {
+			sub := delirium.NewGraph(name)
+			sub.AddNode(&delirium.Node{Name: name + "/x", Kind: delirium.Exp, Tasks: "1", Rule: "rec"})
+			return &rts.Expansion{Graph: sub, Bind: rec}, nil
+		}
+		return spec
+	}
+	bind := func(name string) rts.OpSpec {
+		if name == "x" {
+			return rec(name)
+		}
+		return unrollSpec(name, 4)
+	}
+	_, _, err := Unroll(g, bind)
+	if err == nil || !strings.Contains(err.Error(), "depth bound") {
+		t.Fatalf("error = %v, want one mentioning the depth bound", err)
+	}
+}
+
+// TestUnrollRedeclaredOperator: an expansion colliding with an
+// existing operator name must fail the unroll.
+func TestUnrollRedeclaredOperator(t *testing.T) {
+	g := unrollGraph(t)
+	bind := func(name string) rts.OpSpec {
+		if name != "x" {
+			return unrollSpec(name, 4)
+		}
+		spec := unrollSpec(name, 1)
+		spec.Expand = func(depth int) (*rts.Expansion, error) {
+			sub := delirium.NewGraph("x")
+			sub.AddNode(&delirium.Node{Name: "a", Kind: delirium.Par, Tasks: "4"})
+			return &rts.Expansion{Graph: sub, Bind: func(nm string) rts.OpSpec { return unrollSpec(nm, 4) }}, nil
+		}
+		return spec
+	}
+	_, _, err := Unroll(g, bind)
+	if err == nil || !strings.Contains(err.Error(), "redeclares") {
+		t.Fatalf("error = %v, want a redeclaration error", err)
+	}
+}
+
+func hasEdge(g *delirium.Graph, from, to string) bool {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}

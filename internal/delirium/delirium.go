@@ -26,13 +26,27 @@ type NodeKind int
 const (
 	Seq NodeKind = iota
 	Par
+	// Exp is an expandable operator: at execution time, once its
+	// predecessors complete, the runtime asks the binding's expansion
+	// rule for a sub-graph and splices it in — the nested-dataflow
+	// extension (fork-join is the degenerate case of a one-level
+	// expansion). An Exp node contributes a single join task of its
+	// own, which becomes runnable only after every task of the
+	// materialized sub-graph completes; its successors therefore see
+	// the whole expansion as one operator.
+	Exp
 )
 
 func (k NodeKind) String() string {
-	if k == Seq {
+	switch k {
+	case Seq:
 		return "seq"
+	case Par:
+		return "par"
+	case Exp:
+		return "exp"
 	}
-	return "par"
+	return fmt.Sprintf("kind(%d)", int(k))
 }
 
 // Node is one computation in the dataflow graph.
@@ -43,6 +57,10 @@ type Node struct {
 	// variable name like "n" or a literal like "1024"), resolved
 	// against runtime parameters.
 	Tasks string
+	// Rule names the expansion rule of an Exp node: the binding layer
+	// resolves it to an executable rts.ExpandFunc the same way a node
+	// name resolves to an operation. Only meaningful when Kind == Exp.
+	Rule string
 	// Comment carries provenance (e.g. which split part produced the
 	// node).
 	Comment string
@@ -108,9 +126,26 @@ func (g *Graph) AddEdge(e *Edge) { g.Edges = append(g.Edges, e) }
 // Node looks up a node by name.
 func (g *Graph) Node(name string) *Node { return g.byName[name] }
 
+// HasExpansions reports whether any node of the graph is expandable
+// (Kind == Exp). Backends that cannot execute runtime expansions use
+// this to refuse the graph up front rather than misexecute it.
+func (g *Graph) HasExpansions() bool {
+	for _, n := range g.Nodes {
+		if n.Kind == Exp {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks that every edge references declared nodes and that
 // the non-carried edges form a DAG.
 func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		if n.Rule != "" && n.Kind != Exp {
+			return fmt.Errorf("delirium: node %q has rule=%s but kind=%s (rules belong to exp nodes)", n.Name, n.Rule, n.Kind)
+		}
+	}
 	for _, e := range g.Edges {
 		if g.byName[e.From] == nil {
 			return fmt.Errorf("delirium: edge from undeclared node %q", e.From)
@@ -252,6 +287,9 @@ func (g *Graph) Encode() string {
 		if n.Tasks != "" {
 			fmt.Fprintf(&b, " tasks=%s", n.Tasks)
 		}
+		if n.Rule != "" {
+			fmt.Fprintf(&b, " rule=%s", n.Rule)
+		}
 		if n.Comment != "" {
 			fmt.Fprintf(&b, " # %s", n.Comment)
 		}
@@ -318,8 +356,12 @@ func Decode(text string) (*Graph, error) {
 					n.Kind = Seq
 				case f == "kind=par":
 					n.Kind = Par
+				case f == "kind=exp":
+					n.Kind = Exp
 				case strings.HasPrefix(f, "tasks="):
 					n.Tasks = strings.TrimPrefix(f, "tasks=")
+				case strings.HasPrefix(f, "rule="):
+					n.Rule = strings.TrimPrefix(f, "rule=")
 				default:
 					return nil, fmt.Errorf("line %d: unknown node attribute %q", lineNo+1, f)
 				}

@@ -166,6 +166,12 @@ func (b Backend) Run(g *delirium.Graph, bound *rts.Bound, opts rts.RunOpts) (tra
 	if err := opts.CheckSupported("dist", distSupported); err != nil {
 		return trace.Result{}, err
 	}
+	// Runtime expansion would require shipping not-yet-materialized
+	// sub-graphs to workers mid-run; refuse structurally rather than
+	// executing Exp nodes as if they were ordinary operators.
+	if err := rts.CheckGraphSupported("dist", g, distSupported); err != nil {
+		return trace.Result{}, err
+	}
 	if bound == nil || !bound.Shippable() {
 		return trace.Result{}, fmt.Errorf("dist: binding is not shippable — dist workers rebuild kernels by name from the registry, so bind with rts.Bind (a registry Binding), not rts.BindClosure")
 	}

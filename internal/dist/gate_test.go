@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/rts"
+	taskop "orchestra/internal/sched"
+)
+
+// The pipelined prefix gate (allowedHi) in closed form must agree with
+// the kernel contract it encodes: consumer task i of an n-task
+// operator reads its pn-task pipelined producer at j = i·pn/n (integer
+// division), so i is grantable exactly when the producer's contiguous
+// completed prefix covers j. The brute-force reference below counts
+// grantable tasks directly from that contract; the closed form
+// ceil(prefix·n/pn) must match it for every (n, pn, prefix) — the
+// coprime cases are where an off-by-one would hide, because i·pn/n
+// then lands on every residue.
+
+// bruteAllowedHi counts the longest grantable prefix of the consumer:
+// the first i whose producer index is uncovered stops the scan.
+func bruteAllowedHi(n, pn, prefix int) int {
+	for i := 0; i < n; i++ {
+		if i*pn/n >= prefix {
+			return i
+		}
+	}
+	return n
+}
+
+// gateState builds a two-op coordinator state: op 0 the producer with
+// a completed prefix, op 1 the consumer gated on it by one pipelined
+// edge.
+func gateState(n, pn, prefix int, mode rts.Mode) (*sched, *opState) {
+	producer := &opState{name: "p", n: pn, prefix: prefix, complete: pn > 0 && prefix >= pn}
+	consumer := &opState{name: "c", n: n, deps: []opDep{{op: 0, pipelined: true}}}
+	s := &sched{mode: mode, ops: []*opState{producer, consumer}}
+	return s, consumer
+}
+
+func TestAllowedHiMatchesBruteForce(t *testing.T) {
+	// Every (n, pn) pair over a range that includes coprime pairs
+	// (7×13, 9×16, ...), equal counts, divisors, multiples, and the
+	// degenerate single-task shapes, swept over every legal prefix.
+	for n := 1; n <= 24; n++ {
+		for pn := 1; pn <= 24; pn++ {
+			for prefix := 0; prefix <= pn; prefix++ {
+				s, consumer := gateState(n, pn, prefix, rts.ModeSplit)
+				got := s.allowedHi(consumer)
+				want := bruteAllowedHi(n, pn, prefix)
+				if prefix >= pn {
+					// Complete producers stop gating entirely.
+					want = n
+				}
+				if got != want {
+					t.Fatalf("allowedHi(n=%d, pn=%d, prefix=%d) = %d, brute force says %d",
+						n, pn, prefix, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAllowedHiZeroTaskProducer pins the degenerate shapes: a
+// zero-task producer has nothing to read, so it must never gate its
+// consumer — neither incomplete (n=0 operators complete immediately,
+// but the gate must not divide by zero if consulted first) nor as a
+// zero-task consumer (nothing to grant either way).
+func TestAllowedHiZeroTaskProducer(t *testing.T) {
+	for _, complete := range []bool{false, true} {
+		s, consumer := gateState(9, 0, 0, rts.ModeSplit)
+		s.ops[0].complete = complete
+		if got := s.allowedHi(consumer); got != 9 {
+			t.Fatalf("zero-task producer (complete=%v) gates consumer to %d, want 9", complete, got)
+		}
+	}
+	s, consumer := gateState(0, 7, 3, rts.ModeSplit)
+	if got := s.allowedHi(consumer); got != 0 {
+		t.Fatalf("zero-task consumer allowedHi = %d, want 0", got)
+	}
+}
+
+// TestAllowedHiBarriersOutsideSplit pins the mode gate: outside
+// ModeSplit a pipelined annotation is inert and the producer must be
+// fully complete before any consumer task is grantable.
+func TestAllowedHiBarriersOutsideSplit(t *testing.T) {
+	for _, mode := range []rts.Mode{rts.ModeStatic, rts.ModeTaper} {
+		s, consumer := gateState(8, 8, 7, mode)
+		if got := s.allowedHi(consumer); got != 0 {
+			t.Fatalf("mode %v: incomplete producer allows %d tasks, want 0", mode, got)
+		}
+		s.ops[0].complete = true
+		if got := s.allowedHi(consumer); got != 8 {
+			t.Fatalf("mode %v: complete producer allows %d tasks, want 8", mode, got)
+		}
+	}
+}
+
+// TestRefusesExpandableGraphs pins the structural refusal: the dist
+// backend cannot ship not-yet-materialized sub-graphs to worker
+// processes, so a graph containing expandable operators must fail
+// with a structured *rts.OptionError naming Expand — before any
+// worker forks, and never by executing the Exp nodes as ordinary
+// operators.
+func TestRefusesExpandableGraphs(t *testing.T) {
+	g := delirium.NewGraph("exp")
+	if err := g.AddNode(&delirium.Node{Name: "a", Kind: delirium.Par, Tasks: "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(&delirium.Node{Name: "b", Kind: delirium.Exp, Tasks: "1", Rule: "dc"}); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(&delirium.Edge{From: "a", To: "b"})
+	bind := func(name string) rts.OpSpec {
+		spec := rts.OpSpec{Op: taskop.Op{Name: name, N: 4, Time: func(int) float64 { return 1 }}, Mu: 1}
+		if name == "b" {
+			spec.Op.N = 1
+			spec.Expand = func(int) (*rts.Expansion, error) { return nil, nil }
+		}
+		return spec
+	}
+	_, err := (Backend{}).Run(g, rts.BindClosure(bind), rts.RunOpts{Processors: 2, Mode: rts.ModeSplit})
+	var oe *rts.OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("expandable graph: got %v, want *rts.OptionError", err)
+	}
+	if oe.Backend != "dist" || len(oe.Fields) != 1 || oe.Fields[0] != "Expand" {
+		t.Fatalf("OptionError = %+v, want Backend=dist Fields=[Expand]", oe)
+	}
+}
+
+// TestAllowedHiNonPipelinedDep pins the non-pipelined branch inside
+// ModeSplit: a plain dependence is a barrier regardless of prefix.
+func TestAllowedHiNonPipelinedDep(t *testing.T) {
+	s, consumer := gateState(8, 8, 7, rts.ModeSplit)
+	consumer.deps[0].pipelined = false
+	if got := s.allowedHi(consumer); got != 0 {
+		t.Fatalf("incomplete non-pipelined producer allows %d tasks, want 0", got)
+	}
+}

@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/compile"
+	"orchestra/internal/machine"
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+	"orchestra/internal/trace"
+	"orchestra/internal/workload"
+)
+
+// The nested-dataflow sweep: the divide-and-conquer and adaptive
+// vortex-refinement workloads, each executed twice per configuration —
+// once with runtime expansion (the Exp nodes materialize their
+// sub-graphs mid-run, feeding new tasks to the same work-stealing
+// deques) and once as the statically-unrolled flat equivalent (the dc
+// flat form from compile.Unroll, the data-dependent vortex flat form
+// from workload.VortexFlat). Both runs compute the same durable
+// arrays, so the Digest columns prove — bitwise — that expanding at
+// runtime changes scheduling only, never results. The Steals column of
+// the nested runs is the cross-level work-stealing evidence: stolen
+// chunks include tasks that did not exist when the run began.
+
+// NestedPoint is one measurement of the nested sweep.
+type NestedPoint struct {
+	Workload   string `json:"workload"`
+	Backend    string `json:"backend"`
+	Mode       string `json:"mode"`
+	Processors int    `json:"processors"`
+	// Nested is the runtime-expansion run; Flat is the statically
+	// unrolled reference of the same configuration.
+	Nested trace.Result `json:"nested"`
+	Flat   trace.Result `json:"flat"`
+	// NestedDigest and FlatDigest fingerprint the two runs' final
+	// memory images; equality means runtime expansion produced bitwise
+	// the statically-unrolled results.
+	NestedDigest string `json:"nested_digest"`
+	FlatDigest   string `json:"flat_digest"`
+}
+
+// NestedReport is the BENCH_nested.json payload.
+type NestedReport struct {
+	Points []NestedPoint `json:"points"`
+}
+
+// DigestsAgree reports whether every point's nested digest matches its
+// statically-unrolled one.
+func (r NestedReport) DigestsAgree() bool {
+	for _, p := range r.Points {
+		if p.NestedDigest == "" || p.NestedDigest != p.FlatDigest {
+			return false
+		}
+	}
+	return true
+}
+
+// nestedVariant builds one fresh (instance, graph, binder) pair of a
+// workload: nested or flat. Instances are single-use, so every run
+// builds anew.
+func nestedVariant(wl string, flat bool, cfg workload.NestedConfig) (*workload.NestedInstance, error) {
+	switch wl {
+	case "dc":
+		in, err := workload.NewDC(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if flat {
+			fg, fb, err := compile.Unroll(in.Graph, in.Binder())
+			if err != nil {
+				return nil, err
+			}
+			in.Graph = fg
+			in.SetBinder(fb)
+		}
+		return in, nil
+	case "vortex":
+		if flat {
+			return workload.VortexFlat(cfg)
+		}
+		return workload.NewVortex(cfg)
+	}
+	return nil, fmt.Errorf("unknown nested workload %q", wl)
+}
+
+// NestedSweep measures both nested workloads across backends × modes ×
+// processor counts. A nil modes slice sweeps all three modes.
+func NestedSweep(n int, procs []int, modes []rts.Mode) NestedReport {
+	if modes == nil {
+		modes = []rts.Mode{rts.ModeStatic, rts.ModeTaper, rts.ModeSplit}
+	}
+	cfg := workload.NestedConfig{N: n, Branch: 3, Leaf: maxInt(8, n/16), Cells: 8, Threshold: 0.5}
+	run := func(wl string, flat bool, backend string, mode rts.Mode, p int) (trace.Result, string) {
+		in, err := nestedVariant(wl, flat, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: nested %s (flat=%v): %v", wl, flat, err))
+		}
+		var be rts.Backend
+		if backend == "sim" {
+			be = rts.NewSimBackend(machine.DefaultConfig(p))
+		} else {
+			be = native.Backend{}
+		}
+		r, err := be.Run(in.Graph, rts.BindClosure(in.Binder()), rts.RunOpts{Processors: p, Mode: mode})
+		if err != nil {
+			panic(fmt.Sprintf("experiment: nested %s/%s/%v/p=%d (flat=%v): %v", wl, backend, mode, p, flat, err))
+		}
+		return r, in.Digest()
+	}
+	var rep NestedReport
+	for _, wl := range []string{"dc", "vortex"} {
+		for _, backend := range []string{"sim", "native"} {
+			for _, mode := range modes {
+				for _, p := range procs {
+					pt := NestedPoint{Workload: wl, Backend: backend, Mode: mode.String(), Processors: p}
+					pt.Nested, pt.NestedDigest = run(wl, false, backend, mode, p)
+					pt.Flat, pt.FlatDigest = run(wl, true, backend, mode, p)
+					rep.Points = append(rep.Points, pt)
+				}
+			}
+		}
+	}
+	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatNested renders the sweep as an aligned table: nested vs flat
+// makespan, the nested run's steal count (cross-level stealing shows
+// up here), and the digest verdict.
+func FormatNested(rep NestedReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-7s %-8s %5s %12s %12s %7s %7s  %s\n",
+		"workload", "backend", "mode", "procs", "nested-mk", "flat-mk", "chunks", "steals", "digest")
+	for _, p := range rep.Points {
+		verdict := "MISMATCH"
+		if p.NestedDigest != "" && p.NestedDigest == p.FlatDigest {
+			verdict = "ok " + p.NestedDigest[:12]
+		}
+		fmt.Fprintf(&b, "%-8s %-7s %-8s %5d %12.4f %12.4f %7d %7d  %s\n",
+			p.Workload, p.Backend, p.Mode, p.Processors,
+			p.Nested.Makespan, p.Flat.Makespan, p.Nested.Chunks, p.Nested.Steals, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// nestedCorpusSeeds loads the nested-rung corpus: one seed per
+// non-comment line of testdata/nested-corpus/seeds.txt, optionally
+// followed by a '#' comment describing why the seed is pinned. Nested
+// programs are fully determined by their seed, so the corpus stores
+// seeds rather than program text.
+func nestedCorpusSeeds(t *testing.T) []uint64 {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "nested-corpus", "seeds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seeds []uint64
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		seed, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			t.Fatalf("seeds.txt line %d: %v", i+1, err)
+		}
+		seeds = append(seeds, seed)
+	}
+	return seeds
+}
+
+// TestNestedCorpusReproducers replays every pinned nested-rung seed:
+// the recursive program it generates must still reproduce its
+// statically unrolled reference's digest bitwise on every backend
+// configuration of the rung's matrix.
+func TestNestedCorpusReproducers(t *testing.T) {
+	seeds := nestedCorpusSeeds(t)
+	if len(seeds) == 0 {
+		t.Fatal("nested corpus is empty")
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, c := CheckSeedNested(seed)
+			if rep.Skip != "" {
+				t.Fatalf("reproducer no longer checkable: %s", rep.Skip)
+			}
+			if rep.Failed() {
+				t.Fatalf("nested regression:\n%s\n--- program ---\n%s", rep, c)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"orchestra/internal/source"
+)
+
+// searchCorpusEntries loads the minimized reproducers committed under
+// testdata/search-corpus: programs that once broke the searched-program
+// rung (profile → split search → searched-graph execution), with the
+// same '! seed: N' header convention as the main corpus.
+func searchCorpusEntries(t *testing.T) map[string]struct {
+	prog *source.Program
+	seed uint64
+} {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "search-corpus", "*.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make(map[string]struct {
+		prog *source.Program
+		seed uint64
+	})
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := corpusSeedRe.FindSubmatch(text)
+		if m == nil {
+			t.Fatalf("%s: no '! seed: N' header", f)
+		}
+		seed, err := strconv.ParseUint(string(m[1]), 10, 64)
+		if err != nil {
+			t.Fatalf("%s: bad seed: %v", f, err)
+		}
+		prog, err := source.Parse(string(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f, err)
+		}
+		entries[filepath.Base(f)] = struct {
+			prog *source.Program
+			seed uint64
+		}{prog, seed}
+	}
+	return entries
+}
+
+// TestSearchCorpusReproducers replays every committed search-rung
+// reproducer through the searched-program ladder. These programs each
+// broke the profile→search→run seam once (the file header names the
+// defect); a failure here is a search or estimator regression.
+func TestSearchCorpusReproducers(t *testing.T) {
+	entries := searchCorpusEntries(t)
+	if len(entries) == 0 {
+		t.Fatal("search corpus is empty")
+	}
+	for name, e := range entries {
+		e := e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep := CheckProgramSearched(e.prog, e.seed)
+			if rep.Skip != "" {
+				t.Fatalf("reproducer no longer checkable: %s", rep.Skip)
+			}
+			if rep.Failed() {
+				t.Fatalf("search regression:\n%s", rep)
+			}
+		})
+	}
+}

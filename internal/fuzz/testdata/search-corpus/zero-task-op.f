@@ -1,0 +1,20 @@
+! A loop with an empty iteration range lowers to an operator with zero
+! tasks. Zero-task operators execute no chunks, so they never appear in
+! a profiling trace; the search model then rejected every candidate as
+! "not covered by the profile" — and since all candidates share the node
+! set, search.Run failed outright with "no candidate is covered by the
+! profile". The model must treat a declared-zero-task node as trivially
+! covered (an empty spec), not as missing profile data.
+! seed: 216
+
+program fuzz
+  integer n
+  integer a
+  real w(n)
+  do i6 = 2, a and a + 1, n - 1
+    w(i6) = f(w(i6 - 1), r(i6 + 1, i6))
+    if (v(i6) > 2) then
+      w(i6) = u(3) * 3 / (r(i6 + 1, i6 + 1) * v(i6 + 1) + 1)
+    end if
+  end do
+end

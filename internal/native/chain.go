@@ -119,8 +119,18 @@ func (e *engine) setupChains(pairs []edgePair) {
 	halo := make([]int, len(pairs))
 	perCons := map[int][]int{}
 	for i, pr := range pairs {
-		prod, cons := e.ops[pr.from], e.ops[pr.to]
+		prod, cons := e.op(pr.from), e.op(pr.to)
 		perCons[pr.to] = append(perCons[pr.to], i)
+		if prod.expand != nil || cons.expand != nil {
+			// Never chain across an expandable endpoint: a chained edge
+			// would enqueue blocks against a sub-graph that does not
+			// exist yet (the consumer's real work only materializes at
+			// expansion time), and an expandable producer's join task is
+			// its only observable progress. Such edges stay on the
+			// completion-gated path — the same barrier conversion mixed
+			// consumers get below.
+			continue
+		}
 		if prod.n != cons.n || prod.n == 0 {
 			continue
 		}
@@ -132,7 +142,7 @@ func (e *engine) setupChains(pairs []edgePair) {
 		}
 	}
 	for ci, idxs := range perCons {
-		cons := e.ops[ci]
+		cons := e.op(ci)
 		chained := 0
 		ok := true
 		for _, i := range idxs {
@@ -157,7 +167,7 @@ func (e *engine) setupChains(pairs []edgePair) {
 		cons.released.Store(int64(cons.n))
 		for _, i := range idxs {
 			pr := pairs[i]
-			prod := e.ops[pr.from]
+			prod := e.op(pr.from)
 			ie, oe := &cons.in[pr.inIdx], prod.out[pr.outIdx]
 			ie.pipelined, oe.pipelined = false, false
 			if !eligible[i] {
@@ -205,7 +215,7 @@ func (e *engine) setupChains(pairs []edgePair) {
 // (and every other in-edge) has fully delivered. Caller holds the
 // producer's progressMu, which guards coverLeft.
 func (e *engine) chainCover(w *worker, o *opState, oe *outEdge, lo, hi int, depth int32) {
-	cons := e.ops[oe.to]
+	cons := e.op(oe.to)
 	cs := cons.chain
 	S, h := cs.block, oe.halo
 	bLo := 0
@@ -245,7 +255,7 @@ func (e *engine) chainCover(w *worker, o *opState, oe *outEdge, lo, hi int, dept
 // chain-managed consumer: the producer fully completed, so every block
 // receives this edge's delivery.
 func (e *engine) chainBarrier(w *worker, oe *outEdge, depth int32) {
-	cons := e.ops[oe.to]
+	cons := e.op(oe.to)
 	for b := 0; b < cons.chain.nblocks; b++ {
 		e.chainEnable(w, cons, b, depth)
 	}
@@ -332,7 +342,7 @@ func (e *engine) spillChain(w *worker, s segment) {
 // indistinguishable downstream except for the KindChain marker.
 func (e *engine) runChained(w *worker, it chainItem) {
 	seg := it.seg
-	o := e.ops[seg.op]
+	o := e.op(seg.op)
 	k := seg.len()
 	o.unsched.Add(-int64(k))
 	if e.labels && w.labelOp != seg.op {

@@ -213,7 +213,7 @@ func (e *engine) declareDead(w *worker) {
 func (e *engine) emitRealloc(live int) {
 	var specs []rts.OpSpec
 	var names []string
-	for _, o := range e.ops {
+	for _, o := range e.opsSnap() {
 		remaining := o.n - int(o.done.Load())
 		if remaining <= 0 {
 			continue

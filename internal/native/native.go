@@ -70,7 +70,7 @@ func (Backend) Name() string { return "native" }
 // native backend: all of them. Message faults in a plan have no
 // native equivalent (the backend exchanges no modelled messages) and
 // are trivially satisfied; see newEngine.
-var nativeSupported = rts.Supported{Pin: true, Labels: true, Chain: true, Fault: true}
+var nativeSupported = rts.Supported{Pin: true, Labels: true, Chain: true, Fault: true, Expand: true}
 
 func init() {
 	rts.RegisterBackend(rts.BackendInfo{Name: "native", Measured: true},
@@ -182,67 +182,124 @@ func newEngine(g *delirium.Graph, bind rts.Binder, opts rts.RunOpts, p int) (*en
 	}
 
 	// Operator states, in topological order.
-	index := map[string]int{}
+	e.omega = opts.Omega
+	e.opIndex = map[string]int{}
+	ops := make([]*opState, 0, len(order))
 	total := 0
 	for i, nd := range order {
-		spec := bind(nd.Name)
-		o := &opState{idx: i, name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange,
-			split: spec.Split, bytes: spec.Op.Bytes}
-		if o.body == nil {
-			o.n = 0
+		o, err := e.buildOp(nd, bind(nd.Name), i, 0, -1)
+		if err != nil {
+			return nil, err
 		}
-		// Strict: a segment's hi bound is exclusive, so an operator
-		// with exactly maxTasks tasks would pack hi = 1<<24 into a
-		// 24-bit field and alias the lo field's low bit.
-		if o.n >= maxTasks {
-			return nil, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
-		}
-		o.taper = sched.Taper{UseCostFunction: true, Omega: opts.Omega}
-		o.stats = sched.NewTaskStats(maxInt(o.n, 1))
-		o.unsched.Store(int64(o.n))
-		index[nd.Name] = i
-		e.ops = append(e.ops, o)
+		e.opIndex[nd.Name] = i
+		ops = append(ops, o)
 		total += o.n
 	}
 	e.total = total
 	e.outstanding.Store(int64(total))
+	e.opsA.Store(&ops)
 
 	// Dataflow edges. Pipelined edges get a delivery granularity; in
 	// the barriered modes every edge degrades to completion-gated.
-	var pairs []edgePair
-	for _, ed := range g.Edges {
-		if ed.Carried {
-			continue
-		}
-		f, t := index[ed.From], index[ed.To]
-		pip := ed.Pipelined && e.pipelined && e.ops[f].n > 0
-		batch := 1
-		if pip {
-			batch = batchSize(e.ops[f].n, p)
-		}
-		e.ops[t].in = append(e.ops[t].in, inEdge{from: f, pipelined: pip, batch: batch})
-		e.ops[f].out = append(e.ops[f].out, &outEdge{to: t, pipelined: pip, batch: batch})
-		pairs = append(pairs, edgePair{from: f, to: t,
-			inIdx: len(e.ops[t].in) - 1, outIdx: len(e.ops[f].out) - 1, attr: ed.Chain})
-	}
+	pairs := wireEdges(ops, g.Edges, e.pipelined, p, 0)
 	if e.pipelined && opts.Chain == rts.ChainAuto {
 		// Cache chaining rides on split mode: convert annotation- or
 		// compiler-qualified edges before the doneMark pass below, so
 		// producers whose only consumers chain skip prefix tracking.
 		e.setupChains(pairs)
 	}
-	for _, o := range e.ops {
+	markPrefixTracking(ops)
+	return e, nil
+}
+
+// buildOp constructs one operator's runtime state from its binding.
+// depth and parent place the operator in the expansion tree (0, -1 at
+// top level). Shared between newEngine and splice, so statically
+// declared and runtime-expanded operators are built identically.
+func (e *engine) buildOp(nd *delirium.Node, spec rts.OpSpec, idx, depth, parent int) (*opState, error) {
+	o := &opState{idx: idx, name: nd.Name, n: spec.Op.N, body: spec.Op.Time, bodyRange: spec.Op.TimeRange,
+		split: spec.Split, bytes: spec.Op.Bytes, depth: depth, parent: parent}
+	if o.body == nil {
+		o.n = 0
+	}
+	if nd.Kind == delirium.Exp && spec.Expand == nil {
+		return nil, fmt.Errorf("native: operator %s is expandable (kind=exp) but its binding has no Expand rule", nd.Name)
+	}
+	if nd.Kind != delirium.Exp && spec.Expand != nil {
+		return nil, fmt.Errorf("native: binding provides an Expand rule for non-expandable operator %s (kind=%s)", nd.Name, nd.Kind)
+	}
+	if spec.Expand != nil {
+		// An expandable operator contributes exactly one join task of
+		// its own: it runs after the materialized sub-graph drains, and
+		// its completion is what releases the operator's successors.
+		o.expand = spec.Expand
+		o.n = 1
+		if o.body == nil {
+			o.body = func(int) float64 { return 0 }
+		}
+	}
+	// Strict: a segment's hi bound is exclusive, so an operator
+	// with exactly maxTasks tasks would pack hi = 1<<24 into a
+	// 24-bit field and alias the lo field's low bit.
+	if o.n >= maxTasks {
+		return nil, fmt.Errorf("native: operator %s has %d tasks, exceeding the deque packing limit %d", nd.Name, o.n, maxTasks)
+	}
+	o.taper = sched.Taper{UseCostFunction: true, Omega: e.omega}
+	o.stats = sched.NewTaskStats(maxInt(o.n, 1))
+	o.unsched.Store(int64(o.n))
+	return o, nil
+}
+
+// wireEdges installs the dataflow edges of g among ops, whose first
+// `base` entries are assumed to belong to enclosing scopes (zero for
+// the top-level graph; the already-published table length when wiring
+// an expansion sub-graph, where index maps name → table index). Edges
+// touching an expandable endpoint are always completion-gated: a
+// consumer must not start against a not-yet-materialized sub-graph,
+// and an expandable producer's join task is its only observable
+// progress.
+func wireEdges(ops []*opState, edges []*delirium.Edge, pipelined bool, p, base int) []edgePair {
+	index := map[string]int{}
+	for _, o := range ops[base:] {
+		index[o.name] = o.idx
+	}
+	var pairs []edgePair
+	for _, ed := range edges {
+		if ed.Carried {
+			continue
+		}
+		f, t := index[ed.From], index[ed.To]
+		prod, cons := ops[f], ops[t]
+		pip := ed.Pipelined && pipelined && prod.n > 0 &&
+			prod.expand == nil && cons.expand == nil
+		batch := 1
+		if pip {
+			batch = batchSize(prod.n, p)
+		}
+		cons.in = append(cons.in, inEdge{from: f, pipelined: pip, batch: batch})
+		prod.out = append(prod.out, &outEdge{to: t, pipelined: pip, batch: batch})
+		pairs = append(pairs, edgePair{from: f, to: t,
+			inIdx: len(cons.in) - 1, outIdx: len(prod.out) - 1, attr: ed.Chain})
+	}
+	return pairs
+}
+
+// markPrefixTracking allocates doneMark for producers with pipelined
+// consumers: pipelined consumers gate on the contiguous completed
+// prefix (tasks finish out of order under stealing), so such producers
+// track per-task completion marks.
+func markPrefixTracking(ops []*opState) {
+	for _, o := range ops {
+		if o.doneMark != nil {
+			continue
+		}
 		for _, oe := range o.out {
 			if oe.pipelined {
-				// Pipelined consumers gate on the contiguous completed
-				// prefix (tasks finish out of order under stealing), so
-				// the producer tracks per-task completion marks.
 				o.doneMark = make([]bool, o.n)
 				break
 			}
 		}
 	}
-	return e, nil
 }
 
 // newWorker builds a fresh worker in the ready state for job-local
@@ -319,7 +376,13 @@ func (e *engine) execute(opts rts.RunOpts, launch func(func())) (trace.Result, e
 	// Source operators release everything; gated operators take one
 	// gate evaluation, which releases ops whose producers are already
 	// trivially complete (zero-task operators).
-	for oi, o := range e.ops {
+	for oi, o := range e.opsSnap() {
+		if o.expand != nil {
+			// Expandable sources (and those whose producers are all
+			// trivially complete) expand here, single-threaded.
+			e.tryRelease(oi, nil)
+			continue
+		}
 		if len(o.in) == 0 {
 			if o.n > 0 {
 				e.release(nil, oi, 0, o.n)
@@ -347,6 +410,9 @@ func (e *engine) execute(opts rts.RunOpts, launch func(func())) (trace.Result, e
 		e.detWG.Wait()
 	}
 
+	if err := e.loadFail(); err != nil {
+		return trace.Result{}, err
+	}
 	if e.outstanding.Load() != 0 {
 		if e.canceled.Load() {
 			return trace.Result{}, rts.CancelError("native", opts.Ctx)
@@ -431,6 +497,20 @@ type opState struct {
 	// consumer block (0 = no chain out-edges), so one chunk enables
 	// about one cache-resident block.
 	chainOut int
+
+	// expand, when non-nil, marks the operator expandable (a
+	// delirium.Exp node): once its predecessors complete, one worker
+	// claims the expansion (expStarted), materializes the returned
+	// sub-graph into the operator table, and the operator's own n=1
+	// join task releases only when subLeft — the count of not-yet-
+	// completed sub-graph tasks — reaches zero. depth is the nesting
+	// depth (0 at top level); parent is the index of the expandable
+	// operator that materialized this one, or -1.
+	expand     rts.ExpandFunc
+	depth      int
+	parent     int
+	expStarted atomic.Bool
+	subLeft    atomic.Int64
 
 	// unsched counts tasks not yet taken into any chunk.
 	unsched atomic.Int64
@@ -527,8 +607,28 @@ type engine struct {
 	mode                       rts.Mode
 	total                      int
 	needsDetector              bool
-	ops                        []*opState
 	workers                    []*worker
+
+	// opsA publishes the operator table. Runtime expansion appends
+	// sub-operators mid-run, so workers read a consistent snapshot
+	// through op/opsSnap while splice swaps in a grown copy under
+	// expandMu — indices are append-only, so any index a worker holds
+	// stays valid in every later snapshot.
+	opsA atomic.Pointer[[]*opState]
+	// expandMu serializes expansions; opIndex maps every scheduled
+	// operator name to its index (expansion sub-graphs must not
+	// redeclare names).
+	expandMu sync.Mutex
+	opIndex  map[string]int
+	// omega is the run's TAPER ω override, kept for sub-operator
+	// construction at expansion time.
+	omega float64
+
+	// failMu guards failErr, the first mid-run failure (expansion
+	// errors: depth bound, packing limits, bad sub-graphs). fail()
+	// stops the workers; execute returns failErr instead of a result.
+	failMu  sync.Mutex
+	failErr error
 
 	// canceled is set by the context monitor; workers observe it at
 	// their loop-top and abandon queued work.
@@ -592,6 +692,34 @@ func batchSize(n, p int) int {
 	return b
 }
 
+// opsSnap returns the current operator table. The snapshot is
+// immutable: expansion publishes a grown copy, never mutates a
+// published slice.
+func (e *engine) opsSnap() []*opState { return *e.opsA.Load() }
+
+// op returns operator i from the current snapshot.
+func (e *engine) op(i int) *opState { return (*e.opsA.Load())[i] }
+
+// fail aborts the run: the first failure wins, the workers stop at
+// their next loop-top, and execute returns the error instead of a
+// result.
+func (e *engine) fail(err error) {
+	e.failMu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.failMu.Unlock()
+	e.canceled.Store(true)
+	e.finishOnce.Do(func() { close(e.finished) })
+}
+
+// loadFail returns the recorded mid-run failure, if any.
+func (e *engine) loadFail() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}
+
 func (e *engine) isFinished() bool {
 	select {
 	case <-e.finished:
@@ -609,7 +737,7 @@ func (e *engine) isFinished() bool {
 func (e *engine) gate(o *opState) int {
 	en := o.n
 	for _, ie := range o.in {
-		prod := e.ops[ie.from]
+		prod := e.op(ie.from)
 		pn := prod.n
 		var v int
 		if int(prod.done.Load()) >= pn {
@@ -631,7 +759,14 @@ func (e *engine) gate(o *opState) int {
 // so completing workers release consumers directly — no gater
 // goroutine, no channel hop — yet never double-release a task.
 func (e *engine) tryRelease(oi int, w *worker) {
-	o := e.ops[oi]
+	o := e.op(oi)
+	if o.expand != nil {
+		// Expandable operators are never gate-released: their join task
+		// is held until the materialized sub-graph drains (releaseJoin),
+		// and predecessor completion instead triggers the expansion.
+		e.tryExpand(o, w)
+		return
+	}
 	for {
 		rel := o.released.Load()
 		if rel >= int64(o.n) {
@@ -647,6 +782,126 @@ func (e *engine) tryRelease(oi int, w *worker) {
 		}
 		// Another completing worker advanced the gate first; re-check
 		// whether anything is left for us.
+	}
+}
+
+// tryExpand materializes an expandable operator's sub-graph once
+// every predecessor has fully completed (edges into an expandable
+// operator are always completion-gated). Exactly one caller claims
+// the expansion; the sub-graph's tasks are spliced into the operator
+// table and released into the same deques every other task uses, so
+// work-stealing crosses nesting levels. w is the triggering worker,
+// or nil during single-threaded setup.
+func (e *engine) tryExpand(o *opState, w *worker) {
+	for _, ie := range o.in {
+		prod := e.op(ie.from)
+		if int(prod.done.Load()) < prod.n {
+			return
+		}
+	}
+	if !o.expStarted.CompareAndSwap(false, true) {
+		return
+	}
+	exp, err := o.expand(o.depth)
+	if err != nil {
+		e.fail(fmt.Errorf("native: expanding %s: %w", o.name, err))
+		return
+	}
+	if exp == nil {
+		// Base case: the operator degenerates to its join task.
+		e.releaseJoin(o, w)
+		return
+	}
+	subs, total, err := e.splice(o, exp)
+	if err != nil {
+		e.fail(fmt.Errorf("native: expanding %s: %w", o.name, err))
+		return
+	}
+	if total == 0 {
+		// Every sub-operator is empty; only the join remains.
+		e.releaseJoin(o, w)
+		return
+	}
+	// Release the sub-graph's sources (and operators whose producers
+	// are trivially complete). Nested expandable sources recurse here,
+	// outside splice's lock, bounded by rts.MaxExpandDepth.
+	for _, so := range subs {
+		if so.expand != nil || len(so.in) > 0 {
+			e.tryRelease(so.idx, w)
+		} else if so.n > 0 {
+			e.release(w, so.idx, 0, so.n)
+		}
+	}
+}
+
+// splice validates an expansion and appends its operators to the
+// published table, returning the new operator states and their total
+// task count. The parent's subLeft and the engine's outstanding count
+// are advanced before the new table is published, so no sub-task
+// completion can be observed with stale accounting. Releases are the
+// caller's job — they must happen outside expandMu, because a nested
+// source expansion re-enters splice.
+func (e *engine) splice(parent *opState, exp *rts.Expansion) ([]*opState, int, error) {
+	e.expandMu.Lock()
+	defer e.expandMu.Unlock()
+	err := rts.ValidateExpansion(parent.name, parent.depth, exp, func(name string) bool {
+		_, ok := e.opIndex[name]
+		return ok
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	order, err := exp.Graph.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	cur := e.opsSnap()
+	base := len(cur)
+	if base+len(order) > maxOps {
+		return nil, 0, fmt.Errorf("%d operators exceed the deque packing limit %d", base+len(order), maxOps)
+	}
+	grown := make([]*opState, base, base+len(order))
+	copy(grown, cur)
+	total := 0
+	for i, nd := range order {
+		o, err := e.buildOp(nd, exp.Bind(nd.Name), base+i, parent.depth+1, parent.idx)
+		if err != nil {
+			return nil, 0, err
+		}
+		grown = append(grown, o)
+		total += o.n
+	}
+	subs := grown[base:]
+	wireEdges(grown, exp.Graph.Edges, e.pipelined, e.p, base)
+	markPrefixTracking(subs)
+	if e.rec != nil {
+		// Recorder indices must track engine indices; both append in
+		// the same order under expandMu.
+		for _, o := range subs {
+			e.rec.AddOp(o.name)
+		}
+	}
+	for _, o := range subs {
+		e.opIndex[o.name] = o.idx
+	}
+	// Accounting before publication: once the table is visible, any
+	// worker may complete a sub-task, and both counters must already
+	// cover it. outstanding is strictly positive throughout (the
+	// parent's join task is counted and unreleased), so the grown count
+	// cannot race the finished gate.
+	parent.subLeft.Store(int64(total))
+	e.outstanding.Add(int64(total))
+	e.opsA.Store(&grown)
+	return subs, total, nil
+}
+
+// releaseJoin hands an expandable operator's own join task to the
+// workers: the expansion's sub-graph (if any) has fully drained. The
+// CAS releases exactly once — subLeft reaching zero and an empty
+// expansion cannot both win.
+func (e *engine) releaseJoin(o *opState, w *worker) {
+	if o.released.CompareAndSwap(0, int64(o.n)) {
+		e.release(w, o.idx, 0, o.n)
 	}
 }
 
@@ -860,7 +1115,7 @@ func (e *engine) runWorker(w *worker) {
 func (e *engine) setLabels(w *worker, op int) {
 	w.labelOp = op
 	ctx := pprof.WithLabels(context.Background(),
-		pprof.Labels("worker", strconv.Itoa(w.id), "op", e.ops[op].name))
+		pprof.Labels("worker", strconv.Itoa(w.id), "op", e.op(op).name))
 	pprof.SetGoroutineLabels(ctx)
 }
 
@@ -874,7 +1129,7 @@ func (e *engine) setLabels(w *worker, op int) {
 // two clock reads total, and its aggregate time is folded into the
 // statistics as k observations of the chunk mean via ObserveChunk.
 func (e *engine) runSegment(w *worker, seg segment, stolen bool) {
-	o := e.ops[seg.op]
+	o := e.op(seg.op)
 	k := seg.len()
 	if e.adaptive {
 		rem := int(o.unsched.Load())
@@ -1020,6 +1275,15 @@ func (e *engine) complete(w *worker, o *opState, lo, hi int, depth int32) {
 	for _, ci := range wake {
 		e.batches.Add(1)
 		e.tryRelease(ci, w)
+	}
+	if o.parent >= 0 {
+		// Cross-level completion: the last sub-graph task to finish
+		// releases the parent expansion's join task, whose own
+		// completion then releases the parent's successors.
+		par := e.op(o.parent)
+		if par.subLeft.Add(-int64(k)) == 0 {
+			e.releaseJoin(par, w)
+		}
 	}
 	if e.outstanding.Add(-int64(k)) == 0 {
 		e.finishOnce.Do(func() { close(e.finished) })

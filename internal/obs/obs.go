@@ -217,7 +217,25 @@ func (r *Recorder) OpNames() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.ops
+}
+
+// AddOp appends an operator name mid-run and returns its index,
+// for operators that only come into existence at execution time
+// (runtime-expanded sub-graphs). Safe to call concurrently with
+// event emission: events carry indices, and the name table is only
+// consulted at Finish/export time. The caller must keep its own op
+// indexing aligned with the returned index.
+func (r *Recorder) AddOp(name string) int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, name)
+	return len(r.ops) - 1
 }
 
 func (r *Recorder) ring(w int) *ring {

@@ -53,7 +53,7 @@ func (*SimBackend) Name() string { return "sim" }
 // never chains, so ChainOff asks for what it already does). Pin and
 // Labels request effects on real OS threads the simulator does not
 // have.
-var simSupported = Supported{Fault: true, Chain: true}
+var simSupported = Supported{Fault: true, Chain: true, Expand: true}
 
 // Run implements Backend via RunGraph. A zero opts.Processors
 // defaults to the machine configuration's processor count.

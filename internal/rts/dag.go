@@ -98,87 +98,157 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 	if err != nil {
 		return trace.Result{}, err
 	}
-	nOps := len(order)
 	sim := machine.NewSim(cfg)
 	res := trace.Result{Name: "dag/" + g.Name, Processors: p, Busy: make([]float64, p)}
 
-	// Operator state.
-	specs := make([]OpSpec, nOps)
-	index := map[string]int{}
-	for i, n := range order {
-		specs[i] = bind(n.Name)
-		index[n.Name] = i
-		res.SeqTime += specs[i].Op.TotalTime()
-	}
-	// Incoming edges per op, with batch granularity for pipelined ones.
+	// Operator state: parallel slices, appended to mid-run by runtime
+	// expansion. The event loop is single-threaded, so plain appends
+	// are safe, and every closure below sees the grown tables through
+	// the captured slice variables.
 	type inEdge struct {
 		from      int
 		pipelined bool
 		batch     int
 	}
-	inEdges := make([][]inEdge, nOps)
-	for _, e := range g.Edges {
-		if e.Carried {
-			continue
+	var (
+		specs     []OpSpec
+		names     []string
+		index     = map[string]int{}
+		inEdges   [][]inEdge
+		alloc     []int
+		procBase  []int
+		queues    [][]sched.TaskQueue
+		tstats    []*sched.TaskStats
+		policies  []sched.Policy
+		unsched   []int   // tasks not yet dispatched
+		doneTasks []int   // tasks completed
+		doneMark  [][]bool
+		donePfx   []int // contiguous completed prefix
+		done      [][]int
+		spent     [][]float64
+		expandFns []ExpandFunc
+		expDepth  []int
+		expParent []int // expansion that materialized this op, or -1
+		expLeft   []int // -1 until expanded; then sub-tasks not yet done
+		pendExp   []int // expandable ops not yet expanded
+	)
+	totalOutstanding := 0
+
+	// addOp appends one operator's state (allocation and queues come
+	// separately, per level — see place).
+	addOp := func(nd *delirium.Node, spec OpSpec, depth, parent int) error {
+		if nd.Kind == delirium.Exp && spec.Expand == nil {
+			return fmt.Errorf("rts: operator %s is expandable (kind=exp) but its binding has no Expand rule", nd.Name)
 		}
-		f, t := index[e.From], index[e.To]
-		ie := inEdge{from: f, pipelined: e.Pipelined}
-		if e.Pipelined {
-			ie.batch = ChoosePairGranularityOmega(cfg, specs[f], p, specs[f].Op.Bytes, omega)
+		if nd.Kind != delirium.Exp && spec.Expand != nil {
+			return fmt.Errorf("rts: binding provides an Expand rule for non-expandable operator %s (kind=%s)", nd.Name, nd.Kind)
 		}
-		inEdges[t] = append(inEdges[t], ie)
+		if spec.Expand != nil {
+			spec = JoinSpec(spec)
+			pendExp = append(pendExp, len(specs))
+		}
+		index[nd.Name] = len(specs)
+		n := spec.Op.N
+		specs = append(specs, spec)
+		names = append(names, nd.Name)
+		inEdges = append(inEdges, nil)
+		alloc = append(alloc, 0)
+		procBase = append(procBase, 0)
+		queues = append(queues, nil)
+		tstats = append(tstats, sched.NewTaskStats(n))
+		policies = append(policies, &sched.Taper{UseCostFunction: true, Omega: omega})
+		unsched = append(unsched, n)
+		doneTasks = append(doneTasks, 0)
+		doneMark = append(doneMark, make([]bool, n))
+		donePfx = append(donePfx, 0)
+		done = append(done, nil)
+		spent = append(spent, nil)
+		expandFns = append(expandFns, spec.Expand)
+		expDepth = append(expDepth, depth)
+		expParent = append(expParent, parent)
+		expLeft = append(expLeft, -1)
+		// The sequential pass: TotalTime executes every task once, in
+		// topological order, which also settles kernel arrays upfront
+		// (kernel contract rule 1 — re-executions are idempotent).
+		res.SeqTime += spec.Op.TotalTime()
+		totalOutstanding += n
+		return nil
 	}
 
-	// Allocation: operators that can execute concurrently (the same
+	// wire installs g2's edges among already-added operators, with
+	// batch granularity for pipelined ones. Edges touching an
+	// expandable endpoint are always completion-gated: a consumer must
+	// not start against a not-yet-materialized sub-graph, and an
+	// expandable producer's join task is its only observable progress.
+	wire := func(g2 *delirium.Graph) {
+		for _, e := range g2.Edges {
+			if e.Carried {
+				continue
+			}
+			f, t := index[e.From], index[e.To]
+			ie := inEdge{from: f}
+			if e.Pipelined && expandFns[f] == nil && expandFns[t] == nil {
+				ie.pipelined = true
+				ie.batch = ChoosePairGranularityOmega(cfg, specs[f], p, specs[f].Op.Bytes, omega)
+			}
+			inEdges[t] = append(inEdges[t], ie)
+		}
+	}
+
+	// place allocates processors to g2's operators and decomposes their
+	// task queues: operators that can execute concurrently (the same
 	// dataflow level) divide the machine among themselves; operators in
 	// different levels execute at different times and therefore own
 	// overlapping processor ranges. Each operator's data is decomposed
 	// once onto its owners (owner-computes); idle processors migrate at
 	// runtime.
-	levels, err := g.Levels()
-	if err != nil {
+	place := func(g2 *delirium.Graph) error {
+		levels, err := g2.Levels()
+		if err != nil {
+			return err
+		}
+		for _, level := range levels {
+			lspecs := make([]OpSpec, len(level))
+			lnames := make([]string, len(level))
+			idxs := make([]int, len(level))
+			for i, n := range level {
+				idxs[i] = index[n.Name]
+				lspecs[i] = specs[idxs[i]]
+				lnames[i] = n.Name
+			}
+			shares := AllocateManyOmega(cfg, lspecs, p, omega, rec, lnames...)
+			base := 0
+			for i, o := range idxs {
+				alloc[o] = shares[i]
+				procBase[o] = base
+				base += shares[i]
+			}
+		}
+		for _, nd := range g2.Nodes {
+			// The allocator can hand an operator a zero share when a level
+			// has more operators than processors; its tasks must still live
+			// in a queue (unowned, reached through the steal path) or they
+			// would be undispatchable and the run would stall.
+			o := index[nd.Name]
+			qn := alloc[o]
+			if qn < 1 {
+				qn = 1
+			}
+			queues[o] = sched.Decompose(specs[o].Op, qn)
+			done[o] = make([]int, len(queues[o]))
+			spent[o] = make([]float64, len(queues[o]))
+		}
+		return nil
+	}
+
+	for _, n := range order {
+		if err := addOp(n, bind(n.Name), 0, -1); err != nil {
+			return trace.Result{}, err
+		}
+	}
+	wire(g)
+	if err := place(g); err != nil {
 		return trace.Result{}, err
-	}
-	alloc := make([]int, nOps)
-	procBase := make([]int, nOps)
-	for _, level := range levels {
-		lspecs := make([]OpSpec, len(level))
-		lnames := make([]string, len(level))
-		idxs := make([]int, len(level))
-		for i, n := range level {
-			idxs[i] = index[n.Name]
-			lspecs[i] = specs[idxs[i]]
-			lnames[i] = n.Name
-		}
-		shares := AllocateManyOmega(cfg, lspecs, p, omega, rec, lnames...)
-		base := 0
-		for i, o := range idxs {
-			alloc[o] = shares[i]
-			procBase[o] = base
-			base += shares[i]
-		}
-	}
-	queues := make([][]sched.TaskQueue, nOps)
-	tstats := make([]*sched.TaskStats, nOps)
-	policies := make([]sched.Policy, nOps)
-	unsched := make([]int, nOps)   // tasks not yet dispatched
-	doneTasks := make([]int, nOps) // tasks completed
-	doneMark := make([][]bool, nOps)
-	donePfx := make([]int, nOps) // contiguous completed prefix
-	for o := range specs {
-		// The allocator can hand an operator a zero share when a level
-		// has more operators than processors; its tasks must still live
-		// in a queue (unowned, reached through the steal path) or they
-		// would be undispatchable and the run would stall.
-		qn := alloc[o]
-		if qn < 1 {
-			qn = 1
-		}
-		queues[o] = sched.Decompose(specs[o].Op, qn)
-		tstats[o] = sched.NewTaskStats(specs[o].Op.N)
-		policies[o] = &sched.Taper{UseCostFunction: true, Omega: omega}
-		unsched[o] = specs[o].Op.N
-		doneMark[o] = make([]bool, specs[o].Op.N)
 	}
 	// ownQueue reports the queue index processor gp owns in op o, or -1.
 	ownQueue := func(gp, o int) int {
@@ -201,6 +271,12 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 	// consumer enabled from the count would read tasks that have not
 	// produced anything yet on a real machine.
 	gate := func(o int) int {
+		if expandFns[o] != nil && expLeft[o] != 0 {
+			// The join task of an expandable operator is held until its
+			// materialized sub-graph drains (expLeft hits 0 — or the base
+			// case sets it there directly). -1 means not yet expanded.
+			return 0
+		}
 		n := specs[o].Op.N
 		avail := n
 		for _, ie := range inEdges[o] {
@@ -222,6 +298,75 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 	}
 	// dispatched(o) = tasks handed to processors so far.
 	dispatched := func(o int) int { return specs[o].Op.N - unsched[o] }
+
+	// maybeExpand materializes every pending expandable operator whose
+	// predecessors have fully completed, to a fixpoint: an expansion may
+	// itself introduce expandable sources that are immediately ready
+	// (recursion — bounded by MaxExpandDepth via ValidateExpansion).
+	// Runs inside the single-threaded event loop, so the appends need no
+	// synchronization. A failure lands in runErr and aborts the run.
+	var runErr error
+	maybeExpand := func() {
+		for progress := true; progress && runErr == nil; {
+			progress = false
+			for pi := 0; pi < len(pendExp); pi++ {
+				o := pendExp[pi]
+				ready := true
+				for _, ie := range inEdges[o] {
+					if doneTasks[ie.from] < specs[ie.from].Op.N {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				pendExp = append(pendExp[:pi], pendExp[pi+1:]...)
+				pi--
+				progress = true
+				exp, err := expandFns[o](expDepth[o])
+				if err == nil && exp != nil {
+					err = ValidateExpansion(names[o], expDepth[o], exp, func(nm string) bool {
+						_, ok := index[nm]
+						return ok
+					})
+				}
+				if err != nil {
+					runErr = fmt.Errorf("rts: expanding %s: %w", names[o], err)
+					return
+				}
+				if exp == nil {
+					// Base case: no sub-graph; the join runs directly.
+					expLeft[o] = 0
+					continue
+				}
+				suborder, err := exp.Graph.TopoOrder()
+				if err != nil {
+					runErr = fmt.Errorf("rts: expanding %s: %w", names[o], err)
+					return
+				}
+				base := len(specs)
+				before := totalOutstanding
+				for _, nd := range suborder {
+					if err := addOp(nd, exp.Bind(nd.Name), expDepth[o]+1, o); err != nil {
+						runErr = err
+						return
+					}
+				}
+				wire(exp.Graph)
+				if err := place(exp.Graph); err != nil {
+					runErr = err
+					return
+				}
+				if rec != nil {
+					for i := base; i < len(specs); i++ {
+						rec.AddOp(names[i])
+					}
+				}
+				expLeft[o] = totalOutstanding - before
+			}
+		}
+	}
 
 	// Fault state. live tracks the surviving processor count; chunk
 	// sizing and budget shares are computed against it so scheduling
@@ -249,11 +394,6 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 	}
 
 	var idle []int
-	totalOutstanding := 0
-	for _, s := range specs {
-		totalOutstanding += s.Op.N
-	}
-
 	var next func(gproc int)
 	wake := func() {
 		w := idle
@@ -261,12 +401,6 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 		for _, gp := range w {
 			sim.AfterFn(0, next, gp)
 		}
-	}
-	done := make([][]int, nOps)
-	spent := make([][]float64, nOps)
-	for o := range specs {
-		done[o] = make([]int, len(queues[o]))
-		spent[o] = make([]float64, len(queues[o]))
 	}
 	tokenCost := 0.2 * cfg.MsgOverhead
 
@@ -297,7 +431,14 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 			done[pc.o][j] += pc.k
 			spent[pc.o][j] += pc.total
 		}
-		// Progress may open successors' gates.
+		// Cross-level accounting: a sub-operator's completed tasks drain
+		// its expander's expLeft; at 0 the parent's join gate opens.
+		if par := expParent[pc.o]; par >= 0 {
+			expLeft[par] -= pc.k
+		}
+		// Fully-completed predecessors may make expansions ready, and
+		// progress may open successors' gates.
+		maybeExpand()
 		wake()
 		next(gp)
 	}
@@ -457,7 +598,7 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 				s.Sigma = tstats[o].Global.StdDev()
 			}
 			rspecs = append(rspecs, s)
-			rnames = append(rnames, order[o].Name)
+			rnames = append(rnames, names[o])
 		}
 		if len(rspecs) > 0 {
 			ReallocateOnLossOmega(cfg, rspecs, live, omega, rec, rnames...)
@@ -465,7 +606,7 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 	}
 
 	next = func(gp int) {
-		if totalOutstanding <= 0 {
+		if totalOutstanding <= 0 || runErr != nil {
 			return
 		}
 		if ctx != nil && ctx.Err() != nil {
@@ -553,10 +694,19 @@ func executeDAG(ctx context.Context, cfg machine.Config, g *delirium.Graph, bind
 		idle = append(idle, gp)
 	}
 
+	// Expandable sources (no predecessors) materialize before the
+	// processors start.
+	maybeExpand()
+	if runErr != nil {
+		return trace.Result{}, runErr
+	}
 	for gp := 0; gp < p; gp++ {
 		sim.AfterFn(0, next, gp)
 	}
 	sim.Run()
+	if runErr != nil {
+		return trace.Result{}, runErr
+	}
 	if totalOutstanding != 0 {
 		if ctx != nil && ctx.Err() != nil {
 			return trace.Result{}, CancelError("rts", ctx)

@@ -52,6 +52,13 @@ type OpSpec struct {
 	Pack func(lo, hi int) []byte
 	// Apply is Pack's receiving half; see Pack.
 	Apply func(lo, hi int, blob []byte)
+	// Expand, when non-nil, makes the operator expandable (a
+	// delirium.Exp node): once its predecessors complete, the engine
+	// calls Expand to materialize a sub-graph in place of the
+	// operator's body, splices the sub-graph's tasks into the running
+	// schedule, and runs the operator's own Op (its join task, N ≤ 1)
+	// only after every sub-graph task completes. See expand.go.
+	Expand ExpandFunc
 }
 
 // SampleStats fills Mu and Sigma by sampling k task times (the

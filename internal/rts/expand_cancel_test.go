@@ -1,0 +1,81 @@
+package rts
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+)
+
+// expandCancelGraph is a (par) → x (exp) → out (par): the expansion in
+// the middle is where the cancellation lands.
+func expandCancelGraph(t *testing.T, n int) *delirium.Graph {
+	t.Helper()
+	g := delirium.NewGraph("expcancel")
+	nodes := []*delirium.Node{
+		{Name: "a", Kind: delirium.Par, Tasks: strconv.Itoa(n)},
+		{Name: "x", Kind: delirium.Exp, Tasks: "1", Rule: "t"},
+		{Name: "out", Kind: delirium.Par, Tasks: strconv.Itoa(n)},
+	}
+	for _, nd := range nodes {
+		if err := g.AddNode(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "a", To: "x"})
+	g.AddEdge(&delirium.Edge{From: "x", To: "out"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// expandCancelBinder cancels the run's own context from inside the
+// expansion hook — after a completed, before the sub-graph or the join
+// ran — so cancellation arrives exactly mid-expansion.
+func expandCancelBinder(cancel context.CancelFunc, n int) Binder {
+	return func(name string) OpSpec {
+		spec := OpSpec{Op: sched.Op{Name: name, N: n, Time: func(int) float64 { return 1 }}, Mu: 1}
+		if name != "x" {
+			return spec
+		}
+		spec.Op.N = 1
+		spec.Expand = func(depth int) (*Expansion, error) {
+			cancel()
+			sub := delirium.NewGraph("x")
+			sub.AddNode(&delirium.Node{Name: "x/0", Kind: delirium.Par, Tasks: strconv.Itoa(n)})
+			return &Expansion{
+				Graph: sub,
+				Bind: func(nm string) OpSpec {
+					return OpSpec{Op: sched.Op{Name: nm, N: n, Time: func(int) float64 { return 1 }}, Mu: 1}
+				},
+			}, nil
+		}
+		return spec
+	}
+}
+
+// TestSimCancelMidExpansion checks both simulator execution paths
+// (the dataflow engine and the barriered recursion) surface a
+// cancellation that arrives while an operator is expanding: the run
+// must abandon the spliced sub-graph and return the distinguishable
+// cancel error, not stall or report success.
+func TestSimCancelMidExpansion(t *testing.T) {
+	for _, mode := range []Mode{ModeSplit, ModeStatic, ModeTaper} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			g := expandCancelGraph(t, 64)
+			be := NewSimBackend(machine.DefaultConfig(2))
+			_, err := be.Run(g, BindClosure(expandCancelBinder(cancel, 64)), RunOpts{
+				Processors: 2, Mode: mode, Ctx: ctx,
+			})
+			if !IsCanceled(err) {
+				t.Fatalf("mode %v: error = %v, want one wrapping ErrCanceled", mode, err)
+			}
+		})
+	}
+}

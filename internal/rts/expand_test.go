@@ -1,0 +1,151 @@
+package rts
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/machine"
+	"orchestra/internal/sched"
+)
+
+func expTestGraph(t *testing.T) *delirium.Graph {
+	t.Helper()
+	g := delirium.NewGraph("experr")
+	if err := g.AddNode(&delirium.Node{Name: "a", Kind: delirium.Par, Tasks: "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(&delirium.Node{Name: "r", Kind: delirium.Exp, Tasks: "1", Rule: "rec"}); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(&delirium.Edge{From: "a", To: "r"})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func plainSpec(name string, n int) OpSpec {
+	return OpSpec{Op: sched.Op{Name: name, N: n, Time: func(int) float64 { return 1 }}, Mu: 1}
+}
+
+// recSpec is an expansion rule with no base case: every level
+// materializes one more expandable child. Running it must trip
+// MaxExpandDepth instead of diverging.
+func recSpec(name string) OpSpec {
+	spec := plainSpec(name, 1)
+	spec.Expand = func(depth int) (*Expansion, error) {
+		sub := delirium.NewGraph(name)
+		sub.AddNode(&delirium.Node{Name: name + "/x", Kind: delirium.Exp, Tasks: "1", Rule: "rec"})
+		return &Expansion{Graph: sub, Bind: func(nm string) OpSpec { return recSpec(nm) }}, nil
+	}
+	return spec
+}
+
+// TestExpandDepthBoundSim: an expansion rule that never bottoms out
+// must fail the run with the depth-bound error on both simulator
+// execution paths, not hang or recurse unboundedly.
+func TestExpandDepthBoundSim(t *testing.T) {
+	g := expTestGraph(t)
+	bind := func(name string) OpSpec {
+		if name == "r" {
+			return recSpec(name)
+		}
+		return plainSpec(name, 4)
+	}
+	for _, mode := range []Mode{ModeSplit, ModeStatic} {
+		be := NewSimBackend(machine.DefaultConfig(2))
+		_, err := be.Run(g, BindClosure(bind), RunOpts{Processors: 2, Mode: mode})
+		if err == nil || !strings.Contains(err.Error(), "depth bound") {
+			t.Fatalf("mode %v: error = %v, want one mentioning the depth bound", mode, err)
+		}
+	}
+}
+
+// TestExpandRedeclaredOperator: an expansion whose sub-graph reuses an
+// already scheduled operator name must be rejected before splicing.
+func TestExpandRedeclaredOperator(t *testing.T) {
+	g := expTestGraph(t)
+	bind := func(name string) OpSpec {
+		if name != "r" {
+			return plainSpec(name, 4)
+		}
+		spec := plainSpec(name, 1)
+		spec.Expand = func(depth int) (*Expansion, error) {
+			sub := delirium.NewGraph("r")
+			sub.AddNode(&delirium.Node{Name: "a", Kind: delirium.Par, Tasks: "4"})
+			return &Expansion{Graph: sub, Bind: func(nm string) OpSpec { return plainSpec(nm, 4) }}, nil
+		}
+		return spec
+	}
+	for _, mode := range []Mode{ModeSplit, ModeStatic} {
+		be := NewSimBackend(machine.DefaultConfig(2))
+		_, err := be.Run(g, BindClosure(bind), RunOpts{Processors: 2, Mode: mode})
+		if err == nil || !strings.Contains(err.Error(), "redeclares") {
+			t.Fatalf("mode %v: error = %v, want a redeclaration error", mode, err)
+		}
+	}
+}
+
+// TestValidateExpansionChecks covers the engine-independent rejection
+// table directly: each malformed expansion shape maps to its error.
+func TestValidateExpansionChecks(t *testing.T) {
+	goodBind := func(nm string) OpSpec { return plainSpec(nm, 2) }
+	goodGraph := func() *delirium.Graph {
+		sub := delirium.NewGraph("x")
+		sub.AddNode(&delirium.Node{Name: "x/0", Kind: delirium.Par, Tasks: "2"})
+		return sub
+	}
+	taken := func(name string) bool { return name == "dup" }
+
+	cases := []struct {
+		name  string
+		depth int
+		exp   *Expansion
+		want  string
+	}{
+		{"depth-at-bound", MaxExpandDepth, &Expansion{Graph: goodGraph(), Bind: goodBind}, "depth bound"},
+		{"nil-graph", 0, &Expansion{Bind: goodBind}, "no graph"},
+		{"empty-graph", 0, &Expansion{Graph: delirium.NewGraph("e"), Bind: goodBind}, "empty"},
+		{"nil-binder", 0, &Expansion{Graph: goodGraph()}, "no binder"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateExpansion("x", c.depth, c.exp, taken)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want one containing %q", err, c.want)
+			}
+		})
+	}
+
+	t.Run("taken-name", func(t *testing.T) {
+		sub := delirium.NewGraph("x")
+		sub.AddNode(&delirium.Node{Name: "dup", Kind: delirium.Par, Tasks: "2"})
+		err := ValidateExpansion("x", 0, &Expansion{Graph: sub, Bind: goodBind}, taken)
+		if err == nil || !strings.Contains(err.Error(), "redeclares") {
+			t.Fatalf("error = %v, want a redeclaration error", err)
+		}
+	})
+
+	t.Run("valid", func(t *testing.T) {
+		if err := ValidateExpansion("x", 3, &Expansion{Graph: goodGraph(), Bind: goodBind}, taken); err != nil {
+			t.Fatalf("valid expansion rejected: %v", err)
+		}
+	})
+}
+
+// TestJoinSpecNormalization: JoinSpec must force the single join task
+// and install a zero-cost body only when the binding has none.
+func TestJoinSpecNormalization(t *testing.T) {
+	got := JoinSpec(plainSpec("x", 9))
+	if got.Op.N != 1 {
+		t.Fatalf("join N = %d, want 1", got.Op.N)
+	}
+	if got.Op.Time(0) != 1 {
+		t.Fatal("JoinSpec replaced a supplied join body")
+	}
+	bare := JoinSpec(OpSpec{Op: sched.Op{Name: "y", N: 3}, Mu: 1})
+	if bare.Op.Time == nil || bare.Op.Time(0) != 0 {
+		t.Fatal("JoinSpec did not install a zero-cost body for a bare binding")
+	}
+}

@@ -144,23 +144,16 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 	}
 	factory := func() sched.Policy { return &sched.Taper{UseCostFunction: true, Omega: opts.Omega} }
 
-	for oi, n := range order {
-		// The barriered modes execute one operator at a time, so an
-		// operator boundary is the natural cancellation point: work
-		// already simulated stays charged, the rest is abandoned.
-		if opts.canceled() {
-			return trace.Result{}, CancelError("rts", opts.Ctx)
-		}
-		spec := bind(n.Name)
+	runOp := func(op sched.Op, oi int) {
 		ob := obs.OpObs{R: rec, Op: oi, Base: agg.Makespan}
 		var r trace.Result
 		if opts.Mode == ModeStatic {
-			r = sched.ExecuteStatic(cfg, spec.Op, procs, ob)
+			r = sched.ExecuteStatic(cfg, op, procs, ob)
 		} else {
 			// fx persists across the per-operator loop, so a worker's
 			// chunk count — and any crash it triggers — carries from one
 			// operator to the next.
-			r = sched.ExecuteDistributedFault(cfg, spec.Op, procs, factory, ob, fx)
+			r = sched.ExecuteDistributedFault(cfg, op, procs, factory, ob, fx)
 		}
 		agg.Makespan += r.Makespan
 		agg.SeqTime += r.SeqTime
@@ -168,16 +161,87 @@ func RunGraph(cfg machine.Config, g *delirium.Graph, bind Binder, opts RunOpts) 
 		agg.Steals += r.Steals
 		agg.Messages += r.Messages
 	}
-	for _, e := range g.Edges {
-		if e.Carried {
-			continue
+	// taken tracks every operator name scheduled so far; expansions must
+	// not redeclare names (same contract as the dataflow engines).
+	taken := map[string]bool{}
+	for _, n := range g.Nodes {
+		taken[n.Name] = true
+	}
+	topIdx := map[string]int{}
+	for i, n := range order {
+		topIdx[n.Name] = i
+	}
+	// execBarriered runs one (sub-)graph's operators in topological
+	// order with barriers between them. An expandable operator runs its
+	// materialized sub-graph to completion before its own join task —
+	// the barriered modes have no overlap to exploit, so nesting is
+	// plain recursion — then charges the (sub-)graph's edge costs.
+	var execBarriered func(g2 *delirium.Graph, bind2 Binder, depth int, idxOf func(string) int) error
+	execBarriered = func(g2 *delirium.Graph, bind2 Binder, depth int, idxOf func(string) int) error {
+		order2, err := g2.TopoOrder()
+		if err != nil {
+			return err
 		}
-		bytes := e.Bytes
-		if e.PerTask {
-			bytes *= int64(bind(e.To).Op.N)
+		subIdx := func(nm string) int {
+			if rec != nil {
+				return rec.AddOp(nm)
+			}
+			return 0
 		}
-		agg.Makespan += float64(bytes) * cfg.ByteCost / float64(p)
-		agg.Messages += p
+		for _, n := range order2 {
+			// The barriered modes execute one operator at a time, so an
+			// operator boundary is the natural cancellation point: work
+			// already simulated stays charged, the rest is abandoned.
+			if opts.canceled() {
+				return CancelError("rts", opts.Ctx)
+			}
+			spec := bind2(n.Name)
+			if n.Kind == delirium.Exp && spec.Expand == nil {
+				return fmt.Errorf("rts: operator %s is expandable (kind=exp) but its binding has no Expand rule", n.Name)
+			}
+			if n.Kind != delirium.Exp && spec.Expand != nil {
+				return fmt.Errorf("rts: binding provides an Expand rule for non-expandable operator %s (kind=%s)", n.Name, n.Kind)
+			}
+			oi := idxOf(n.Name)
+			if spec.Expand != nil {
+				exp, err := spec.Expand(depth)
+				if err != nil {
+					return fmt.Errorf("rts: expanding %s: %w", n.Name, err)
+				}
+				if exp != nil {
+					if err := ValidateExpansion(n.Name, depth, exp, func(nm string) bool { return taken[nm] }); err != nil {
+						return err
+					}
+					for _, sn := range exp.Graph.Nodes {
+						taken[sn.Name] = true
+					}
+					if err := execBarriered(exp.Graph, exp.Bind, depth+1, subIdx); err != nil {
+						return err
+					}
+				}
+				spec = JoinSpec(spec)
+			}
+			runOp(spec.Op, oi)
+		}
+		for _, e := range g2.Edges {
+			if e.Carried {
+				continue
+			}
+			bytes := e.Bytes
+			if e.PerTask {
+				cons := bind2(e.To)
+				if cons.Expand != nil {
+					cons = JoinSpec(cons)
+				}
+				bytes *= int64(cons.Op.N)
+			}
+			agg.Makespan += float64(bytes) * cfg.ByteCost / float64(p)
+			agg.Messages += p
+		}
+		return nil
+	}
+	if err := execBarriered(g, bind, 0, func(nm string) int { return topIdx[nm] }); err != nil {
+		return trace.Result{}, err
 	}
 	return finish(agg)
 }

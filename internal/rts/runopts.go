@@ -166,6 +166,10 @@ type Supported struct {
 	Chain bool
 	// Fault: the backend can execute fault plans.
 	Fault bool
+	// Expand: the backend can execute runtime expansions (delirium.Exp
+	// nodes). Checked against the graph, not the RunOpts, via
+	// CheckGraphSupported.
+	Expand bool
 }
 
 // OptionError reports options a backend does not understand or cannot

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"orchestra/internal/delirium"
 	"orchestra/internal/machine"
@@ -101,6 +102,27 @@ func (m *Model) spec(name string) (rts.OpSpec, error) {
 	}, nil
 }
 
+// declaredZeroTasks reports whether a graph node's tasks annotation
+// literally declares zero tasks. Symbolic annotations ("n") stay
+// opaque and fall through to profile coverage.
+func declaredZeroTasks(nd *delirium.Node) bool {
+	n, err := strconv.Atoi(nd.Tasks)
+	return err == nil && n == 0
+}
+
+// nodeSpec resolves a candidate graph node. An operator the graph
+// declares with zero tasks executes nothing and therefore never emits
+// a chunk event — it is structurally absent from every profile, not
+// uncovered, so it estimates as a zero spec instead of failing the
+// candidate (which would fail the whole search, since every candidate
+// shares the node set).
+func (m *Model) nodeSpec(nd *delirium.Node) (rts.OpSpec, error) {
+	if declaredZeroTasks(nd) {
+		return rts.OpSpec{Op: sched.Op{Name: nd.Name, N: 0}}, nil
+	}
+	return m.spec(nd.Name)
+}
+
 // Estimate predicts the candidate graph's makespan in profile time
 // units: an earliest-start/finish pass over the DAG where each level
 // shares the processors by the paper's iterative allocation, pipelined
@@ -124,7 +146,7 @@ func (m *Model) Estimate(g *delirium.Graph) (float64, error) {
 		lspecs := make([]rts.OpSpec, 0, len(lvl))
 		names := make([]string, 0, len(lvl))
 		for _, nd := range lvl {
-			s, err := m.spec(nd.Name)
+			s, err := m.nodeSpec(nd)
 			if err != nil {
 				return 0, err
 			}
@@ -212,8 +234,19 @@ func cvOf(s rts.OpSpec) float64 {
 // returned makespan is in profile time units.
 func (m *Model) DryRun(g *delirium.Graph) (float64, error) {
 	cfg := m.Cfg()
+	// Zero-task operators are structurally absent from the profile; the
+	// dry run gives them an empty op rather than failing the bind.
+	zeroTask := map[string]bool{}
+	for _, nd := range g.Nodes {
+		if declaredZeroTasks(nd) {
+			zeroTask[nd.Name] = true
+		}
+	}
 	bindErr := error(nil)
 	bind := func(name string) rts.OpSpec {
+		if zeroTask[name] {
+			return rts.OpSpec{Op: sched.Op{Name: name, N: 0}}
+		}
 		s, err := m.spec(name)
 		if err != nil {
 			bindErr = err

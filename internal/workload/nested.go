@@ -1,0 +1,640 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"orchestra/internal/delirium"
+	"orchestra/internal/interp"
+	"orchestra/internal/native"
+	"orchestra/internal/rts"
+	"orchestra/internal/sched"
+)
+
+// Nested-dataflow workloads (ROADMAP item 3): real array kernels whose
+// graphs contain Exp nodes, for exercising runtime expansion on both
+// engines with a durable, bitwise-comparable result digest.
+//
+// Two rules cover the two interesting shapes:
+//
+//	rule=dc     — divide and conquer: the operator covers an index
+//	              range and expands into Branch children, each either a
+//	              leaf operator (range ≤ Leaf) or another dc node.
+//	              The rule is data-independent, so compile.Unroll
+//	              produces its flat reference.
+//	rule=vortex — adaptive spatial refinement (the paper's vortex
+//	              method): the operator reads the array its predecessor
+//	              produced and expands each of Cells cells into a fine
+//	              or coarse operator depending on the measured cell
+//	              intensity. The rule is data-DEPENDENT — eager
+//	              unrolling would read unsettled arrays — so the flat
+//	              reference comes from VortexFlat, which evaluates the
+//	              same decision function analytically.
+//
+// Every operator owns one array in a shared interp.State image; task
+// values are pure functions of (operator name, task index, inputs), so
+// any two correct schedules — nested or flat, simulated or native, any
+// worker count — digest identically (native.StateDigest).
+
+func init() {
+	rts.Kernels.MustRegister("nested", nestedKernel)
+}
+
+// nestedKernel is the registry form of the nested workloads: bind any
+// graph whose Exp nodes carry rule=dc or rule=vortex with
+// rts.NamedBinding("nested", params). Recognized params (all optional):
+// n, branch, leaf, cells, threshold. The whole graph shares one
+// instance, built once per BindEnv, whose digest becomes the run's
+// result digest.
+func nestedKernel(env *rts.BindEnv, op string) (rts.OpSpec, error) {
+	v, err := env.Memo("workload.nested", func() (any, error) {
+		cfg := NestedConfig{
+			N:         env.Params.Int("n", 0),
+			Branch:    env.Params.Int("branch", 0),
+			Leaf:      env.Params.Int("leaf", 0),
+			Cells:     env.Params.Int("cells", 0),
+			Threshold: env.Params.Float("threshold", 0),
+		}
+		in, err := NewNested(env.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		env.SetDigest(in.Digest)
+		return in, nil
+	})
+	if err != nil {
+		return rts.OpSpec{}, err
+	}
+	return v.(*NestedInstance).bind(op), nil
+}
+
+// NestedConfig parameterizes the nested workloads.
+type NestedConfig struct {
+	// N is the base task count (array length) of the non-expandable
+	// operators and the index range the dc root covers.
+	N int
+	// Branch is the dc fan-out per expansion level.
+	Branch int
+	// Leaf is the largest range a dc node executes as a leaf instead of
+	// expanding further.
+	Leaf int
+	// Cells is the number of spatial cells a vortex node refines.
+	Cells int
+	// Threshold is the cell-intensity cutoff for fine refinement, in
+	// [0,1]; higher means fewer fine cells.
+	Threshold float64
+}
+
+func (c NestedConfig) withDefaults() NestedConfig {
+	if c.N < 1 {
+		c.N = 256
+	}
+	if c.Branch < 2 {
+		c.Branch = 3
+	}
+	if c.Leaf < 1 {
+		c.Leaf = 32
+	}
+	if c.Cells < 1 {
+		c.Cells = 8
+	}
+	if c.Threshold <= 0 || c.Threshold >= 1 {
+		c.Threshold = 0.5
+	}
+	return c
+}
+
+// NestedInstance is one run's worth of state for a nested workload:
+// the graph, a binder over a fresh memory image, and the digest of
+// that image. Like the array kernels, an instance must not be run
+// twice — arrays start zeroed exactly once.
+type NestedInstance struct {
+	Graph *delirium.Graph
+	bind  rts.Binder
+	st    *interp.State
+	// mu guards st's array map: the native engine invokes expansion
+	// rules from worker goroutines, and sibling expansions may
+	// materialize — and allocate — concurrently. Task bodies capture
+	// their slices directly and never touch the map.
+	mu sync.Mutex
+}
+
+// alloc allocates (or returns) the named array under the map lock.
+func (in *NestedInstance) alloc(name string, n int) []float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.st.Alloc(name, n)
+	return in.st.Arrays[name]
+}
+
+// lookup reads the named array under the map lock.
+func (in *NestedInstance) lookup(name string) []float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.st.Arrays[name]
+}
+
+// Binder resolves the instance's operators (including the expansion
+// rules of its Exp nodes).
+func (in *NestedInstance) Binder() rts.Binder { return in.bind }
+
+// SetBinder replaces the instance's binder — used after a static
+// unroll (compile.Unroll) rewrites the graph, so the instance runs the
+// flat form against the same memory image.
+func (in *NestedInstance) SetBinder(b rts.Binder) { in.bind = b }
+
+// Digest fingerprints the memory image (native.StateDigest): SHA-256
+// over the name-sorted arrays, bitwise.
+func (in *NestedInstance) Digest() string { return native.StateDigest(in.st) }
+
+// NewDC builds the divide-and-conquer workload:
+//
+//	seed (par, N) → root (exp, rule=dc) → out (par, N)
+//
+// root expands recursively over [0, N) until ranges reach Leaf size;
+// leaves read seed's array, every dc join folds its children, and out
+// reads the root join.
+func NewDC(cfg NestedConfig) (*NestedInstance, error) {
+	cfg = cfg.withDefaults()
+	g := delirium.NewGraph("nested-dc")
+	nodes := []*delirium.Node{
+		{Name: "seed", Kind: delirium.Par, Tasks: strconv.Itoa(cfg.N)},
+		{Name: "root", Kind: delirium.Exp, Tasks: "1", Rule: "dc"},
+		{Name: "out", Kind: delirium.Par, Tasks: strconv.Itoa(cfg.N)},
+	}
+	for _, nd := range nodes {
+		if err := g.AddNode(nd); err != nil {
+			return nil, err
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "seed", To: "root", Bytes: 64, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "root", To: "out", Bytes: 64, PerTask: true})
+	return NewNested(g, cfg)
+}
+
+// NewVortex builds the adaptive vortex-refinement workload:
+//
+//	field (par, N) → refine (exp, rule=vortex) → gather (par, N)
+//
+// refine's expansion inspects the field array at execution time: each
+// cell whose measured intensity exceeds Threshold expands into a fine
+// operator (4× the tasks of a coarse one).
+func NewVortex(cfg NestedConfig) (*NestedInstance, error) {
+	cfg = cfg.withDefaults()
+	g := delirium.NewGraph("nested-vortex")
+	nodes := []*delirium.Node{
+		{Name: "field", Kind: delirium.Par, Tasks: strconv.Itoa(cfg.N)},
+		{Name: "refine", Kind: delirium.Exp, Tasks: "1", Rule: "vortex"},
+		{Name: "gather", Kind: delirium.Par, Tasks: strconv.Itoa(cfg.N)},
+	}
+	for _, nd := range nodes {
+		if err := g.AddNode(nd); err != nil {
+			return nil, err
+		}
+	}
+	g.AddEdge(&delirium.Edge{From: "field", To: "refine", Bytes: 64, PerTask: true})
+	g.AddEdge(&delirium.Edge{From: "refine", To: "gather", Bytes: 64, PerTask: true})
+	return NewNested(g, cfg)
+}
+
+// VortexFlat builds the statically-unrolled flat reference of the
+// vortex workload. compile.Unroll cannot produce it — the refinement
+// rule reads the field array at execution time, and an eager call
+// would see zeroes — but the decisions are recoverable offline because
+// field's task values are a pure closed form. VortexFlat evaluates
+// that closed form, applies the same decision function the runtime
+// rule applies, and assembles the flat graph Unroll would have built,
+// with bodies constructed from the same closures the nested run uses.
+// Digests of a NewVortex run and a VortexFlat run must match bitwise.
+func VortexFlat(cfg NestedConfig) (*NestedInstance, error) {
+	cfg = cfg.withDefaults()
+	in := &NestedInstance{st: interp.NewState()}
+	g := delirium.NewGraph("nested-vortex")
+	specs := map[string]rts.OpSpec{}
+
+	// field has no predecessors: field[i] is its pure base value, so
+	// the refinement decisions can be taken before anything runs.
+	fieldArr := in.alloc("field", cfg.N)
+	if err := g.AddNode(&delirium.Node{Name: "field", Kind: delirium.Par, Tasks: strconv.Itoa(cfg.N)}); err != nil {
+		return nil, err
+	}
+	specs["field"] = rts.OpSpec{Op: sched.Op{Name: "field", N: cfg.N, Time: func(i int) float64 {
+		fieldArr[i] = nestedVal("field", i)
+		return 1
+	}, Bytes: 64}, Mu: 1}
+
+	analytic := make([]float64, cfg.N)
+	for i := range analytic {
+		analytic[i] = nestedVal("field", i)
+	}
+	cells := vortexCells(analytic, "refine", cfg)
+	children := make([][]float64, 0, len(cells))
+	for _, c := range cells {
+		if err := g.AddNode(&delirium.Node{Name: c.name, Kind: delirium.Par, Tasks: strconv.Itoa(c.tasks)}); err != nil {
+			return nil, err
+		}
+		// The parent edge field→refine anchors at the sub-graph's
+		// sources in the unrolled form, barrier-converted.
+		g.AddEdge(&delirium.Edge{From: "field", To: c.name, Bytes: 64, PerTask: true})
+		arr := in.alloc(c.name, c.tasks)
+		specs[c.name] = rts.OpSpec{
+			Op: sched.Op{Name: c.name, N: c.tasks, Time: vortexCellBody(c.name, c.tasks, fieldArr, arr), Bytes: 64},
+			Mu: 1,
+		}
+		children = append(children, arr)
+	}
+
+	// refine survives as its one-task join, gated on the cell sinks,
+	// with the exact join body the nested run executes: its top-graph
+	// inputs (field, transitively ordered through the cells) plus the
+	// element-wise fold of every child.
+	if err := g.AddNode(&delirium.Node{Name: "refine", Kind: delirium.Par, Tasks: "1"}); err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		g.AddEdge(&delirium.Edge{From: c.name, To: "refine"})
+	}
+	refineArr := in.alloc("refine", 1)
+	refineInputs := []nestedInput{{from: "field", arr: fieldArr}}
+	specs["refine"] = rts.OpSpec{
+		Op: sched.Op{Name: "refine", N: 1, Time: nestedJoinBody("refine", refineInputs, &children, refineArr), Bytes: 64},
+		Mu: 1,
+	}
+
+	if err := g.AddNode(&delirium.Node{Name: "gather", Kind: delirium.Par, Tasks: strconv.Itoa(cfg.N)}); err != nil {
+		return nil, err
+	}
+	g.AddEdge(&delirium.Edge{From: "refine", To: "gather", Bytes: 64, PerTask: true})
+	gatherArr := in.alloc("gather", cfg.N)
+	gatherInputs := []nestedInput{{from: "refine", arr: refineArr}}
+	n := cfg.N
+	specs["gather"] = rts.OpSpec{Op: sched.Op{Name: "gather", N: cfg.N, Time: func(i int) float64 {
+		v := nestedVal("gather", i)
+		for _, inp := range gatherInputs {
+			v += inp.read(i, n)
+		}
+		gatherArr[i] = v
+		return 1
+	}, Bytes: 64}, Mu: 1}
+
+	in.Graph = g
+	in.bind = func(name string) rts.OpSpec { return specs[name] }
+	return in, nil
+}
+
+// NewNested builds a binder instance for any graph whose Exp nodes
+// carry rule=dc or rule=vortex. Non-expandable nodes become array
+// operators (one array per operator, task values pure in the inputs);
+// Exp nodes get the named expansion rule plus a join task that folds
+// their children. This is also the builder behind the "nested"
+// registry kernel family.
+func NewNested(g *delirium.Graph, cfg NestedConfig) (*NestedInstance, error) {
+	cfg = cfg.withDefaults()
+	in := &NestedInstance{Graph: g, st: interp.NewState()}
+	bind, err := in.bindGraph(g, cfg, "")
+	if err != nil {
+		return nil, err
+	}
+	in.bind = bind
+	return in, nil
+}
+
+// nestedVal is the pure per-task base value of an operator: a
+// deterministic function of the operator name and task index alone, so
+// every correct schedule computes identical bits.
+func nestedVal(name string, i int) float64 {
+	h := nestedHash(name)
+	return float64((h*31+uint64(i)*7)%1009)/1009 + float64(h%97)/97
+}
+
+// nestedHash is FNV-1a over a string.
+func nestedHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// nestedTasks resolves a node's tasks annotation: a literal count, or
+// the symbolic "n" (the config's N).
+func nestedTasks(nd *delirium.Node, cfg NestedConfig) (int, error) {
+	if nd.Tasks == "" || nd.Tasks == "n" {
+		return cfg.N, nil
+	}
+	n, err := strconv.Atoi(nd.Tasks)
+	if err != nil {
+		return 0, fmt.Errorf("workload: node %s has tasks=%q (want a literal count or \"n\")", nd.Name, nd.Tasks)
+	}
+	return n, nil
+}
+
+// bindGraph resolves one (sub-)graph level against the shared image.
+func (in *NestedInstance) bindGraph(g *delirium.Graph, cfg NestedConfig, parent string) (rts.Binder, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	specs := map[string]rts.OpSpec{}
+	for _, nd := range order {
+		var spec rts.OpSpec
+		var err error
+		if nd.Kind == delirium.Exp {
+			spec, err = in.expSpec(g, nd, cfg)
+		} else {
+			spec, err = in.arraySpec(g, nd, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		specs[nd.Name] = spec
+	}
+	return func(name string) rts.OpSpec { return specs[name] }, nil
+}
+
+// arraySpec builds an ordinary array operator: task i writes
+// arr[i] = base(name, i) + Σ inputs, reading each predecessor with the
+// kernel contract's index rule (prefix-safe on pipelined edges).
+func (in *NestedInstance) arraySpec(g *delirium.Graph, nd *delirium.Node, cfg NestedConfig) (rts.OpSpec, error) {
+	n, err := nestedTasks(nd, cfg)
+	if err != nil {
+		return rts.OpSpec{}, err
+	}
+	arr := in.alloc(nd.Name, n)
+	inputs := nestedInputs(in.st, g, nd.Name)
+	name := nd.Name
+	body := func(i int) float64 {
+		v := nestedVal(name, i)
+		for _, inp := range inputs {
+			v += inp.read(i, n)
+		}
+		arr[i] = v
+		return 1
+	}
+	spec := rts.OpSpec{Op: sched.Op{Name: name, N: n, Time: body, Bytes: 64}, Mu: 1}
+	return spec, nil
+}
+
+// expSpec builds an expandable operator: its Expand hook (by rule)
+// plus its one-task join body, which folds every child array the
+// expansion materialized.
+func (in *NestedInstance) expSpec(g *delirium.Graph, nd *delirium.Node, cfg NestedConfig) (rts.OpSpec, error) {
+	if _, err := nestedTasks(nd, cfg); err != nil {
+		return rts.OpSpec{}, err
+	}
+	arr := in.alloc(nd.Name, 1)
+	inputs := nestedInputs(in.st, g, nd.Name)
+	name := nd.Name
+
+	// children is filled by the expansion (or left empty at the base
+	// case) and read by the join body, which the engines run only after
+	// the whole sub-graph completed.
+	var children [][]float64
+	join := nestedJoinBody(name, inputs, &children, arr)
+
+	var expand rts.ExpandFunc
+	switch nd.Rule {
+	case "dc":
+		expand = func(depth int) (*rts.Expansion, error) {
+			exp, subs, err := in.expandDC(name, 0, cfg.N, cfg)
+			if err != nil {
+				return nil, err
+			}
+			children = subs
+			return exp, nil
+		}
+	case "vortex":
+		if len(inputs) != 1 {
+			return rts.OpSpec{}, fmt.Errorf("workload: vortex node %s needs exactly one predecessor, has %d", name, len(inputs))
+		}
+		field := inputs[0].arr
+		expand = func(depth int) (*rts.Expansion, error) {
+			exp, subs, err := in.expandVortex(name, field, cfg)
+			if err != nil {
+				return nil, err
+			}
+			children = subs
+			return exp, nil
+		}
+	default:
+		return rts.OpSpec{}, fmt.Errorf("workload: exp node %s has unknown rule %q (want dc or vortex)", name, nd.Rule)
+	}
+	return rts.OpSpec{
+		Op:     sched.Op{Name: name, N: 1, Time: join, Bytes: 64},
+		Mu:     1,
+		Expand: expand,
+	}, nil
+}
+
+// nestedJoinBody is the one-task body of an expanded operator's join:
+// its base value, plus its own (top-graph) inputs, plus the
+// element-wise fold of every child array the expansion materialized.
+// children is a pointer because the nested run fills the slice at
+// expansion time, after the body closure is built.
+func nestedJoinBody(name string, inputs []nestedInput, children *[][]float64, arr []float64) func(int) float64 {
+	return func(int) float64 {
+		v := nestedVal(name, 0)
+		for _, inp := range inputs {
+			v += inp.read(0, 1)
+		}
+		for _, c := range *children {
+			for _, x := range c {
+				v += x * 0.5
+			}
+		}
+		arr[0] = v
+		return 1
+	}
+}
+
+// vortexCellBody is the task body of one refinement cell: its base
+// value plus a stride-sampled read of the field it refines.
+func vortexCellBody(name string, n int, field, arr []float64) func(int) float64 {
+	return func(i int) float64 {
+		v := nestedVal(name, i)
+		if len(field) > 0 {
+			v += field[i*len(field)/n] * 0.75
+		}
+		arr[i] = v
+		return 1
+	}
+}
+
+// nestedInput reads one predecessor array under the kernel contract.
+type nestedInput struct {
+	from      string
+	arr       []float64
+	pipelined bool
+}
+
+func (inp nestedInput) read(i, n int) float64 {
+	pn := len(inp.arr)
+	if pn == 0 {
+		return 0
+	}
+	if inp.pipelined {
+		return inp.arr[i*pn/n]
+	}
+	return inp.arr[(i*31+7)%pn]
+}
+
+// nestedInputs snapshots a node's predecessor arrays in canonical
+// (name-sorted) order — float addition is not associative.
+func nestedInputs(st *interp.State, g *delirium.Graph, name string) []nestedInput {
+	var inputs []nestedInput
+	for _, e := range g.InEdges(name) {
+		if e.Carried {
+			continue
+		}
+		inputs = append(inputs, nestedInput{from: e.From, arr: st.Arrays[e.From], pipelined: e.Pipelined})
+	}
+	for i := 1; i < len(inputs); i++ {
+		for j := i; j > 0 && inputs[j].from < inputs[j-1].from; j-- {
+			inputs[j], inputs[j-1] = inputs[j-1], inputs[j]
+		}
+	}
+	return inputs
+}
+
+// expandDC materializes one dc level covering [off, off+span): Branch
+// children, each a leaf operator or a nested dc node. Children are
+// named by tree path ("root/1"), so the nested run and its static
+// unroll allocate identical arrays. Returns the expansion plus the
+// child arrays for the parent's join.
+func (in *NestedInstance) expandDC(name string, off, span int, cfg NestedConfig) (*rts.Expansion, [][]float64, error) {
+	if span <= cfg.Leaf {
+		// Base case: the range is small enough to have been executed by
+		// a leaf; the operator keeps just its join task.
+		return nil, nil, nil
+	}
+	sub := delirium.NewGraph(name)
+	specs := map[string]rts.OpSpec{}
+	var childArrs [][]float64
+	childSpan := (span + cfg.Branch - 1) / cfg.Branch
+	for k, o := 0, off; o < off+span; k, o = k+1, o+childSpan {
+		cspan := childSpan
+		if o+cspan > off+span {
+			cspan = off + span - o
+		}
+		cname := fmt.Sprintf("%s/%d", name, k)
+		if cspan > cfg.Leaf {
+			if err := sub.AddNode(&delirium.Node{Name: cname, Kind: delirium.Exp, Tasks: "1", Rule: "dc"}); err != nil {
+				return nil, nil, err
+			}
+			arr := in.alloc(cname, 1)
+			var grand [][]float64
+			co, cs := o, cspan
+			nm := cname
+			join := func(int) float64 {
+				v := nestedVal(nm, 0)
+				for _, c := range grand {
+					for _, x := range c {
+						v += x * 0.5
+					}
+				}
+				arr[0] = v
+				return 1
+			}
+			specs[cname] = rts.OpSpec{
+				Op: sched.Op{Name: cname, N: 1, Time: join, Bytes: 64},
+				Mu: 1,
+				Expand: func(depth int) (*rts.Expansion, error) {
+					exp, subs, err := in.expandDC(nm, co, cs, cfg)
+					if err != nil {
+						return nil, err
+					}
+					grand = subs
+					return exp, nil
+				},
+			}
+			childArrs = append(childArrs, arr)
+			continue
+		}
+		// Leaf: cspan tasks over [o, o+cspan), reading the workload's
+		// seed array (allocated by the top-level graph) at the covered
+		// indices when present.
+		if err := sub.AddNode(&delirium.Node{Name: cname, Kind: delirium.Par, Tasks: strconv.Itoa(cspan)}); err != nil {
+			return nil, nil, err
+		}
+		arr := in.alloc(cname, cspan)
+		seed := in.lookup("seed")
+		co := o
+		nm := cname
+		body := func(i int) float64 {
+			v := nestedVal(nm, i)
+			if len(seed) > 0 {
+				v += seed[(co+i)%len(seed)] * 1.5
+			}
+			arr[i] = v
+			return 1
+		}
+		specs[cname] = rts.OpSpec{Op: sched.Op{Name: cname, N: cspan, Time: body, Bytes: 64}, Mu: 1}
+		childArrs = append(childArrs, arr)
+	}
+	return &rts.Expansion{
+		Graph: sub,
+		Bind:  func(n string) rts.OpSpec { return specs[n] },
+	}, childArrs, nil
+}
+
+// vortexCell is one refinement decision: a cell operator's name and
+// task count.
+type vortexCell struct {
+	name  string
+	tasks int
+}
+
+// vortexCells applies the refinement rule to a field array: cell c
+// covers field[c·N/Cells : (c+1)·N/Cells); its intensity is the mean
+// fractional part of the covered values, and intensity > Threshold
+// refines fine (4× tasks).
+func vortexCells(field []float64, name string, cfg NestedConfig) []vortexCell {
+	n := len(field)
+	cells := make([]vortexCell, 0, cfg.Cells)
+	for c := 0; c < cfg.Cells; c++ {
+		lo, hi := c*n/cfg.Cells, (c+1)*n/cfg.Cells
+		if hi <= lo {
+			hi = lo + 1
+			if hi > n {
+				lo, hi = n-1, n
+			}
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			v := field[i]
+			sum += v - float64(int(v))
+		}
+		intensity := sum / float64(hi-lo)
+		tasks := hi - lo
+		if intensity > cfg.Threshold {
+			tasks *= 4
+		}
+		cells = append(cells, vortexCell{name: fmt.Sprintf("%s/c%d", name, c), tasks: tasks})
+	}
+	return cells
+}
+
+// expandVortex materializes the vortex refinement: one operator per
+// cell, fine or coarse by the measured intensity of the predecessor's
+// (already settled) array.
+func (in *NestedInstance) expandVortex(name string, field []float64, cfg NestedConfig) (*rts.Expansion, [][]float64, error) {
+	sub := delirium.NewGraph(name)
+	specs := map[string]rts.OpSpec{}
+	var childArrs [][]float64
+	for _, c := range vortexCells(field, name, cfg) {
+		if err := sub.AddNode(&delirium.Node{Name: c.name, Kind: delirium.Par, Tasks: strconv.Itoa(c.tasks)}); err != nil {
+			return nil, nil, err
+		}
+		arr := in.alloc(c.name, c.tasks)
+		specs[c.name] = rts.OpSpec{
+			Op: sched.Op{Name: c.name, N: c.tasks, Time: vortexCellBody(c.name, c.tasks, field, arr), Bytes: 64},
+			Mu: 1,
+		}
+		childArrs = append(childArrs, arr)
+	}
+	return &rts.Expansion{
+		Graph: sub,
+		Bind:  func(n string) rts.OpSpec { return specs[n] },
+	}, childArrs, nil
+}
